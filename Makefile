@@ -1,0 +1,28 @@
+# Developer entry points. The offline environment lacks the `wheel`
+# package by default; `make install` handles it.
+
+PYTHON ?= python
+
+.PHONY: install test bench reports examples all clean
+
+install:
+	$(PYTHON) -m pip install wheel 2>/dev/null || true
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports:  ## regenerate benchmarks/bench_reports/E*.txt (paper tables/figures)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -s
+
+examples:
+	for f in examples/*.py; do $(PYTHON) $$f || exit 1; done
+
+all: test bench
+
+clean:
+	rm -rf build src/*.egg-info .pytest_benchmarks .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,79 @@
+"""E13 — network-recovery accuracy vs. baselines (table).
+
+The methodological check behind the paper's biology: TINGe's MI networks
+recover true regulatory structure, and MI-based scoring beats plain
+correlation on data with nonlinear links.  Scored on synthetic ground
+truth at an equal edge budget (the real compendium has no ground truth —
+see DESIGN.md substitutions).
+"""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis import aupr, random_baseline_precision, score_network
+from repro.baselines import (
+    clr_network,
+    correlation_network,
+    dpi_prune,
+    ggm_network,
+    pearson_matrix,
+)
+from repro.core import GeneNetwork, top_k_adjacency
+from repro.data import yeast_subset
+
+N_GENES = 120
+M_SAMPLES = 400
+
+
+def test_accuracy_table(benchmark, report):
+    ds = yeast_subset(N_GENES, M_SAMPLES, seed=7)
+    truth = ds.truth
+    budget = truth.n_edges
+
+    result = benchmark(lambda: reconstruct_network(
+        ds.expression, ds.genes, TingeConfig(n_permutations=30, dtype="float32")
+    ))
+    mi = result.mi
+    pearson = np.abs(pearson_matrix(ds.expression))
+
+    nets = {
+        "TINGe MI": GeneNetwork(top_k_adjacency(mi, budget), mi, ds.genes),
+        "Pearson": correlation_network(ds.expression, ds.genes, budget),
+        "CLR(MI)": clr_network(mi, ds.genes, budget),
+        "ARACNE(MI+DPI)": GeneNetwork(
+            dpi_prune(mi, result.network.adjacency, tolerance=0.1), mi, ds.genes
+        ),
+        "GGM(partial corr)": ggm_network(ds.expression, ds.genes, budget),
+    }
+    scores = {
+        "TINGe MI": mi,
+        "Pearson": pearson,
+        "CLR(MI)": nets["CLR(MI)"].weights,
+        "ARACNE(MI+DPI)": np.where(nets["ARACNE(MI+DPI)"].adjacency, mi, 0.0),
+        "GGM(partial corr)": nets["GGM(partial corr)"].weights,
+    }
+
+    rows, metrics = [], {}
+    for name, net in nets.items():
+        c = score_network(net, truth)
+        a = aupr(scores[name], truth)
+        metrics[name] = (c, a)
+        rows.append({"method": name, "edges": net.n_edges,
+                     "precision": f"{c.precision:.3f}",
+                     "recall": f"{c.recall:.3f}",
+                     "f1": f"{c.f1:.3f}", "AUPR": f"{a:.3f}"})
+    rows.append({"method": "random ranker", "edges": budget,
+                 "precision": f"{random_baseline_precision(truth):.3f}",
+                 "recall": "-", "f1": "-",
+                 "AUPR": f"{random_baseline_precision(truth):.3f}"})
+    report("E13", f"accuracy vs ground truth, {N_GENES} genes, equal edge budget", rows)
+
+    baseline = random_baseline_precision(truth)
+    # Everything must decisively beat chance.
+    for name, (c, a) in metrics.items():
+        assert a > 3 * baseline, name
+    # MI ranking >= Pearson ranking on 40%-nonlinear data.
+    assert metrics["TINGe MI"][1] >= metrics["Pearson"][1]
+    # DPI pruning trades recall for a large precision gain over raw MI.
+    assert metrics["ARACNE(MI+DPI)"][0].precision > metrics["TINGe MI"][0].precision

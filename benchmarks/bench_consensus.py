@@ -1,0 +1,60 @@
+"""E20 (ablation) — stability-selection consensus vs. single-shot network.
+
+Measures what the subsampling consensus wrapper buys: edges stable across
+half-sample reconstructions should be *more precise* than a single
+full-sample network at a comparable or smaller edge budget, at the cost of
+``n_rounds`` extra pipeline runs (each embarrassingly parallel).
+"""
+
+import time
+
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis import score_network
+from repro.core.consensus import bootstrap_networks, consensus_network
+from repro.data import yeast_subset
+
+N_GENES = 60
+M_SAMPLES = 300
+ROUNDS = 10
+
+
+def test_consensus_ablation(benchmark, report):
+    ds = yeast_subset(n_genes=N_GENES, m_samples=M_SAMPLES, seed=44)
+    cfg = TingeConfig(n_permutations=15, alpha=0.01, dtype="float32", seed=0)
+
+    t0 = time.perf_counter()
+    single = reconstruct_network(ds.expression, ds.genes, cfg)
+    t_single = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    stab = bootstrap_networks(ds.expression, ds.genes, cfg,
+                              n_rounds=ROUNDS, seed=1)
+    t_consensus = time.perf_counter() - t0
+    benchmark(lambda: reconstruct_network(ds.expression, ds.genes, cfg))
+
+    rows = []
+    nets = {"single shot": (single.network, t_single)}
+    for freq in (0.5, 0.8, 1.0):
+        nets[f"consensus >= {freq:.0%}"] = (
+            consensus_network(stab, min_frequency=freq), t_consensus)
+    metrics = {}
+    for name, (net, seconds) in nets.items():
+        c = score_network(net, ds.truth)
+        metrics[name] = c
+        rows.append({"network": name, "edges": net.n_edges,
+                     "precision": f"{c.precision:.3f}",
+                     "recall": f"{c.recall:.3f}",
+                     "time": f"{seconds:.2f} s"})
+    report("E20", f"consensus stability selection, {ROUNDS} rounds", rows)
+
+    # Full-stability edges are at least as precise as the single network.
+    assert metrics["consensus >= 100%"].precision >= metrics["single shot"].precision
+    # Edge count shrinks monotonically with the frequency cutoff.
+    counts = [nets[k][0].n_edges for k in
+              ("consensus >= 50%", "consensus >= 80%", "consensus >= 100%")]
+    assert counts[0] >= counts[1] >= counts[2]
+    # Consensus pays roughly n_rounds pipelines (loose bound: shared-host
+    # timing noise must not flake the harness).
+    assert t_consensus > 2 * t_single

@@ -1,0 +1,49 @@
+"""E22 (ablation) — energy to solution (table).
+
+The accelerator-era argument the paper's venue cares about: the single
+Phi is ~2.6x *slower* than the 1,024-core Blue Gene/L run but draws two
+orders of magnitude less power, so its *energy per network* is an order
+of magnitude lower — and the dual-Xeon node sits between.  Computed from
+the E8 runtime predictions and nominal platform power.
+"""
+
+import pytest
+
+from repro.baselines.cluster_tinge import estimate_cluster_run
+from repro.bench.reporting import format_seconds
+from repro.data import ARABIDOPSIS_SHAPE
+from repro.machine.costmodel import KernelProfile
+from repro.machine.energy import energy_to_solution
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import BLUEGENE_L_1024, XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+PROFILE = KernelProfile(m_samples=ARABIDOPSIS_SHAPE.m_samples, n_permutations_fused=30)
+
+
+def test_energy_to_solution(benchmark, report):
+    n = ARABIDOPSIS_SHAPE.n_genes
+    t_phi = MachineSimulator(XEON_PHI_5110P, PROFILE).predict_seconds(n, 240)
+    t_xeon = MachineSimulator(XEON_E5_2670_DUAL, PROFILE).predict_seconds(n, 32)
+    t_bgl = estimate_cluster_run(BLUEGENE_L_1024, n, PROFILE).total
+    benchmark(lambda: MachineSimulator(XEON_PHI_5110P, PROFILE).predict_seconds(n, 240))
+
+    estimates = {
+        "phi": energy_to_solution(XEON_PHI_5110P, t_phi),
+        "xeon": energy_to_solution(XEON_E5_2670_DUAL, t_xeon),
+        "bgl": energy_to_solution(BLUEGENE_L_1024, t_bgl),
+    }
+    rows = [
+        {"platform": e.platform, "time": format_seconds(e.seconds),
+         "power": f"{e.watts:,.0f} W",
+         "energy": f"{e.watt_hours / 1000:.2f} kWh",
+         "vs Phi": f"{e.joules / estimates['phi'].joules:.1f}x"}
+        for e in estimates.values()
+    ]
+    report("E22", "whole-genome energy to solution", rows)
+
+    # The headline inversion: the cluster wins on time but loses on energy
+    # by an order of magnitude.
+    assert estimates["bgl"].seconds < estimates["phi"].seconds
+    assert estimates["bgl"].joules > 5 * estimates["phi"].joules
+    # The coprocessor also beats the dual-Xeon node on energy.
+    assert estimates["xeon"].joules > estimates["phi"].joules

@@ -1,0 +1,71 @@
+"""E21 (ablation) — the estimator zoo: B-spline vs adaptive vs kNN.
+
+Three MI estimator families on the same data: accuracy (AUPR vs ground
+truth, via exhaustive pairwise estimates) and per-pair cost.  The
+reproduced point is the paper's *implicit* design decision: the B-spline
+estimator is chosen not because it is the most accurate in isolation, but
+because it is the one that becomes a GEMM — the cost column shows the gap
+the vectorizable form buys.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import aupr
+from repro.core.adaptive import mi_adaptive
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import rank_transform
+from repro.core.mi import mi_kraskov
+from repro.core.mi_matrix import mi_matrix
+from repro.data import yeast_subset
+
+N_GENES = 40
+M_SAMPLES = 250
+
+
+def test_estimator_zoo(benchmark, report):
+    ds = yeast_subset(n_genes=N_GENES, m_samples=M_SAMPLES, seed=51)
+    data = ds.expression
+    n = N_GENES
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    # B-spline: the tiled GEMM path.
+    w = weight_tensor(rank_transform(data), dtype=np.float32)
+    t0 = time.perf_counter()
+    bspline = mi_matrix(w, tile=32).mi
+    t_bspline = (time.perf_counter() - t0) / len(pairs)
+    benchmark(lambda: mi_matrix(w, tile=32))
+
+    def full_matrix(estimator):
+        out = np.zeros((n, n))
+        t0 = time.perf_counter()
+        for i, j in pairs:
+            out[i, j] = out[j, i] = estimator(data[i], data[j])
+        return out, (time.perf_counter() - t0) / len(pairs)
+
+    adaptive, t_adaptive = full_matrix(lambda x, y: mi_adaptive(x, y))
+    ksg, t_ksg = full_matrix(lambda x, y: mi_kraskov(x, y, k=3))
+
+    rows = []
+    results = {}
+    for name, (mat, cost) in {
+        "B-spline (tiled GEMM)": (bspline, t_bspline),
+        "adaptive partitioning": (adaptive, t_adaptive),
+        "Kraskov kNN (k=3)": (ksg, t_ksg),
+    }.items():
+        a = aupr(mat, ds.truth)
+        results[name] = (a, cost)
+        rows.append({"estimator": name, "AUPR": f"{a:.3f}",
+                     "per-pair": f"{cost * 1e6:.0f} us"})
+    report("E21", f"estimator zoo, n={N_GENES}, m={M_SAMPLES}", rows)
+
+    chance = ds.truth.n_edges / len(pairs)
+    # Every estimator family ranks far above chance.
+    for name, (a, _) in results.items():
+        assert a > 3 * chance, name
+    # The B-spline kernel is the cheapest per pair by a wide margin —
+    # the vectorizability argument of the paper.
+    assert results["B-spline (tiled GEMM)"][1] * 5 < results["adaptive partitioning"][1]
+    assert results["B-spline (tiled GEMM)"][1] * 5 < results["Kraskov kNN (k=3)"][1]

@@ -1,0 +1,64 @@
+"""E6 — runtime vs. gene count (figure).
+
+Pair count grows as n(n-1)/2, so runtime must grow quadratically in the
+number of genes.  Two series: *measured* on this host's real kernel
+(small n) and *modelled* on the Phi (up to whole-genome n); both must show
+the quadratic exponent (~2 on a log-log fit).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_seconds
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import rank_transform
+from repro.core.mi_matrix import mi_matrix
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_PHI_5110P
+
+M_SAMPLES = 256
+MEASURED_N = [64, 128, 256, 512]
+MODELLED_N = [1000, 2000, 4000, 8000, 15575]
+
+
+def loglog_slope(ns, ts):
+    return np.polyfit(np.log(ns), np.log(ts), 1)[0]
+
+
+@pytest.fixture(scope="module")
+def big_weights():
+    rng = np.random.default_rng(11)
+    data = rank_transform(rng.normal(size=(max(MEASURED_N), M_SAMPLES)))
+    return weight_tensor(data, dtype=np.float32)
+
+
+def test_measured_gene_scaling(benchmark, big_weights, report):
+    times = {}
+    for n in MEASURED_N:
+        t0 = time.perf_counter()
+        mi_matrix(big_weights[:n], tile=32)
+        times[n] = time.perf_counter() - t0
+    benchmark(lambda: mi_matrix(big_weights[: MEASURED_N[0]], tile=32))
+
+    sim = MachineSimulator(XEON_PHI_5110P,
+                           KernelProfile(m_samples=3137, n_permutations_fused=30))
+    modelled = {n: sim.predict_seconds(n, 240) for n in MODELLED_N}
+
+    rows = [
+        {"series": "measured (host)", "genes": n, "pairs": n * (n - 1) // 2,
+         "time": format_seconds(times[n])}
+        for n in MEASURED_N
+    ] + [
+        {"series": "modelled (Phi, 240t)", "genes": n, "pairs": n * (n - 1) // 2,
+         "time": format_seconds(modelled[n])}
+        for n in MODELLED_N
+    ]
+    report("E6", "runtime vs gene count (quadratic)", rows)
+
+    slope_measured = loglog_slope(MEASURED_N, [times[n] for n in MEASURED_N])
+    slope_modelled = loglog_slope(MODELLED_N, [modelled[n] for n in MODELLED_N])
+    assert 1.5 < slope_measured < 2.5
+    assert 1.8 < slope_modelled < 2.2

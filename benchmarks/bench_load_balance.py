@@ -1,0 +1,83 @@
+"""E11 — load balancing: scheduling policy comparison (figure/table).
+
+The paper's thread-level result: dynamic tile scheduling beats static
+partitioning.  Two granularities are compared on 240 modelled Phi threads:
+
+* by *block-rows* of the pair triangle (the naive outer-loop split, whose
+  per-row cost shrinks linearly — the classic triangular imbalance); and
+* by *tiles* under static / cyclic / guided / dynamic policies, including
+  the chunk-size tradeoff against dispatch overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_seconds
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_PHI_5110P
+from repro.parallel.scheduler import (
+    CyclicScheduler,
+    DynamicScheduler,
+    GuidedScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+)
+
+N_GENES = 3000
+THREADS = 240
+PROFILE = KernelProfile(m_samples=3137, n_permutations_fused=30)
+
+
+def test_row_partition_imbalance(report):
+    """The naive gene-row split: row i holds n-1-i pairs."""
+    costs = np.arange(N_GENES - 1, 0, -1, dtype=float)  # pairs per row
+    rows = []
+    results = {}
+    for policy, label in [(StaticScheduler(), "static rows"),
+                          (CyclicScheduler(), "cyclic rows"),
+                          (DynamicScheduler(chunk=1), "dynamic rows")]:
+        a = policy.simulate(costs, THREADS)
+        results[label] = a
+        rows.append({"partition": label,
+                     "imbalance": f"{a.imbalance * 100:.1f}%",
+                     "utilization": f"{a.utilization * 100:.1f}%"})
+    report("E11a", "gene-row partitioning on 240 threads", rows)
+
+    # Static contiguous rows: first worker gets the longest rows -> ~2x load.
+    assert results["static rows"].imbalance > 0.5
+    # Cyclic/dynamic fix the systematic skew; the residual few-percent is
+    # quantization (only ~12 rows per worker at 240 threads).
+    assert results["cyclic rows"].imbalance < 0.15
+    assert results["dynamic rows"].imbalance < 0.15
+    assert results["static rows"].imbalance > 5 * results["cyclic rows"].imbalance
+
+
+def test_tile_scheduling_policies(benchmark, report):
+    sim = MachineSimulator(XEON_PHI_5110P, PROFILE)
+    policies = [
+        ("static tiles", StaticScheduler()),
+        ("cyclic tiles", CyclicScheduler()),
+        ("guided", GuidedScheduler()),
+        ("dynamic chunk=8", DynamicScheduler(chunk=8)),
+        ("dynamic chunk=1", DynamicScheduler(chunk=1)),
+        ("work stealing", WorkStealingScheduler()),
+    ]
+    results = {label: sim.run(N_GENES, THREADS, policy=p) for label, p in policies}
+    benchmark(lambda: sim.run(N_GENES, THREADS, policy=DynamicScheduler(chunk=1)))
+
+    rows = [
+        {"policy": label,
+         "time": format_seconds(r.makespan),
+         "imbalance": f"{r.imbalance * 100:.2f}%",
+         "dispatch": format_seconds(r.overhead.sum())}
+        for label, r in results.items()
+    ]
+    report("E11b", f"tile scheduling on Phi, n={N_GENES}, 240 threads", rows)
+
+    # Dynamic chunk=1 is the best or ties within 2%.
+    best = min(r.makespan for r in results.values())
+    assert results["dynamic chunk=1"].makespan <= best * 1.02
+    # Finer chunks -> more dispatch overhead (the tradeoff the paper tunes).
+    assert (results["dynamic chunk=1"].overhead.sum()
+            > results["dynamic chunk=8"].overhead.sum())

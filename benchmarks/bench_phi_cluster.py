@@ -1,0 +1,60 @@
+"""E23 (forward-looking) — scaling out: a cluster of Xeon Phis.
+
+The paper's natural follow-up question (and what machines like TACC
+Stampede actually built): if one Phi does the genome in 22 minutes, what
+does a rack of them buy?  Composes the existing pieces — the Phi machine
+model as a cluster node, the distributed-TINGe communication model, and
+the energy model — into the scale-out table.  Reproduced shape: near-
+linear speedup while compute dominates, with the allgather term and the
+per-node weight-replication memory as the eventual limits.
+"""
+
+import pytest
+
+from repro.baselines.cluster_tinge import estimate_cluster_run
+from repro.bench.reporting import format_seconds
+from repro.data import ARABIDOPSIS_SHAPE
+from repro.machine.costmodel import KernelProfile
+from repro.machine.energy import energy_to_solution
+from repro.machine.spec import XEON_PHI_5110P, ClusterSpec
+
+PROFILE = KernelProfile(m_samples=ARABIDOPSIS_SHAPE.m_samples, n_permutations_fused=30)
+PHI_NODE_WATTS = 300.0  # card + host share, as in the energy model
+
+
+def phi_cluster(n_nodes: int) -> ClusterSpec:
+    return ClusterSpec(
+        name=f"{n_nodes}x Xeon Phi (FDR IB)",
+        nodes=n_nodes,
+        node=XEON_PHI_5110P,
+        latency_us=2.0,
+        link_gbs=6.8,  # FDR InfiniBand, ~54 Gb/s
+    )
+
+
+def test_phi_cluster_scaling(benchmark, report):
+    n = ARABIDOPSIS_SHAPE.n_genes
+    rows, totals = [], {}
+    for p in (1, 2, 4, 8, 16):
+        est = estimate_cluster_run(phi_cluster(p), n, PROFILE)
+        totals[p] = est.total
+        energy = energy_to_solution(f"{p}x Phi", est.total,
+                                    watts=p * PHI_NODE_WATTS)
+        rows.append({
+            "Phis": p,
+            "time": format_seconds(est.total),
+            "speedup": f"{totals[1] / est.total:.2f}x",
+            "comm share": f"{est.comm_fraction * 100:.2f}%",
+            "energy": f"{energy.watt_hours / 1000:.3f} kWh",
+        })
+    benchmark(lambda: estimate_cluster_run(phi_cluster(8), n, PROFILE))
+    report("E23", "scaling out: whole genome on a Phi cluster", rows)
+
+    # Near-linear while compute dominates...
+    assert totals[1] / totals[8] == pytest.approx(8.0, rel=0.15)
+    # ...because communication stays a small share at this scale.
+    assert estimate_cluster_run(phi_cluster(16), n, PROFILE).comm_fraction < 0.1
+    # Energy to solution is ~flat in p (same joules, faster): within 25%.
+    e1 = totals[1] * 1 * PHI_NODE_WATTS
+    e16 = totals[16] * 16 * PHI_NODE_WATTS
+    assert e16 / e1 < 1.25

@@ -1,0 +1,70 @@
+"""E4/E5 — thread-scaling figures on the Phi and the Xeon.
+
+The paper's central scaling curves, replayed on the machine models:
+
+* E4 (Phi): speedup over 1..240 threads.  Reproduced shape: near-linear
+  across cores, a 2x jump from 1 to 2 threads/core (in-order KNC issue),
+  flat from 2 to 4 threads/core.
+* E5 (Xeon): speedup over 1..32 threads.  Reproduced shape: linear to 16
+  cores, ~15% from HyperThreading.
+"""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_series
+from repro.bench.reporting import format_seconds
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+N_GENES = 2000
+PROFILE = KernelProfile(m_samples=3137, n_permutations_fused=30)
+
+
+def scaling(machine, counts):
+    sim = MachineSimulator(machine, PROFILE)
+    times = {t: sim.run(N_GENES, t).makespan for t in counts}
+    base = times[counts[0]]
+    return times, base
+
+
+def test_phi_thread_scaling(benchmark, report):
+    counts = [1, 15, 30, 60, 120, 180, 240]
+    times, base = scaling(XEON_PHI_5110P, counts)
+    benchmark(lambda: MachineSimulator(XEON_PHI_5110P, PROFILE).run(N_GENES, 240))
+
+    rows = [
+        {"threads": t, "threads/core": max(1, t // 60),
+         "time": format_seconds(times[t]), "speedup": f"{base / times[t]:.1f}x"}
+        for t in counts
+    ]
+    report("E4", f"Xeon Phi thread scaling, n={N_GENES}", rows)
+    # The figure itself: speedup vs threads (log-log, the paper's axes).
+    fig = ascii_series(counts, [base / times[t] for t in counts],
+                       x_label="threads", y_label="speedup",
+                       log_x=True, log_y=True)
+    print(fig)
+
+    # Near-linear across cores (1 thread each).
+    assert base / times[60] == pytest.approx(60, rel=0.1)
+    # The KNC signature: doubling threads/core from 1 to 2 doubles speed.
+    assert times[60] / times[120] == pytest.approx(2.0, rel=0.1)
+    # 4 threads/core holds (within quantization) what 2 threads/core reaches.
+    assert times[240] == pytest.approx(times[120], rel=0.1)
+
+
+def test_xeon_thread_scaling(benchmark, report):
+    counts = [1, 2, 4, 8, 16, 32]
+    times, base = scaling(XEON_E5_2670_DUAL, counts)
+    benchmark(lambda: MachineSimulator(XEON_E5_2670_DUAL, PROFILE).run(N_GENES, 32))
+
+    rows = [
+        {"threads": t, "time": format_seconds(times[t]),
+         "speedup": f"{base / times[t]:.1f}x"}
+        for t in counts
+    ]
+    report("E5", f"dual-Xeon thread scaling, n={N_GENES}", rows)
+
+    assert base / times[16] == pytest.approx(16, rel=0.1)
+    ht_gain = times[16] / times[32]
+    assert 1.05 < ht_gain < 1.25

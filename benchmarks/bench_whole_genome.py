@@ -1,0 +1,84 @@
+"""E8 — the whole-genome headline table.
+
+The abstract's central claim: the 15,575-gene / 3,137-array Arabidopsis
+network in ~22 minutes on a single Xeon Phi, with a dual-Xeon solution and
+the 1,024-core cluster TINGe run as comparators.  Reproduced on the machine
+models (calibrated as documented in ``repro.machine.spec``); the *shape*
+asserted is: Phi ~ 20-30 min, Xeon ~ 2x Phi, cluster ~ 9 min on 64x the
+cores — i.e. one chip replaces a machine room at a ~2.5x time cost.
+"""
+
+import pytest
+
+from repro.baselines.cluster_tinge import estimate_cluster_run
+from repro.bench.reporting import format_seconds
+from repro.data import ARABIDOPSIS_SHAPE
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import BLUEGENE_L_1024, XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+PROFILE = KernelProfile(m_samples=ARABIDOPSIS_SHAPE.m_samples, n_permutations_fused=30)
+
+
+def test_whole_genome_table(benchmark, report):
+    phi = MachineSimulator(XEON_PHI_5110P, PROFILE)
+    xeon = MachineSimulator(XEON_E5_2670_DUAL, PROFILE)
+    n = ARABIDOPSIS_SHAPE.n_genes
+
+    t_phi = benchmark(lambda: phi.predict_seconds(n, 240))
+    t_xeon = xeon.predict_seconds(n, 32)
+    cluster = estimate_cluster_run(BLUEGENE_L_1024, n, PROFILE)
+
+    rows = [
+        {"platform": XEON_PHI_5110P.name, "parallelism": "60c x 4t x 16 lanes",
+         "time": format_seconds(t_phi), "paper": "22 min"},
+        {"platform": XEON_E5_2670_DUAL.name, "parallelism": "16c x 2t x 8 lanes",
+         "time": format_seconds(t_xeon), "paper": "(slower than Phi)"},
+        {"platform": BLUEGENE_L_1024.name, "parallelism": "1024 cores",
+         "time": format_seconds(cluster.total), "paper": "~9 min (Zola et al.)"},
+    ]
+    report("E8", f"whole-genome Arabidopsis, {n} genes x {PROFILE.m_samples} arrays", rows)
+
+    assert 15 * 60 < t_phi < 30 * 60           # "22 minutes" regime
+    assert 1.5 < t_xeon / t_phi < 3.0           # Phi wins on one chip
+    assert 5 * 60 < cluster.total < 15 * 60     # "~9 minutes" regime
+    # The headline: one coprocessor does in <= ~3x the time what previously
+    # took a 1024-core machine.
+    assert t_phi / cluster.total < 3.5
+
+
+def test_memory_feasibility(report):
+    """E8c: the run fits the Phi's 8 GB — the paper's precondition."""
+    from repro.machine.memory import memory_plan
+    from repro.machine.spec import BLUEGENE_L_1024
+
+    rows = []
+    for machine in (XEON_PHI_5110P, XEON_E5_2670_DUAL, BLUEGENE_L_1024.node):
+        plan = memory_plan(machine, ARABIDOPSIS_SHAPE.n_genes, PROFILE,
+                           n_permutations_stored=30)
+        rows.append({
+            "machine": machine.name,
+            "capacity": f"{machine.mem_gb:g} GB",
+            "dense weights": f"{plan.weights_dense_bytes / 1e9:.2f} GB",
+            "packed weights": f"{plan.weights_packed_bytes / 1e9:.2f} GB",
+            "strategy": plan.strategy,
+        })
+    report("E8c", "whole-genome memory feasibility", rows)
+    phi_plan = memory_plan(XEON_PHI_5110P, ARABIDOPSIS_SHAPE.n_genes, PROFILE)
+    assert phi_plan.strategy == "dense-resident"
+    node_plan = memory_plan(BLUEGENE_L_1024.node, ARABIDOPSIS_SHAPE.n_genes, PROFILE)
+    assert node_plan.strategy != "dense-resident"  # why TINGe distributed it
+
+
+def test_pairs_per_second_headline(report):
+    """Throughput framing: pairs/second each platform sustains."""
+    n = ARABIDOPSIS_SHAPE.n_genes
+    pairs = ARABIDOPSIS_SHAPE.n_pairs
+    phi = MachineSimulator(XEON_PHI_5110P, PROFILE).predict_seconds(n, 240)
+    xeon = MachineSimulator(XEON_E5_2670_DUAL, PROFILE).predict_seconds(n, 32)
+    rows = [
+        {"platform": "Xeon Phi 5110P", "pairs/s": f"{pairs / phi:,.0f}"},
+        {"platform": "2x Xeon E5-2670", "pairs/s": f"{pairs / xeon:,.0f}"},
+    ]
+    report("E8b", "sustained pair throughput at whole-genome scale", rows)
+    assert pairs / phi > pairs / xeon

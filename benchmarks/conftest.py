@@ -1,0 +1,51 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the (reconstructed)
+paper evaluation — see the per-experiment index in DESIGN.md.  Paper-style
+rows are printed to stdout (run with ``-s`` to see them live) *and*
+appended to ``bench_reports/<experiment>.txt`` so the output survives
+pytest's capture; EXPERIMENTS.md is written from those reports.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+
+REPORT_DIR = Path(os.environ.get("REPRO_BENCH_REPORT_DIR", Path(__file__).parent / "bench_reports"))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable fixture: ``report(experiment_id, title, rows)``.
+
+    Prints the paper-style table and persists it under ``bench_reports/``.
+    """
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def emit(experiment: str, title: str, rows):
+        text = format_table(rows, title=f"[{experiment}] {title}")
+        print("\n" + text + "\n")
+        (REPORT_DIR / f"{experiment}.txt").write_text(text + "\n")
+        return text
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2014)
+
+
+@pytest.fixture(scope="session")
+def bench_weights():
+    """Weight tensor for measured kernel benchmarks (64 genes x 512 samples)."""
+    from repro.core.bspline import weight_tensor
+    from repro.core.discretize import rank_transform
+
+    gen = np.random.default_rng(7)
+    data = rank_transform(gen.normal(size=(64, 512)))
+    return weight_tensor(data, bins=10, order=3)

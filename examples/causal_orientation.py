@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""From co-expression to causal draft: orienting edges with knockouts.
+
+MI networks are undirected; perturbation experiments break the symmetry.
+This example builds a compendium that mixes observational samples with
+knockout panels (the composition real compendia like the paper's
+3,137-array set actually have), reconstructs the undirected network, then
+orients its edges by knockout response — and scores the orientations
+against the generating network's true directions.
+
+Run:
+    python examples/causal_orientation.py [--genes 40]
+"""
+
+import argparse
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis import orient_edges, score_network
+from repro.bench import print_table
+from repro.data import simulate_perturbations
+from repro.data.grn import scale_free_grn
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=40)
+    parser.add_argument("--observational", type=int, default=250)
+    parser.add_argument("--replicates", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    # 1. A compendium: observational + knockout panels for every regulator.
+    truth = scale_free_grn(args.genes, n_regulators=max(3, args.genes // 10),
+                           seed=args.seed)
+    panel = simulate_perturbations(
+        truth, m_observational=args.observational,
+        replicates=args.replicates, noise_sd=0.25, seed=args.seed + 1,
+    )
+    print(f"compendium: {panel.n_observational} observational + "
+          f"{panel.n_perturbations} knockout samples, "
+          f"{truth.n_edges} true directed edges")
+
+    # 2. Undirected reconstruction on the whole compendium.
+    result = reconstruct_network(
+        panel.dataset.expression, panel.dataset.genes,
+        TingeConfig(n_permutations=25, alpha=0.01),
+    )
+    c = score_network(result.network, truth)
+    print(f"undirected network: {result.network.n_edges} edges "
+          f"(recall of true skeleton: {c.recall:.2f})")
+
+    # 3. Orientation by knockout response.
+    oriented = orient_edges(result.network, panel, min_z=3.0)
+    true_directed = {(truth.genes[int(r)], truth.genes[int(t)])
+                     for r, t in truth.edges}
+    rows = []
+    for e in oriented[:10]:
+        correct = (e.regulator, e.target) in true_directed
+        rows.append({
+            "edge": f"{e.regulator} -> {e.target}",
+            "z(forward)": f"{e.z_forward:+.1f}",
+            "z(reverse)": "-" if e.z_reverse != e.z_reverse else f"{e.z_reverse:+.1f}",
+            "true?": "yes" if correct else "no",
+        })
+    print_table(rows, title="strongest orientations (top 10)")
+
+    n_correct = sum((e.regulator, e.target) in true_directed for e in oriented)
+    print(f"oriented {len(oriented)} edges; "
+          f"directional accuracy {n_correct}/{len(oriented)} "
+          f"({n_correct / max(len(oriented), 1):.0%}) vs 50% for coin-flips")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Design-space exploration: what hardware would run this fastest?
+
+Uses the machine model to ask the questions the paper's discussion
+invites: how do scheduler, affinity, and thread count interact on the Phi;
+and what would a hypothetical next-generation chip (more cores, higher
+clock, more bandwidth — a KNL-shaped machine) buy for this workload?
+
+Run:
+    python examples/design_space.py [--genes 2000]
+"""
+
+import argparse
+
+from repro.bench import ascii_series, print_table
+from repro.machine import (
+    KernelProfile,
+    MachineSimulator,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_5110P,
+    scale_machine,
+    sweep,
+)
+from repro.parallel import DynamicScheduler, StaticScheduler, WorkStealingScheduler
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=2000)
+    args = parser.parse_args()
+
+    profile = KernelProfile(m_samples=3137, n_permutations_fused=30)
+
+    # --- 1. the full configuration matrix on the paper's machines --------
+    points = sweep(
+        [XEON_PHI_5110P, XEON_E5_2670_DUAL],
+        profile,
+        args.genes,
+        thread_counts={
+            XEON_PHI_5110P.name: [60, 120, 240],
+            XEON_E5_2670_DUAL.name: [16, 32],
+        },
+        policies=[StaticScheduler(), DynamicScheduler(chunk=1),
+                  WorkStealingScheduler()],
+        placements=["balanced", "compact"],
+    )
+    print_table([p.as_row() for p in points[:10]],
+                title="ten fastest configurations")
+    worst = points[-1]
+    print(f"slowest configuration: {worst.machine} @ {worst.n_threads} threads, "
+          f"{worst.policy}/{worst.placement} "
+          f"({worst.seconds / points[0].seconds:.1f}x the best)")
+
+    # --- 2. hypothetical next-gen chip -----------------------------------
+    knl = scale_machine(XEON_PHI_5110P, "hypothetical KNL-class",
+                        cores=68, freq_ghz=1.4, mem_bw_gbs=400.0)
+    rows = []
+    for machine, threads in ((XEON_PHI_5110P, 240), (knl, 272)):
+        sim = MachineSimulator(machine, profile)
+        t_full = sim.predict_seconds(15575, threads)
+        rows.append({"machine": machine.name, "threads": threads,
+                     "whole genome": f"{t_full / 60:.1f} min"})
+    print_table(rows, title="whole-genome projection, current vs next-gen")
+
+    # --- 3. the cores-vs-time tradeoff as a figure ------------------------
+    core_counts = [15, 30, 45, 60, 90, 120]
+    times = []
+    for c in core_counts:
+        chip = scale_machine(XEON_PHI_5110P, f"{c}-core variant", cores=c)
+        times.append(MachineSimulator(chip, profile)
+                     .predict_seconds(15575, chip.max_threads) / 60)
+    print(ascii_series(core_counts, times, x_label="cores",
+                       y_label="whole-genome minutes", log_y=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Compare TINGe's MI networks against the standard baselines.
+
+On synthetic data with 40% nonlinear regulatory links (the regime that
+motivates mutual information over correlation), compares — at an equal
+edge budget — TINGe MI, Pearson, Spearman, CLR-rescored MI, and
+ARACNE(DPI)-pruned MI, by precision/recall and AUPR against the known
+ground-truth network.
+
+Run:
+    python examples/method_comparison.py [--genes 120 --samples 400]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis import aupr, random_baseline_precision, score_network
+from repro.baselines import (
+    clr_network,
+    correlation_network,
+    dpi_prune,
+    pearson_matrix,
+    spearman_matrix,
+)
+from repro.bench import print_table
+from repro.core import GeneNetwork, top_k_adjacency
+from repro.data import yeast_subset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=120)
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    dataset = yeast_subset(args.genes, args.samples, seed=args.seed)
+    truth = dataset.truth
+    budget = truth.n_edges  # every method predicts exactly this many edges
+    print(f"{args.genes} genes, {args.samples} samples, "
+          f"{truth.n_edges} true edges; edge budget = {budget}")
+    print(f"random-ranker AUPR baseline: {random_baseline_precision(truth):.3f}")
+
+    # TINGe MI matrix (the shared substrate for MI-derived methods).
+    result = reconstruct_network(
+        dataset.expression, dataset.genes,
+        TingeConfig(n_permutations=30, alpha=0.05),
+    )
+    mi = result.mi
+
+    def as_net(score_matrix) -> GeneNetwork:
+        return GeneNetwork(
+            adjacency=top_k_adjacency(score_matrix, budget),
+            weights=score_matrix, genes=dataset.genes,
+        )
+
+    candidates = {
+        "TINGe MI": as_net(mi),
+        "Pearson |r|": correlation_network(dataset.expression, dataset.genes,
+                                           budget, method="pearson"),
+        "Spearman |r|": correlation_network(dataset.expression, dataset.genes,
+                                            budget, method="spearman"),
+        "CLR(MI)": clr_network(mi, dataset.genes, budget),
+    }
+    # ARACNE: DPI-prune the significance-thresholded TINGe network.
+    pruned = dpi_prune(mi, result.network.adjacency, tolerance=0.1)
+    candidates["ARACNE(MI+DPI)"] = GeneNetwork(pruned, mi, dataset.genes)
+
+    scores = {
+        "TINGe MI": mi,
+        "Pearson |r|": np.abs(pearson_matrix(dataset.expression)),
+        "Spearman |r|": np.abs(spearman_matrix(dataset.expression)),
+        "CLR(MI)": candidates["CLR(MI)"].weights,
+        "ARACNE(MI+DPI)": np.where(pruned, mi, 0.0),
+    }
+
+    rows = []
+    for name, net in candidates.items():
+        c = score_network(net, truth)
+        rows.append({
+            "method": name,
+            "edges": net.n_edges,
+            "precision": f"{c.precision:.3f}",
+            "recall": f"{c.recall:.3f}",
+            "f1": f"{c.f1:.3f}",
+            "AUPR": f"{aupr(scores[name], truth):.3f}",
+        })
+    print_table(rows, title="method comparison at equal edge budget (E13)")
+    print("MI-based methods should lead on this data: 40% of regulatory\n"
+          "links are nonlinear (sigmoid/quadratic), which correlation\n"
+          "attenuates but mutual information captures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Thread-scaling study on the modelled Xeon Phi and Xeon (E4/E5).
+
+Replays the tiled MI schedule on the machine models and prints the
+speedup-vs-threads series for both platforms, demonstrating the paper's
+multi-level-parallelism story:
+
+* on the Phi (in-order KNC cores), one thread per core reaches only half
+  the issue rate — going from 60 to 120 threads *doubles* throughput, and
+  3–4 threads/core hold it;
+* on the Xeon (out-of-order), HyperThreading adds only ~15%;
+* dynamic tile scheduling beats static block scheduling once per-tile
+  costs vary (triangular diagonal tiles).
+
+Run:
+    python examples/phi_vs_xeon_scaling.py [--genes 2000]
+"""
+
+import argparse
+
+from repro.bench import format_seconds, print_table
+from repro.machine import (
+    KernelProfile,
+    MachineSimulator,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_5110P,
+)
+from repro.parallel import DynamicScheduler, StaticScheduler
+
+
+def scaling_rows(machine, thread_counts, n_genes, profile):
+    sim = MachineSimulator(machine, profile)
+    base = sim.run(n_genes, thread_counts[0]).makespan
+    rows = []
+    for t in thread_counts:
+        res = sim.run(n_genes, t)
+        rows.append({
+            "threads": t,
+            "time": format_seconds(res.makespan),
+            "speedup": f"{base / res.makespan:.1f}x",
+            "utilization": f"{res.utilization * 100:.0f}%",
+        })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=2000)
+    args = parser.parse_args()
+
+    profile = KernelProfile(m_samples=3137, n_permutations_fused=30)
+
+    print_table(
+        scaling_rows(XEON_PHI_5110P, [1, 15, 30, 60, 120, 180, 240],
+                     args.genes, profile),
+        title=f"Xeon Phi 5110P thread scaling, {args.genes} genes (E4)",
+    )
+    print("note the 60 -> 120 doubling: KNC cores need >= 2 threads to "
+          "saturate their issue slots.\n")
+
+    print_table(
+        scaling_rows(XEON_E5_2670_DUAL, [1, 4, 8, 16, 32], args.genes, profile),
+        title=f"2x Xeon E5-2670 thread scaling, {args.genes} genes (E5)",
+    )
+    print("HyperThreading (16 -> 32) is worth ~15% on the out-of-order Xeon.\n")
+
+    # Scheduling policy comparison at full Phi occupancy.
+    sim = MachineSimulator(XEON_PHI_5110P, profile)
+    rows = []
+    for policy, label in [
+        (StaticScheduler(), "static blocks"),
+        (DynamicScheduler(chunk=8), "dynamic, chunk=8"),
+        (DynamicScheduler(chunk=1), "dynamic, chunk=1"),
+    ]:
+        res = sim.run(args.genes, 240, policy=policy)
+        rows.append({
+            "policy": label,
+            "time": format_seconds(res.makespan),
+            "imbalance": f"{res.imbalance * 100:.1f}%",
+            "dispatch overhead": format_seconds(res.overhead.sum()),
+        })
+    print_table(rows, title="tile scheduling on 240 Phi threads (E11)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Analysis of reconstructed networks: accuracy vs. ground truth and
+graph topology statistics."""
+
+from repro.analysis.accuracy import (
+    ConfusionCounts,
+    aupr,
+    pr_curve,
+    random_baseline_precision,
+    score_network,
+)
+from repro.analysis.compare import NetworkComparison, compare_networks
+from repro.analysis.direction import DirectedEdge, knockout_response_zscores, orient_edges
+from repro.analysis.enrichment import EnrichmentHit, enrich_modules, regulon_annotations
+from repro.analysis.graphstats import (
+    GraphSummary,
+    degree_histogram,
+    power_law_exponent,
+    summarize,
+    top_hubs,
+)
+from repro.analysis.rewire import RewireTestResult, clustering_zscore, rewired_network
+from repro.analysis.modules import (
+    GeneModule,
+    connected_modules,
+    modularity_modules,
+    module_purity,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "DirectedEdge",
+    "EnrichmentHit",
+    "GeneModule",
+    "NetworkComparison",
+    "RewireTestResult",
+    "GraphSummary",
+    "clustering_zscore",
+    "enrich_modules",
+    "knockout_response_zscores",
+    "orient_edges",
+    "compare_networks",
+    "connected_modules",
+    "modularity_modules",
+    "module_purity",
+    "regulon_annotations",
+    "rewired_network",
+    "aupr",
+    "degree_histogram",
+    "power_law_exponent",
+    "pr_curve",
+    "random_baseline_precision",
+    "score_network",
+    "summarize",
+    "top_hubs",
+]

@@ -1,0 +1,127 @@
+"""Network-recovery accuracy against a ground-truth GRN.
+
+Scores a reconstructed :class:`~repro.core.network.GeneNetwork` (or a raw
+score matrix) against the undirected edge set of a
+:class:`~repro.data.grn.GroundTruthNetwork`: confusion counts,
+precision/recall/F1, and the threshold-sweep curves (precision–recall and
+AUPR) used to compare methods independent of any single cutoff — the
+metrics of experiment E13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import GeneNetwork
+from repro.data.grn import GroundTruthNetwork
+
+__all__ = ["ConfusionCounts", "score_network", "pr_curve", "aupr", "random_baseline_precision"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Edge-level confusion between predicted and true undirected networks."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        d = self.tp + self.fp
+        return self.tp / d if d else 0.0
+
+    @property
+    def recall(self) -> float:
+        d = self.tp + self.fn
+        return self.tp / d if d else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        d = self.fp + self.tn
+        return self.fp / d if d else 0.0
+
+
+def _truth_mask(truth: GroundTruthNetwork, n: int) -> np.ndarray:
+    adj = truth.adjacency()
+    if adj.shape[0] != n:
+        raise ValueError(
+            f"truth has {adj.shape[0]} genes but network has {n}"
+        )
+    iu = np.triu_indices(n, k=1)
+    return adj[iu]
+
+
+def score_network(network: GeneNetwork, truth: GroundTruthNetwork) -> ConfusionCounts:
+    """Confusion counts of a reconstructed network vs. ground truth.
+
+    Genes must correspond by index (the synthetic datasets guarantee it).
+    """
+    n = network.n_genes
+    t = _truth_mask(truth, n)
+    iu = np.triu_indices(n, k=1)
+    p = network.adjacency[iu]
+    tp = int(np.count_nonzero(p & t))
+    fp = int(np.count_nonzero(p & ~t))
+    fn = int(np.count_nonzero(~p & t))
+    tn = int(np.count_nonzero(~p & ~t))
+    return ConfusionCounts(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def pr_curve(scores: np.ndarray, truth: GroundTruthNetwork) -> tuple[np.ndarray, np.ndarray]:
+    """Precision–recall curve from a symmetric score matrix.
+
+    Pairs are ranked by descending score; point ``k`` is the
+    precision/recall of the top-``k`` network.  Returns
+    ``(recall, precision)`` arrays of length ``n_pairs``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[0]
+    if scores.shape != (n, n):
+        raise ValueError(f"expected square score matrix, got {scores.shape}")
+    t = _truth_mask(truth, n)
+    iu = np.triu_indices(n, k=1)
+    vals = scores[iu]
+    order = np.argsort(vals, kind="stable")[::-1]
+    hits = t[order].astype(np.float64)
+    tp_cum = np.cumsum(hits)
+    k = np.arange(1, vals.size + 1, dtype=np.float64)
+    precision = tp_cum / k
+    total_true = t.sum()
+    recall = tp_cum / total_true if total_true > 0 else np.zeros_like(tp_cum)
+    return recall, precision
+
+
+def aupr(scores: np.ndarray, truth: GroundTruthNetwork) -> float:
+    """Area under the precision–recall curve (trapezoid over recall).
+
+    The single-number ranking-quality metric; a random scorer's AUPR equals
+    the true-edge density (see :func:`random_baseline_precision`).
+    """
+    recall, precision = pr_curve(scores, truth)
+    if recall.size == 0 or recall[-1] == 0:
+        return 0.0
+    # Prepend (0, p0) so the first segment is integrated.
+    r = np.concatenate([[0.0], recall])
+    p = np.concatenate([[precision[0]], precision])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.x / 1.x
+    return float(trapezoid(p, r))
+
+
+def random_baseline_precision(truth: GroundTruthNetwork) -> float:
+    """Expected precision (== AUPR) of a random edge ranker: edge density."""
+    n = truth.n_genes
+    pairs = n * (n - 1) // 2
+    if pairs == 0:
+        return 0.0
+    t = truth.adjacency()
+    true_edges = int(np.count_nonzero(np.triu(t, k=1)))
+    return true_edges / pairs

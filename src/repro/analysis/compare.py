@@ -1,0 +1,81 @@
+"""Comparing two reconstructed networks.
+
+Needed wherever two edge sets meet: consensus vs. single-shot, MI vs.
+baseline methods, float32 vs. float64 runs, this release vs. the last.
+Metrics are the standard set: edge Jaccard index, overlap counts, Hamming
+distance of adjacencies, and per-gene degree correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import GeneNetwork
+
+__all__ = ["NetworkComparison", "compare_networks"]
+
+
+@dataclass(frozen=True)
+class NetworkComparison:
+    """Pairwise similarity of two undirected networks on the same genes.
+
+    Attributes
+    ----------
+    n_common, n_only_a, n_only_b:
+        Edge overlap partition.
+    jaccard:
+        ``common / union`` of edge sets (1 = identical, 0 = disjoint).
+    hamming:
+        Number of gene pairs whose edge status differs.
+    degree_correlation:
+        Pearson correlation of per-gene degrees (NaN when either degree
+        sequence is constant).
+    """
+
+    n_common: int
+    n_only_a: int
+    n_only_b: int
+    jaccard: float
+    hamming: int
+    degree_correlation: float
+
+    @property
+    def union(self) -> int:
+        return self.n_common + self.n_only_a + self.n_only_b
+
+
+def compare_networks(a: GeneNetwork, b: GeneNetwork) -> NetworkComparison:
+    """Compare two networks defined over the same gene list.
+
+    Gene lists must match exactly (names and order); reorder with
+    :meth:`repro.core.network.GeneNetwork.subnetwork` first if needed.
+    """
+    if a.genes != b.genes:
+        raise ValueError("networks must share an identical gene list")
+    n = a.n_genes
+    iu = np.triu_indices(n, k=1)
+    ea = a.adjacency[iu]
+    eb = b.adjacency[iu]
+    common = int(np.count_nonzero(ea & eb))
+    only_a = int(np.count_nonzero(ea & ~eb))
+    only_b = int(np.count_nonzero(~ea & eb))
+    union = common + only_a + only_b
+    jaccard = common / union if union else 1.0
+    hamming = only_a + only_b
+
+    da = a.degrees().astype(np.float64)
+    db = b.degrees().astype(np.float64)
+    if da.std() > 0 and db.std() > 0:
+        degree_corr = float(np.corrcoef(da, db)[0, 1])
+    else:
+        degree_corr = float("nan")
+    return NetworkComparison(
+        n_common=common,
+        n_only_a=only_a,
+        n_only_b=only_b,
+        jaccard=jaccard,
+        hamming=hamming,
+        degree_correlation=degree_corr,
+    )

@@ -1,0 +1,115 @@
+"""Functional enrichment of gene modules (hypergeometric test).
+
+The last mile of the whole-genome workflow: detected modules are tested
+for over-representation of annotation categories (GO terms, pathways,
+regulons).  The test is the standard one-sided hypergeometric tail — "if I
+draw ``module_size`` genes from the genome, how surprising are ``k``
+members of category C?" — corrected across (module, category) pairs with
+Benjamini–Hochberg.
+
+No public annotation database ships offline, so
+:func:`regulon_annotations` derives ground-truth categories from the
+synthetic GRN (each regulator's regulon is a category) — giving enrichment
+analysis something *true* to find, which real GO analyses never have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.stats
+
+from repro.data.grn import GroundTruthNetwork
+from repro.stats.fdr import benjamini_hochberg
+
+__all__ = ["EnrichmentHit", "regulon_annotations", "enrich_modules"]
+
+
+@dataclass(frozen=True)
+class EnrichmentHit:
+    """One significant (module, category) association."""
+
+    module_index: int
+    category: str
+    overlap: int
+    module_size: int
+    category_size: int
+    pvalue: float
+
+    def fold_enrichment(self, n_genes: int) -> float:
+        expected = self.module_size * self.category_size / n_genes
+        return self.overlap / expected if expected > 0 else float("inf")
+
+
+def regulon_annotations(truth: GroundTruthNetwork, min_size: int = 3) -> dict:
+    """Categories from the generating network: one per regulator.
+
+    Category ``"regulon:G00001"`` contains the regulator and all its direct
+    targets; regulons below ``min_size`` members are dropped (they cannot
+    be meaningfully enriched).
+    """
+    if min_size < 1:
+        raise ValueError("min_size must be >= 1")
+    categories: dict = {}
+    for (r, t) in truth.edges:
+        name = f"regulon:{truth.genes[int(r)]}"
+        categories.setdefault(name, set()).add(truth.genes[int(r)])
+        categories[name].add(truth.genes[int(t)])
+    return {k: frozenset(v) for k, v in categories.items() if len(v) >= min_size}
+
+
+def enrich_modules(
+    modules: list,
+    categories: dict,
+    n_genes: int,
+    alpha: float = 0.05,
+) -> list:
+    """Hypergeometric enrichment of modules against categories.
+
+    Parameters
+    ----------
+    modules:
+        List of :class:`repro.analysis.modules.GeneModule` (or anything
+        with a ``genes`` tuple).
+    categories:
+        Mapping category name → set of gene names.
+    n_genes:
+        Genome size (the sampling universe).
+    alpha:
+        BH-FDR level across all (module, category) tests.
+
+    Returns
+    -------
+    list of EnrichmentHit
+        Significant associations, most significant first.
+    """
+    if n_genes < 1:
+        raise ValueError("n_genes must be >= 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if not modules or not categories:
+        return []
+    tests = []
+    pvals = []
+    for mi, module in enumerate(modules):
+        members = set(module.genes)
+        for name, cat in categories.items():
+            k = len(members & set(cat))
+            if k == 0:
+                continue
+            # P(X >= k), X ~ Hypergeom(N=n_genes, K=|cat|, n=|module|).
+            p = float(scipy.stats.hypergeom.sf(k - 1, n_genes, len(cat), len(members)))
+            tests.append((mi, name, k, len(members), len(cat)))
+            pvals.append(p)
+    if not tests:
+        return []
+    pvals_arr = np.asarray(pvals)
+    keep = benjamini_hochberg(pvals_arr, alpha=alpha)
+    hits = [
+        EnrichmentHit(module_index=mi, category=name, overlap=k,
+                      module_size=ms, category_size=cs, pvalue=float(p))
+        for (mi, name, k, ms, cs), p, ok in zip(tests, pvals_arr, keep)
+        if ok
+    ]
+    return sorted(hits, key=lambda h: h.pvalue)

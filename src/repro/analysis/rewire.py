@@ -1,0 +1,114 @@
+"""Degree-preserving rewiring nulls for topology significance.
+
+The biology-facing question behind "our network is scale-free and
+clustered": *more clustered than what?*  The standard null model preserves
+every gene's degree and randomizes everything else (double-edge swaps);
+statistics computed on an ensemble of rewired networks calibrate the
+observed network's clustering/assortativity as z-scores.  This is the
+validation the TINGe line applies to the Arabidopsis network's topology
+claims, made runnable here on any :class:`~repro.core.network.GeneNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import GeneNetwork
+from repro.stats.random import as_rng
+
+__all__ = ["RewireTestResult", "rewired_network", "clustering_zscore"]
+
+
+@dataclass(frozen=True)
+class RewireTestResult:
+    """Observed statistic vs. the rewired-ensemble null.
+
+    ``zscore`` is NaN when the null ensemble is degenerate (zero spread).
+    """
+
+    observed: float
+    null_mean: float
+    null_std: float
+    n_rewired: int
+
+    @property
+    def zscore(self) -> float:
+        if self.null_std == 0:
+            return float("nan")
+        return (self.observed - self.null_mean) / self.null_std
+
+
+def rewired_network(network: GeneNetwork, seed=None, swaps_per_edge: float = 10.0) -> GeneNetwork:
+    """One degree-preserving randomization of ``network``.
+
+    Runs ``swaps_per_edge * n_edges`` attempted double-edge swaps (the
+    standard burn-in for ensemble independence).  Edge weights of the
+    rewired network are set to 1 (weights are not meaningful after
+    rewiring).  Networks with < 2 edges are returned unchanged (nothing to
+    swap).
+    """
+    import networkx as nx
+
+    if swaps_per_edge <= 0:
+        raise ValueError("swaps_per_edge must be positive")
+    rng = as_rng(seed)
+    g = network.to_networkx()
+    n_edges = g.number_of_edges()
+    if n_edges >= 2:
+        nx.double_edge_swap(
+            g,
+            nswap=max(int(swaps_per_edge * n_edges), 1),
+            max_tries=max(int(swaps_per_edge * n_edges * 100), 100),
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+    adj = np.zeros((network.n_genes, network.n_genes), dtype=bool)
+    index = {name: i for i, name in enumerate(network.genes)}
+    for a, b_ in g.edges():
+        i, j = index[a], index[b_]
+        adj[i, j] = adj[j, i] = True
+    return GeneNetwork(
+        adjacency=adj, weights=adj.astype(np.float64), genes=list(network.genes)
+    )
+
+
+def clustering_zscore(
+    network: GeneNetwork,
+    n_rewired: int = 20,
+    seed=None,
+    statistic=None,
+) -> RewireTestResult:
+    """Z-score of a topology statistic against the rewired ensemble.
+
+    Parameters
+    ----------
+    network:
+        The observed network.
+    n_rewired:
+        Ensemble size (20 suffices for a z-score; raise it for p-values).
+    statistic:
+        ``f(GeneNetwork) -> float``; defaults to the average clustering
+        coefficient — the classic "real networks are more clustered than
+        their degree sequence implies" test.
+    """
+    import networkx as nx
+
+    if n_rewired < 2:
+        raise ValueError("n_rewired must be >= 2")
+    if statistic is None:
+        def statistic(net):
+            return float(nx.average_clustering(net.to_networkx()))
+
+    rng = as_rng(seed)
+    observed = float(statistic(network))
+    null = np.array([
+        float(statistic(rewired_network(network, seed=rng)))
+        for _ in range(n_rewired)
+    ])
+    return RewireTestResult(
+        observed=observed,
+        null_mean=float(null.mean()),
+        null_std=float(null.std(ddof=1)),
+        n_rewired=n_rewired,
+    )

@@ -1,0 +1,41 @@
+"""Reference baselines the paper's method is compared against.
+
+* :mod:`repro.baselines.naive` — scalar (unvectorized) MI kernels, the E2
+  baseline and the oracle for kernel-correctness tests.
+* :mod:`repro.baselines.correlation` — Pearson / Spearman networks.
+* :mod:`repro.baselines.clr` — CLR background-corrected MI scoring.
+* :mod:`repro.baselines.aracne` — ARACNE's DPI pruning.
+* :mod:`repro.baselines.cluster_tinge` — the 1,024-core distributed TINGe
+  comparator, costed on the cluster machine model.
+"""
+
+from repro.baselines.aracne import aracne_network, dpi_prune
+from repro.baselines.clr import clr_network, clr_scores
+from repro.baselines.cluster_tinge import ClusterRunEstimate, estimate_cluster_run
+from repro.baselines.correlation import (
+    correlation_network,
+    correlation_pvalues,
+    pearson_matrix,
+    spearman_matrix,
+)
+from repro.baselines.naive import joint_probs_scalar, mi_bspline_scalar, mi_histogram_scalar
+from repro.baselines.partialcorr import ggm_network, partial_correlation_matrix, shrinkage_covariance
+
+__all__ = [
+    "ClusterRunEstimate",
+    "aracne_network",
+    "clr_network",
+    "clr_scores",
+    "correlation_network",
+    "correlation_pvalues",
+    "dpi_prune",
+    "estimate_cluster_run",
+    "ggm_network",
+    "joint_probs_scalar",
+    "mi_bspline_scalar",
+    "mi_histogram_scalar",
+    "partial_correlation_matrix",
+    "pearson_matrix",
+    "shrinkage_covariance",
+    "spearman_matrix",
+]

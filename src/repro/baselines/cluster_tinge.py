@@ -1,0 +1,108 @@
+"""The distributed (cluster) TINGe comparator, on the machine model.
+
+The paper's headline is a *platform* claim: the Arabidopsis network that
+previously needed a 1,024-core cluster (Zola et al., TINGe on Blue Gene/L,
+~9 minutes) fits on one Xeon Phi in 22 minutes.  Reproducing that
+comparison requires the cluster algorithm's cost structure:
+
+1. genes are block-distributed, each rank builds weights for its ``n/p``
+   genes — perfectly parallel;
+2. an **allgather** replicates all weight matrices on every rank (the
+   communication phase; ring allgather, alpha–beta cost model);
+3. each rank computes its ``~pairs/p`` share of the MI upper triangle —
+   perfectly parallel, same kernel cost model as the single-chip runs;
+4. an **allreduce** merges the pooled null / threshold (logarithmic, tiny).
+
+Real MPI is unavailable in this environment (see DESIGN.md), so phases are
+costed on :class:`~repro.machine.spec.ClusterSpec`; the communication math
+is the exact expression the mpi4py implementation would incur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tiling import pair_count
+from repro.machine.costmodel import KernelProfile
+from repro.machine.spec import ClusterSpec
+
+__all__ = ["ClusterRunEstimate", "estimate_cluster_run"]
+
+
+@dataclass(frozen=True)
+class ClusterRunEstimate:
+    """Per-phase seconds of one distributed TINGe run.
+
+    ``total`` is the makespan: max over ranks, which under the balanced
+    block distribution equals the sum of phase times.
+    """
+
+    weights_s: float
+    allgather_s: float
+    compute_s: float
+    allreduce_s: float
+
+    @property
+    def total(self) -> float:
+        return self.weights_s + self.allgather_s + self.compute_s + self.allreduce_s
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the run spent communicating."""
+        if self.total <= 0:
+            return 0.0
+        return (self.allgather_s + self.allreduce_s) / self.total
+
+
+def estimate_cluster_run(
+    cluster: ClusterSpec,
+    n_genes: int,
+    profile: KernelProfile,
+    weights_flops_per_sample: float = 20.0,
+) -> ClusterRunEstimate:
+    """Cost one whole-genome reconstruction on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Machine description (nodes, per-node spec, network alpha/beta).
+    n_genes:
+        Genes; pairs are ``n(n-1)/2`` split evenly over ranks (one rank per
+        node in this model — nodes are small).
+    profile:
+        Kernel shape (samples, bins, order, fused permutations).
+    weights_flops_per_sample:
+        Cost of B-spline weight construction per (gene, sample) — the
+        Cox–de Boor recursion, ~``5 * order`` FMAs plus the rank transform.
+    """
+    p = cluster.nodes
+    node_rate = cluster.node.effective_gflops(cluster.node.max_threads) * 1e9
+
+    # Phase 1: local weights for n/p genes.
+    genes_local = int(np.ceil(n_genes / p))
+    weights_flops = genes_local * profile.m_samples * weights_flops_per_sample
+    weights_s = weights_flops / node_rate
+
+    # Phase 2: ring allgather of all weight slabs.  Each rank sends its
+    # slab around the ring: (p-1) steps of (alpha + local_bytes / beta).
+    local_bytes = genes_local * profile.weight_bytes_per_gene()
+    alpha = cluster.latency_us * 1e-6
+    beta = cluster.link_gbs * 1e9
+    allgather_s = (p - 1) * (alpha + local_bytes / beta)
+
+    # Phase 3: pairs/p MI evaluations per rank.
+    pairs_local = pair_count(n_genes) / p
+    compute_s = pairs_local * profile.flops_per_pair / node_rate
+
+    # Phase 4: allreduce of the pooled-null histogram (fixed small buffer).
+    null_bytes = 64 * 1024.0
+    allreduce_s = np.ceil(np.log2(p)) * (alpha + null_bytes / beta) if p > 1 else 0.0
+
+    return ClusterRunEstimate(
+        weights_s=float(weights_s),
+        allgather_s=float(allgather_s),
+        compute_s=float(compute_s),
+        allreduce_s=float(allreduce_s),
+    )

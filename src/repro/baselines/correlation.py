@@ -1,0 +1,83 @@
+"""Correlation-based network baselines (Pearson and Spearman).
+
+The cheap alternatives MI is compared against: a single ``n x n`` GEMM
+computes all pairwise Pearson correlations of z-scored genes; Spearman is
+Pearson on ranks.  Both miss non-monotone dependencies by construction —
+the accuracy benchmark (E13) quantifies the cost of that blindness on data
+with nonlinear regulatory links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats
+
+from repro.core.discretize import rank_transform, zscore
+from repro.core.network import GeneNetwork
+from repro.core.threshold import top_k_adjacency
+
+__all__ = [
+    "pearson_matrix",
+    "spearman_matrix",
+    "correlation_pvalues",
+    "correlation_network",
+]
+
+
+def pearson_matrix(data: np.ndarray) -> np.ndarray:
+    """All-pairs Pearson correlation, computed as one GEMM on z-scores.
+
+    Constant genes correlate 0 with everything (their z-score rows are
+    zero).  Diagonal is exactly 1 for non-constant genes, 0 for constant.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples), got {data.shape}")
+    n, m = data.shape
+    if m < 2:
+        raise ValueError("need at least 2 samples")
+    z = zscore(data, ddof=0)
+    corr = (z @ z.T) / m
+    return np.clip(corr, -1.0, 1.0)
+
+
+def spearman_matrix(data: np.ndarray) -> np.ndarray:
+    """All-pairs Spearman rank correlation (Pearson on rank transforms)."""
+    return pearson_matrix(rank_transform(data))
+
+
+def correlation_pvalues(corr: np.ndarray, m_samples: int) -> np.ndarray:
+    """Two-sided t-test p-values for correlation coefficients.
+
+    ``t = r * sqrt((m-2) / (1-r^2))`` with ``m-2`` degrees of freedom; the
+    parametric analogue of the MI permutation test.
+    """
+    corr = np.asarray(corr, dtype=np.float64)
+    if m_samples < 3:
+        raise ValueError("need at least 3 samples for a correlation test")
+    r = np.clip(corr, -0.999999999, 0.999999999)
+    t = r * np.sqrt((m_samples - 2) / (1.0 - r * r))
+    return 2.0 * scipy.stats.t.sf(np.abs(t), df=m_samples - 2)
+
+
+def correlation_network(
+    data: np.ndarray,
+    genes: list,
+    n_edges: int,
+    method: str = "pearson",
+) -> GeneNetwork:
+    """Top-``n_edges`` |correlation| network (equal-edge-budget comparator).
+
+    Edge weights are |r| so networks built from different methods are
+    comparable at the same edge count — how E13 scores the baselines.
+    """
+    if method == "pearson":
+        corr = pearson_matrix(data)
+    elif method == "spearman":
+        corr = spearman_matrix(data)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    strength = np.abs(corr)
+    np.fill_diagonal(strength, 0.0)
+    adj = top_k_adjacency(strength, n_edges)
+    return GeneNetwork(adjacency=adj, weights=strength, genes=list(genes))

@@ -1,0 +1,96 @@
+"""Gaussian graphical model baseline: shrinkage partial correlation.
+
+The *other* classical route to direct-vs-indirect edge separation: under a
+multivariate Gaussian, the precision (inverse covariance) matrix is zero
+exactly at conditionally independent pairs, so partial correlations
+
+    pc_ij = -P_ij / sqrt(P_ii * P_jj)
+
+score direct interactions only.  Estimating the precision of 15k genes
+from 3k samples needs regularization; the Ledoit–Wolf-style convex
+shrinkage toward the identity used here (Schäfer & Strimmer 2005 is the
+GRN-standard choice) keeps the covariance invertible at any n/m ratio.
+
+Strengths/weaknesses vs MI (what E13-style comparisons show): partial
+correlation removes linear indirect paths that raw MI keeps, but it is
+blind to the nonlinear dependencies MI detects — so neither dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import GeneNetwork
+from repro.core.threshold import top_k_adjacency
+
+__all__ = ["shrinkage_covariance", "partial_correlation_matrix", "ggm_network"]
+
+
+def shrinkage_covariance(data: np.ndarray, shrinkage: "float | None" = None) -> tuple:
+    """Convex shrinkage covariance ``(1-lam) S + lam * mu * I``.
+
+    Parameters
+    ----------
+    data:
+        ``(n_genes, m_samples)`` matrix.
+    shrinkage:
+        ``lam`` in [0, 1]; ``None`` selects the Ledoit–Wolf-style
+        data-driven intensity (variance of the sample covariance entries
+        over their squared distance to the target).
+
+    Returns
+    -------
+    (sigma, lam):
+        The shrunk covariance and the intensity used.
+    """
+    x = np.asarray(data, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (genes, samples), got {x.shape}")
+    n, m = x.shape
+    if m < 2:
+        raise ValueError("need at least 2 samples")
+    z = x - x.mean(axis=1, keepdims=True)
+    s = (z @ z.T) / (m - 1)
+    mu = float(np.trace(s)) / n
+    target = mu * np.eye(n)
+    if shrinkage is None:
+        # Schäfer–Strimmer data-driven intensity:
+        #   lam* = sum_ij Var_hat(s_ij) / sum_ij (s_ij - t_ij)^2
+        # with Var_hat(s_ij) = m / (m-1)^3 * sum_t (w_ijt - mean_t w_ij)^2
+        # where w_ijt = z_it * z_jt (per-sample cross products).
+        d2 = float(np.sum((s - target) ** 2))
+        if d2 <= 0:
+            lam = 1.0
+        else:
+            w_mean = (z @ z.T) / m  # mean_t of w_ijt
+            sq_sum = (z**2) @ (z**2).T  # sum_t w_ijt^2
+            var_hat = (m / (m - 1.0) ** 3) * (sq_sum - m * w_mean**2)
+            lam = float(np.clip(var_hat.sum() / d2, 0.0, 1.0))
+    else:
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        lam = float(shrinkage)
+    return (1.0 - lam) * s + lam * target, lam
+
+
+def partial_correlation_matrix(data: np.ndarray, shrinkage: "float | None" = None) -> np.ndarray:
+    """All-pairs partial correlations from the shrunk precision matrix.
+
+    Diagonal is zero; output is symmetric and clipped to [-1, 1].
+    """
+    sigma, _lam = shrinkage_covariance(data, shrinkage)
+    precision = np.linalg.inv(sigma)
+    d = np.sqrt(np.diag(precision))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        pc = -precision / np.outer(d, d)
+    pc = np.clip(np.nan_to_num(pc, nan=0.0), -1.0, 1.0)
+    np.fill_diagonal(pc, 0.0)
+    return (pc + pc.T) / 2.0
+
+
+def ggm_network(data: np.ndarray, genes: list, n_edges: int,
+                shrinkage: "float | None" = None) -> GeneNetwork:
+    """Top-``n_edges`` |partial correlation| network."""
+    pc = np.abs(partial_correlation_matrix(data, shrinkage))
+    adj = top_k_adjacency(pc, n_edges)
+    return GeneNetwork(adjacency=adj, weights=pc, genes=list(genes))

@@ -1,0 +1,29 @@
+"""Benchmark harness support: paper-style reporting helpers.
+
+The experiments themselves live in ``benchmarks/`` (pytest-benchmark files,
+one per reconstructed table/figure — see DESIGN.md's per-experiment index);
+this subpackage holds the shared formatting utilities.
+"""
+
+from repro.bench.ascii_plot import ascii_hist, ascii_series
+from repro.bench.profiling import ProfileReport, profile_callable, profile_pipeline
+from repro.bench.reporting import (
+    format_seconds,
+    format_series,
+    format_table,
+    print_series,
+    print_table,
+)
+
+__all__ = [
+    "ascii_hist",
+    "ascii_series",
+    "ProfileReport",
+    "format_seconds",
+    "format_series",
+    "format_table",
+    "print_series",
+    "profile_callable",
+    "profile_pipeline",
+    "print_table",
+]

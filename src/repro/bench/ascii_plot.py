@@ -1,0 +1,93 @@
+"""Terminal plotting for benchmark output (no plotting library needed).
+
+The benchmark harness prints paper-style *figures* as well as tables:
+:func:`ascii_series` draws an (x, y) curve — speedup vs threads, runtime
+vs genes — and :func:`ascii_hist` draws a distribution — degree histogram,
+null MI distribution.  Log axes cover the scaling plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_series", "ascii_hist"]
+
+
+def _scale(values: np.ndarray, log: bool) -> np.ndarray:
+    if log:
+        if np.any(values <= 0):
+            raise ValueError("log scale requires positive values")
+        return np.log10(values)
+    return values
+
+
+def ascii_series(
+    x,
+    y,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    log_y: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render an (x, y) series as an ASCII scatter/line chart.
+
+    Points are plotted on a ``height x width`` grid with axis annotations;
+    ``log_x``/``log_y`` switch the respective axis to log10.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be equal-length and non-empty")
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    sx = _scale(x, log_x)
+    sy = _scale(y, log_y)
+    x_lo, x_hi = float(sx.min()), float(sx.max())
+    y_lo, y_hi = float(sy.min()), float(sy.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(sx, sy):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+    lines = [f"{y_label}" + (" (log)" if log_y else "")]
+    for r, row in enumerate(grid):
+        label = fmt(y_hi, log_y) if r == 0 else (fmt(y_lo, log_y) if r == height - 1 else "")
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + fmt(x_lo, log_x)
+        + fmt(x_hi, log_x).rjust(width - len(fmt(x_lo, log_x)))
+    )
+    lines.append(" " * 11 + f"{x_label}" + (" (log)" if log_x else ""))
+    return "\n".join(lines)
+
+
+def ascii_hist(
+    values,
+    bins: int = 20,
+    width: int = 50,
+    label: str = "value",
+) -> str:
+    """Render a histogram as horizontal ASCII bars with bin edges."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("no values")
+    if bins < 1 or width < 5:
+        raise ValueError("bins must be >= 1 and width >= 5")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() or 1
+    lines = [f"{label}: n={values.size}, range [{values.min():.3g}, {values.max():.3g}]"]
+    for b in range(bins):
+        bar = "#" * int(round(counts[b] / peak * width))
+        lines.append(f"{edges[b]:>10.3g} | {bar} {counts[b]}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Paper-style table and series printers for the benchmark harness.
+
+Every benchmark in ``benchmarks/`` regenerates one table or figure of the
+(reconstructed) evaluation; these helpers render the rows/series in a
+stable ASCII format so the harness output can be diffed run-to-run and
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled duration (``830 ms``, ``21.9 s``, ``22.0 min``, ``1.4 h``)."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.3g} min"
+    return f"{seconds / 3600.0:.3g} h"
+
+
+def format_table(rows: Sequence[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (keys = columns).
+
+    Column order follows the first row; later rows may omit keys (rendered
+    empty) but may not introduce new ones.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(rows[0].keys())
+    for r in rows[1:]:
+        extra = set(r) - set(cols)
+        if extra:
+            raise ValueError(f"row introduces unknown columns: {sorted(extra)}")
+    cells = [[str(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict], title: str | None = None) -> None:
+    """Print :func:`format_table` with surrounding blank lines."""
+    print("\n" + format_table(rows, title) + "\n")
+
+
+def format_series(
+    x: Iterable,
+    y: Iterable,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) figure series as a two-column table."""
+    rows = [{x_label: xi, y_label: yi} for xi, yi in zip(x, y)]
+    return format_table(rows, title=title)
+
+
+def print_series(x, y, x_label: str = "x", y_label: str = "y", title: str | None = None) -> None:
+    """Print :func:`format_series` with surrounding blank lines."""
+    print("\n" + format_series(x, y, x_label, y_label, title) + "\n")

@@ -1,0 +1,20 @@
+"""Distributed-memory TINGe: simulated MPI + the executable SPMD algorithm.
+
+Real MPI is unavailable in this environment; :mod:`repro.cluster.comm`
+provides metered MPI-semantics collectives and
+:mod:`repro.cluster.distributed` runs the original cluster algorithm on
+them, verified against the serial pipeline (its measured communication
+volumes are what ground the alpha-beta cost model in
+:mod:`repro.baselines.cluster_tinge`).
+"""
+
+from repro.cluster.comm import CommMeter, LockstepComm, run_lockstep
+from repro.cluster.distributed import DistributedRunInfo, distributed_reconstruct
+
+__all__ = [
+    "CommMeter",
+    "DistributedRunInfo",
+    "LockstepComm",
+    "distributed_reconstruct",
+    "run_lockstep",
+]

@@ -1,0 +1,162 @@
+"""A simulated MPI communicator for in-process SPMD execution.
+
+mpi4py is unavailable in this environment (see DESIGN.md), so the
+distributed TINGe baseline runs on this substitute: ``P`` ranks execute as
+superstep-synchronous callables against a :class:`SimComm` that implements
+the collectives the algorithm needs (bcast, scatter, gather, allgather,
+allreduce) with MPI semantics, while *metering* every byte moved so the
+communication-volume numbers feeding the cost model are measured, not
+assumed.
+
+Execution model: :func:`run_spmd` calls each rank's function round-robin,
+one collective at a time (ranks are generators yielding at communication
+points).  This keeps the programming model honestly SPMD — each rank owns
+only its slice — without real processes.  The simpler
+:class:`LockstepComm` variant runs ranks as plain functions that all reach
+the same collective sequence, which suffices for the bulk-synchronous
+TINGe algorithm and is what :mod:`repro.cluster.distributed` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommMeter", "LockstepComm", "run_lockstep"]
+
+
+@dataclass
+class CommMeter:
+    """Byte and call accounting for a communicator.
+
+    ``volume_bytes`` counts the *wire* traffic under the standard
+    implementations: ring allgather moves ``(P-1) * local_bytes`` per rank;
+    recursive-doubling allreduce moves ``log2(P) * message`` per rank.
+    """
+
+    calls: dict = field(default_factory=dict)
+    volume_bytes: float = 0.0
+
+    def record(self, op: str, nbytes: float) -> None:
+        self.calls[op] = self.calls.get(op, 0) + 1
+        self.volume_bytes += nbytes
+
+
+class LockstepComm:
+    """Bulk-synchronous communicator: all ranks call collectives in the
+    same order; rank-local state lives in the caller.
+
+    The caller drives ranks through *supersteps*: for each collective, it
+    calls the communicator once with every rank's contribution (the
+    lockstep formulation of SPMD).  This matches how bulk-synchronous
+    algorithms like TINGe are actually reasoned about, and it makes the
+    data flow — who contributes what, who receives what — explicit and
+    testable.
+
+    All volumes are metered on :attr:`meter`.
+    """
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.meter = CommMeter()
+
+    # -- collectives -----------------------------------------------------
+    def bcast(self, value, root: int = 0):
+        """Every rank receives ``value`` from ``root``; returns the list of
+        per-rank copies (shared object: read-only by convention)."""
+        self._check_root(root)
+        nbytes = _nbytes(value)
+        self.meter.record("bcast", nbytes * (self.n_ranks - 1))
+        return [value for _ in range(self.n_ranks)]
+
+    def scatter(self, chunks: list, root: int = 0) -> list:
+        """Rank ``r`` receives ``chunks[r]``."""
+        self._check_root(root)
+        if len(chunks) != self.n_ranks:
+            raise ValueError(f"scatter needs {self.n_ranks} chunks, got {len(chunks)}")
+        self.meter.record(
+            "scatter", sum(_nbytes(c) for i, c in enumerate(chunks) if i != root)
+        )
+        return list(chunks)
+
+    def gather(self, contributions: list, root: int = 0) -> list:
+        """Root receives every rank's contribution (list indexed by rank);
+        non-roots receive ``None``."""
+        self._check_root(root)
+        self._check_contrib(contributions)
+        self.meter.record(
+            "gather",
+            sum(_nbytes(c) for i, c in enumerate(contributions) if i != root),
+        )
+        return [list(contributions) if r == root else None for r in range(self.n_ranks)]
+
+    def allgather(self, contributions: list) -> list:
+        """Every rank receives the full list of contributions.
+
+        Wire volume follows the ring algorithm: each rank forwards
+        ``(P-1)`` slabs, so total volume is ``(P-1) * sum(local bytes)``.
+        """
+        self._check_contrib(contributions)
+        total = sum(_nbytes(c) for c in contributions)
+        self.meter.record("allgather", (self.n_ranks - 1) * total)
+        gathered = list(contributions)
+        return [list(gathered) for _ in range(self.n_ranks)]
+
+    def allreduce(self, contributions: list, op=np.add):
+        """Element-wise reduction of numpy arrays (or scalars) across ranks;
+        every rank receives the result.
+
+        Volume follows recursive doubling: ``log2(P)`` message rounds of
+        the full buffer per rank.
+        """
+        self._check_contrib(contributions)
+        acc = contributions[0]
+        for c in contributions[1:]:
+            acc = op(acc, c)
+        rounds = int(np.ceil(np.log2(self.n_ranks))) if self.n_ranks > 1 else 0
+        self.meter.record("allreduce", rounds * self.n_ranks * _nbytes(contributions[0]))
+        return [acc for _ in range(self.n_ranks)]
+
+    def barrier(self) -> None:
+        """Synchronization point (zero data volume, counted as a call)."""
+        self.meter.record("barrier", 0.0)
+
+    # -- helpers ---------------------------------------------------------
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.n_ranks:
+            raise ValueError(f"root {root} out of range for {self.n_ranks} ranks")
+
+    def _check_contrib(self, contributions: list) -> None:
+        if len(contributions) != self.n_ranks:
+            raise ValueError(
+                f"expected one contribution per rank ({self.n_ranks}), "
+                f"got {len(contributions)}"
+            )
+
+
+def _nbytes(value) -> float:
+    if isinstance(value, np.ndarray):
+        return float(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return float(sum(_nbytes(v) for v in value))
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 8.0
+    if value is None:
+        return 0.0
+    # Fallback: rough object size; collective metadata, not bulk data.
+    return 64.0
+
+
+def run_lockstep(n_ranks: int, algorithm, *args, **kwargs):
+    """Run a lockstep SPMD algorithm and return ``(results, comm)``.
+
+    ``algorithm(comm, *args, **kwargs)`` receives the communicator and must
+    return the per-rank result list.  Provided for symmetry/metering; the
+    distributed TINGe driver calls it.
+    """
+    comm = LockstepComm(n_ranks)
+    results = algorithm(comm, *args, **kwargs)
+    return results, comm

@@ -1,0 +1,195 @@
+"""The distributed TINGe algorithm (Zola et al. 2010), executable.
+
+The algorithm the paper's single-chip solution replaces, implemented over
+the simulated MPI layer (:mod:`repro.cluster.comm`) so it *runs* — and is
+verified against the serial pipeline — rather than existing only as a cost
+formula:
+
+1. **Distribute** — genes are block-partitioned; each rank rank-transforms
+   and builds B-spline weights for its own genes only.
+2. **Allgather** — weight slabs are replicated everywhere (the algorithm's
+   one heavyweight collective; its measured byte volume is asserted against
+   the alpha-beta model of :mod:`repro.baselines.cluster_tinge`).
+3. **Compute** — the pair upper-triangle is tiled and tiles are assigned
+   round-robin by tile index (the static-cyclic distribution the original
+   TINGe uses); every rank computes only its tiles.
+4. **Null + threshold** — each rank contributes a share of the pooled
+   permutation null; an allreduce of the null histogram yields the global
+   threshold; each rank thresholds its own blocks and a final gather
+   assembles the edge list.
+
+``distributed_reconstruct`` returns the same :class:`GeneNetwork` the
+serial pipeline produces (bit-identical MI matrix; the null differs only
+in that it is built from rank-partitioned pair samples, so tests pin the
+seed and compare thresholds for equality under the same sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.comm import LockstepComm
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import rank_transform
+from repro.core.entropy import marginal_entropies
+from repro.core.mi import mi_from_joint
+from repro.core.mi_matrix import compute_tile
+from repro.core.network import GeneNetwork
+from repro.core.threshold import threshold_adjacency
+from repro.core.tiling import default_tile_size, pair_count, tile_grid
+from repro.parallel.partition import block_partition
+from repro.stats.quantile import upper_tail_threshold
+from repro.stats.random import as_rng, permutation_matrix, sample_pairs
+
+__all__ = ["DistributedRunInfo", "distributed_reconstruct"]
+
+
+@dataclass
+class DistributedRunInfo:
+    """What a distributed run did, beyond the network itself.
+
+    Attributes
+    ----------
+    network:
+        The reconstructed :class:`GeneNetwork` (assembled on rank 0).
+    mi:
+        The full MI matrix (identical to the serial pipeline's).
+    threshold:
+        Global ``I_alpha``.
+    n_ranks:
+        Ranks used.
+    comm_volume_bytes:
+        Metered wire bytes across all collectives.
+    comm_calls:
+        Per-collective call counts.
+    tiles_per_rank:
+        Tile counts per rank (the load-balance evidence).
+    """
+
+    network: GeneNetwork
+    mi: np.ndarray
+    threshold: float
+    n_ranks: int
+    comm_volume_bytes: float
+    comm_calls: dict
+    tiles_per_rank: list
+
+
+def distributed_reconstruct(
+    data: np.ndarray,
+    genes: "list[str] | None" = None,
+    n_ranks: int = 4,
+    bins: int = 10,
+    order: int = 3,
+    n_permutations: int = 30,
+    n_null_pairs: int = 200,
+    alpha: float = 0.01,
+    tile: int | None = None,
+    dtype: str = "float64",
+    seed: "int | None" = 0,
+) -> DistributedRunInfo:
+    """Run the distributed TINGe algorithm on ``n_ranks`` simulated ranks.
+
+    Parameters mirror :class:`repro.core.pipeline.TingeConfig` where they
+    overlap.  Raises on degenerate inputs exactly like the serial pipeline.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+    n, m = data.shape
+    if n < 2:
+        raise ValueError(f"need at least 2 genes, got {n}")
+    if genes is None:
+        genes = [f"G{i:05d}" for i in range(n)]
+    if len(genes) != n:
+        raise ValueError(f"{len(genes)} gene names for {n} genes")
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+
+    comm = LockstepComm(n_ranks)
+    np_dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------
+    # Superstep 1: scatter gene blocks; each rank builds its local weights.
+    # (The expression matrix starts on rank 0, as in the original tool.)
+    gene_blocks = block_partition(n, n_ranks)
+    local_rows = comm.scatter([data[idx] for idx in gene_blocks], root=0)
+    local_weights = [
+        weight_tensor(rank_transform(rows), bins, order, np_dtype)
+        if rows.shape[0]
+        else np.empty((0, m, bins), dtype=np_dtype)
+        for rows in local_rows
+    ]
+
+    # ------------------------------------------------------------------
+    # Superstep 2: allgather the weight slabs — every rank now holds all
+    # weights (TINGe's memory-for-communication tradeoff).
+    gathered = comm.allgather(local_weights)
+    weights_full = [np.concatenate(slabs, axis=0) for slabs in gathered]
+
+    # ------------------------------------------------------------------
+    # Superstep 3: each rank computes its cyclic share of the tiles.
+    if tile is None:
+        tile = default_tile_size(m, bins, itemsize=np_dtype.itemsize)
+    tiles = tile_grid(n, tile)
+    tiles_per_rank = [0] * n_ranks
+    h_per_rank = [marginal_entropies(w) for w in weights_full]
+    partial_mi = [np.zeros((n, n), dtype=np.float64) for _ in range(n_ranks)]
+    for t_idx, t in enumerate(tiles):
+        r = t_idx % n_ranks
+        tiles_per_rank[r] += 1
+        block = compute_tile(weights_full[r], h_per_rank[r], t)
+        partial_mi[r][t.i0 : t.i1, t.j0 : t.j1] = block
+
+    # Assemble the full MI matrix: element-wise allreduce of the disjoint
+    # partial matrices (each cell written by exactly one rank).
+    mi_all = comm.allreduce(partial_mi, op=np.add)
+    mi = mi_all[0]
+    iu = np.triu_indices(n, k=1)
+    mi[(iu[1], iu[0])] = mi[iu]
+    np.fill_diagonal(mi, 0.0)
+
+    # ------------------------------------------------------------------
+    # Superstep 4: pooled null, rank-partitioned.  The same seeded streams
+    # as the serial pooled_null: pairs then permutations, so the threshold
+    # is reproducible; ranks each evaluate a contiguous share of the pairs.
+    rng = as_rng(seed)
+    n_pairs = min(n_null_pairs, pair_count(n))
+    pairs = sample_pairs(n, n_pairs, rng)
+    perms = permutation_matrix(n_permutations, m, rng)
+    pair_blocks = block_partition(n_pairs, n_ranks)
+    null_parts = []
+    for r in range(n_ranks):
+        w = weights_full[r]
+        vals = []
+        for p_idx in pair_blocks[r]:
+            i, j = pairs[p_idx]
+            wi, wj = w[i], w[j]
+            for q in range(n_permutations):
+                joint = (wi[perms[q]].T.astype(np.float64) @ wj.astype(np.float64)) / m
+                vals.append(mi_from_joint(joint))
+        null_parts.append(np.asarray(vals, dtype=np.float64))
+    # Allgather (small) null shares; every rank derives the same threshold.
+    null_all = comm.allgather(null_parts)
+    null = np.concatenate(null_all[0])
+    threshold = upper_tail_threshold(null, alpha, n_tests=pair_count(n))
+
+    # ------------------------------------------------------------------
+    # Superstep 5: rank 0 assembles the network (gather of edge blocks is
+    # subsumed by the earlier allreduce in this in-process setting; the
+    # gather call is issued for faithful collective accounting).
+    comm.gather([np.count_nonzero(p > threshold) for p in partial_mi], root=0)
+    adjacency = threshold_adjacency(mi, threshold)
+    network = GeneNetwork(adjacency=adjacency, weights=mi, genes=list(genes),
+                          threshold=threshold)
+    return DistributedRunInfo(
+        network=network,
+        mi=mi,
+        threshold=threshold,
+        n_ranks=n_ranks,
+        comm_volume_bytes=comm.meter.volume_bytes,
+        comm_calls=dict(comm.meter.calls),
+        tiles_per_rank=tiles_per_rank,
+    )

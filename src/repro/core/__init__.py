@@ -1,0 +1,107 @@
+"""The paper's primary contribution: B-spline MI network reconstruction.
+
+Module map (bottom-up):
+
+* :mod:`repro.core.bspline` — B-spline basis and per-gene weight matrices.
+* :mod:`repro.core.discretize` — rank/copula and other preprocessing.
+* :mod:`repro.core.entropy` — plug-in entropies over weighted bins.
+* :mod:`repro.core.mi` — pair and tile MI kernels (GEMM formulation).
+* :mod:`repro.core.tiling` — upper-triangular tile decomposition.
+* :mod:`repro.core.mi_matrix` — the tiled all-pairs driver.
+* :mod:`repro.core.permutation` — shared-permutation significance testing.
+* :mod:`repro.core.threshold` — thresholding policies.
+* :mod:`repro.core.network` — the GeneNetwork result object.
+* :mod:`repro.core.pipeline` — the end-to-end pipeline.
+"""
+
+from repro.core.adaptive import mi_adaptive
+from repro.core.bspline import BsplineBasis, weight_matrix, weight_tensor
+from repro.core.checkpoint import checkpoint_status, mi_matrix_checkpointed
+from repro.core.consensus import ConsensusResult, bootstrap_networks, consensus_network
+from repro.core.discretize import preprocess, rank_transform, zscore
+from repro.core.driver import AutoRunResult, auto_reconstruct
+from repro.core.exact import ExactTestResult, exact_mi_pvalues, mi_tile_fused
+from repro.core.filtering import FilterReport, filter_genes
+from repro.core.incremental import NetworkUpdater
+from repro.core.entropy import entropy_from_probs, james_stein_shrinkage, marginal_entropies
+from repro.core.mi import (
+    mi_bspline,
+    mi_bspline_pair,
+    mi_histogram_pair,
+    mi_kraskov,
+    mi_shrinkage_pair,
+    mi_tile,
+)
+from repro.core.mi_matrix import MiMatrixResult, mi_matrix, mi_pairs, mi_row
+from repro.core.network import GeneNetwork
+from repro.core.outofcore import build_weight_store, mi_matrix_outofcore, open_weight_store
+from repro.core.permutation import NullDistribution, pooled_null, per_pair_pvalues
+from repro.core.provenance import (
+    data_fingerprint,
+    load_run_record,
+    run_record,
+    save_run_record,
+    verify_run_record,
+)
+from repro.core.pipeline import TingeConfig, TingePipeline, TingeResult, reconstruct_network
+from repro.core.threshold import fdr_adjacency, threshold_adjacency, top_k_adjacency
+from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+
+__all__ = [
+    "BsplineBasis",
+    "ConsensusResult",
+    "ExactTestResult",
+    "FilterReport",
+    "GeneNetwork",
+    "MiMatrixResult",
+    "NetworkUpdater",
+    "NullDistribution",
+    "AutoRunResult",
+    "Tile",
+    "TingeConfig",
+    "TingePipeline",
+    "TingeResult",
+    "default_tile_size",
+    "entropy_from_probs",
+    "auto_reconstruct",
+    "bootstrap_networks",
+    "build_weight_store",
+    "checkpoint_status",
+    "consensus_network",
+    "data_fingerprint",
+    "exact_mi_pvalues",
+    "fdr_adjacency",
+    "filter_genes",
+    "james_stein_shrinkage",
+    "load_run_record",
+    "marginal_entropies",
+    "mi_adaptive",
+    "mi_bspline",
+    "mi_bspline_pair",
+    "mi_histogram_pair",
+    "mi_kraskov",
+    "mi_matrix",
+    "mi_matrix_checkpointed",
+    "mi_matrix_outofcore",
+    "mi_shrinkage_pair",
+    "mi_pairs",
+    "mi_row",
+    "mi_tile_fused",
+    "mi_tile",
+    "open_weight_store",
+    "pair_count",
+    "per_pair_pvalues",
+    "pooled_null",
+    "preprocess",
+    "rank_transform",
+    "reconstruct_network",
+    "run_record",
+    "save_run_record",
+    "threshold_adjacency",
+    "tile_grid",
+    "verify_run_record",
+    "top_k_adjacency",
+    "weight_matrix",
+    "weight_tensor",
+    "zscore",
+]

@@ -1,0 +1,139 @@
+"""Adaptive-partitioning MI estimator (Darbellay–Vajda).
+
+The third classical estimator family next to binned (B-spline) and k-NN
+(Kraskov): recursively quarter the unit square of the *rank-transformed*
+pair wherever the points are significantly non-uniform (chi-square test),
+and sum the plug-in MI contributions of the resulting leaves.  Because the
+partition refines only where structure exists, the estimator adapts its
+resolution to the dependence — fine cells along a curve, coarse cells in
+flat regions.
+
+Working on ranks makes the marginal cell probabilities *exact interval
+lengths* (the copula trick again), so only the joint counts are estimated
+— the same property TINGe's pooled null exploits.
+
+Complexity is ``O(m log m)`` per pair; offered as an estimator-zoo member
+and cross-check, not as the bulk kernel (the B-spline GEMM form is the one
+that vectorizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.discretize import rank_transform
+
+__all__ = ["mi_adaptive"]
+
+#: chi-square critical values for df = 3 (4 quadrants - 1).
+_CHI2_CRITICAL = {0.10: 6.251, 0.05: 7.815, 0.01: 11.345, 0.001: 16.266}
+
+
+def _cell_mi(n_cell: int, m: int, wx: float, wy: float) -> float:
+    """Leaf contribution ``p * log(p / (px * py))`` with exact marginals."""
+    if n_cell == 0:
+        return 0.0
+    p = n_cell / m
+    return p * np.log(p / (wx * wy))
+
+
+def mi_adaptive(
+    x: np.ndarray,
+    y: np.ndarray,
+    significance: float = 0.05,
+    min_cell: int = 8,
+    max_depth: int = 12,
+    min_depth: int = 2,
+) -> float:
+    """Darbellay–Vajda adaptive-partitioning MI estimate, in nats.
+
+    Parameters
+    ----------
+    x, y:
+        Sample vectors (any strictly monotone transform gives the same
+        estimate — ranks are taken internally).
+    significance:
+        Chi-square level for the split test; one of 0.10 / 0.05 / 0.01 /
+        0.001.  Stricter levels stop earlier (coarser partition, lower
+        variance, more bias).
+    min_cell:
+        Do not split cells with fewer points.
+    max_depth:
+        Recursion cap (each level quarters the cell).
+    min_depth:
+        Depth up to which cells are split *unconditionally* (points
+        permitting).  The 4-quadrant uniformity test has no power against
+        dependencies that are symmetric about the medians (e.g. ``y = x^2``
+        balances all four root quadrants exactly), so the first levels must
+        be explored before the test is allowed to prune — the standard DV
+        refinement.
+
+    Returns
+    -------
+    float
+        Non-negative MI estimate (clamped at 0; the plug-in sum can dip
+        microscopically negative through rank ties).
+    """
+    if significance not in _CHI2_CRITICAL:
+        raise ValueError(
+            f"significance must be one of {sorted(_CHI2_CRITICAL)}, got {significance}"
+        )
+    if min_cell < 4:
+        raise ValueError("min_cell must be >= 4 (four quadrants need points)")
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    if not 0 <= min_depth <= max_depth:
+        raise ValueError("need 0 <= min_depth <= max_depth")
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError("x and y must have equal length")
+    m = x.size
+    if m < min_cell:
+        raise ValueError(f"need at least min_cell={min_cell} samples, got {m}")
+    critical = _CHI2_CRITICAL[significance]
+    u = rank_transform(x)
+    v = rank_transform(y)
+
+    total = 0.0
+    # Explicit stack of (point indices, x-interval, y-interval, depth).
+    stack = [(np.arange(m), 0.0, 1.0, 0.0, 1.0, 0)]
+    while stack:
+        idx, x0, x1, y0, y1, depth = stack.pop()
+        n_cell = idx.size
+        wx = x1 - x0
+        wy = y1 - y0
+        if n_cell < min_cell or depth >= max_depth:
+            total += _cell_mi(n_cell, m, wx, wy)
+            continue
+        # Split at the cell's empirical medians (balanced children in each
+        # marginal, the DV choice).
+        xm = float(np.median(u[idx]))
+        ym = float(np.median(v[idx]))
+        # Degenerate medians (ties at the boundary) end the recursion.
+        if not (x0 < xm < x1) or not (y0 < ym < y1):
+            total += _cell_mi(n_cell, m, wx, wy)
+            continue
+        right = u[idx] > xm
+        top = v[idx] > ym
+        quads = [
+            idx[~right & ~top],
+            idx[right & ~top],
+            idx[~right & top],
+            idx[right & top],
+        ]
+        counts = np.array([q.size for q in quads], dtype=np.float64)
+        expected = n_cell / 4.0
+        chi2 = float(np.sum((counts - expected) ** 2) / expected)
+        if depth >= min_depth and chi2 <= critical:
+            total += _cell_mi(n_cell, m, wx, wy)
+            continue
+        bounds = [
+            (x0, xm, y0, ym),
+            (xm, x1, y0, ym),
+            (x0, xm, ym, y1),
+            (xm, x1, ym, y1),
+        ]
+        for q, (a0, a1, b0, b1) in zip(quads, bounds):
+            stack.append((q, a0, a1, b0, b1, depth + 1))
+    return max(total, 0.0)

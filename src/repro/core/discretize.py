@@ -1,0 +1,105 @@
+"""Preprocessing transforms applied before MI estimation.
+
+TINGe's pipeline rank-transforms every gene before estimating MI: each
+gene's samples are replaced by their (averaged-ties) ranks scaled to
+``[0, 1]``.  This copula transform has two consequences the algorithm
+depends on:
+
+* MI is invariant under strictly monotone per-variable maps, so the
+  transform does not change the population quantity being estimated while
+  removing sensitivity to expression scale and outliers; and
+* **every gene acquires the identical marginal distribution**, which makes
+  the permutation null distribution gene-independent — the property that
+  lets TINGe pool one global null instead of a per-pair null, turning a
+  ``q``-fold slowdown into a constant-size pre-pass (Zola et al. 2010).
+
+Z-scoring is kept for the correlation baselines, and binning for the
+histogram estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats
+
+from repro.stats.histogram import bin_indices
+
+__all__ = ["rank_transform", "zscore", "bin_matrix", "preprocess"]
+
+
+def rank_transform(data: np.ndarray, method: str = "average") -> np.ndarray:
+    """Per-gene rank (copula) transform onto ``[0, 1]``.
+
+    Parameters
+    ----------
+    data:
+        ``(n_genes, m_samples)`` matrix, or a 1-D single gene.
+    method:
+        Tie handling, passed to :func:`scipy.stats.rankdata`; ``"average"``
+        keeps the transform rank-preserving for ties.
+
+    Returns
+    -------
+    numpy.ndarray
+        Same shape; each row holds ``(rank - 1) / (m - 1)`` so values span
+        exactly ``[0, 1]`` (a single-sample gene maps to 0).
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D data, got shape {arr.shape}")
+    m = arr.shape[1]
+    if m == 0:
+        raise ValueError("no samples")
+    ranks = scipy.stats.rankdata(arr, axis=1, method=method)
+    if m > 1:
+        out = (ranks - 1.0) / (m - 1.0)
+    else:
+        out = np.zeros_like(ranks)
+    return out[0] if squeeze else out
+
+
+def zscore(data: np.ndarray, ddof: int = 1) -> np.ndarray:
+    """Per-gene standardization to zero mean and unit variance.
+
+    Constant genes (zero variance) are mapped to all-zeros rather than NaN
+    so downstream correlation kernels stay finite.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[None, :]
+    mean = arr.mean(axis=1, keepdims=True)
+    std = arr.std(axis=1, ddof=ddof, keepdims=True) if arr.shape[1] > ddof else np.zeros_like(mean)
+    centered = arr - mean
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(std > 0, centered / np.where(std > 0, std, 1.0), 0.0)
+    return out[0] if squeeze else out
+
+
+def bin_matrix(data: np.ndarray, bins: int) -> np.ndarray:
+    """Per-gene equal-width bin indices (for the histogram estimator)."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {arr.shape}")
+    out = np.empty(arr.shape, dtype=np.intp)
+    for g in range(arr.shape[0]):
+        out[g] = bin_indices(arr[g], bins)
+    return out
+
+
+def preprocess(data: np.ndarray, transform: str = "rank") -> np.ndarray:
+    """Apply the pipeline's configured preprocessing transform.
+
+    ``"rank"`` (TINGe default), ``"zscore"``, or ``"none"`` (values passed
+    through; the B-spline basis still rescales per gene to its domain).
+    """
+    if transform == "rank":
+        return rank_transform(data)
+    if transform == "zscore":
+        return zscore(data)
+    if transform == "none":
+        return np.asarray(data, dtype=np.float64)
+    raise ValueError(f"unknown transform {transform!r}")

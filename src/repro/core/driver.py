@@ -1,0 +1,186 @@
+"""Auto-strategy whole-genome driver.
+
+The integration layer a production user actually calls: given the data, a
+memory budget and a working directory, it picks the execution strategy
+(in-memory / checkpointed / out-of-core) the way an operator would, runs
+the reconstruction, and leaves behind the artifacts a reproducible run
+needs (network, edge list, provenance record, checkpoint ledger).
+
+Strategy selection mirrors :func:`repro.machine.memory.memory_plan`:
+
+* everything fits comfortably        → the plain in-memory pipeline;
+* weights fit but the run is long    → block-row checkpointing
+  (``checkpoint=True`` or a gene count above ``checkpoint_threshold``);
+* weights exceed the budget          → the out-of-core path (weights and
+  MI matrix on disk, streamed block-rows).
+
+The statistical stages (null, threshold) are identical across strategies,
+so every path yields the same network for the same seed — asserted by the
+test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bspline import weight_tensor
+from repro.core.checkpoint import mi_matrix_checkpointed
+from repro.core.discretize import preprocess
+from repro.core.mi_matrix import mi_matrix
+from repro.core.network import GeneNetwork
+from repro.core.outofcore import build_weight_store, mi_matrix_outofcore
+from repro.core.permutation import pooled_null
+from repro.core.pipeline import TingeConfig
+from repro.core.threshold import threshold_adjacency
+from repro.core.tiling import pair_count
+
+__all__ = ["AutoRunResult", "auto_reconstruct"]
+
+
+@dataclass
+class AutoRunResult:
+    """Outcome of an auto-strategy run.
+
+    Attributes
+    ----------
+    network:
+        The reconstructed network.
+    strategy:
+        ``"in-memory"``, ``"checkpointed"``, or ``"out-of-core"``.
+    seconds:
+        Wall-clock for the whole run.
+    artifacts:
+        Paths written (network, edge list, provenance, stores), by name.
+    """
+
+    network: GeneNetwork
+    strategy: str
+    seconds: float
+    artifacts: dict
+
+
+def _weights_bytes(n: int, m: int, bins: int, dtype: str) -> float:
+    return float(n) * m * bins * np.dtype(dtype).itemsize
+
+
+def auto_reconstruct(
+    data: np.ndarray,
+    genes: "list[str] | None" = None,
+    config: "TingeConfig | None" = None,
+    workdir: "str | Path | None" = None,
+    mem_budget_gb: float = 4.0,
+    checkpoint: "bool | None" = None,
+    checkpoint_threshold: int = 4000,
+) -> AutoRunResult:
+    """Reconstruct with automatically chosen residency strategy.
+
+    Parameters
+    ----------
+    data, genes, config:
+        As in :func:`repro.core.pipeline.reconstruct_network` (pooled
+        testing only — the strategies differ in how the MI matrix is
+        computed, which exact mode fuses differently).
+    workdir:
+        Directory for artifacts; required for the checkpointed and
+        out-of-core strategies (a ValueError names the reason otherwise).
+    mem_budget_gb:
+        Memory the weight tensor may occupy in RAM.
+    checkpoint:
+        Force checkpointing on/off; default: on for runs with more than
+        ``checkpoint_threshold`` genes.
+    """
+    config = config or TingeConfig()
+    if config.testing != "pooled":
+        raise ValueError("auto_reconstruct supports pooled testing only")
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+    if not np.isfinite(data).all():
+        raise ValueError("expression data contains NaN/inf; impute first")
+    n, m = data.shape
+    if n < 2:
+        raise ValueError(f"need at least 2 genes, got {n}")
+    if genes is None:
+        genes = [f"G{i:05d}" for i in range(n)]
+    if mem_budget_gb <= 0:
+        raise ValueError("mem_budget_gb must be positive")
+    workdir = Path(workdir) if workdir is not None else None
+
+    fits = _weights_bytes(n, m, config.bins, config.dtype) <= mem_budget_gb * 1e9
+    if checkpoint is None:
+        checkpoint = n > checkpoint_threshold
+    if fits and not checkpoint:
+        strategy = "in-memory"
+    elif fits:
+        strategy = "checkpointed"
+    else:
+        strategy = "out-of-core"
+    if strategy != "in-memory" and workdir is None:
+        raise ValueError(f"strategy {strategy!r} needs a workdir for its artifacts")
+    if workdir is not None:
+        workdir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.perf_counter()
+    transformed = preprocess(data, config.transform)
+    artifacts: dict = {}
+
+    if strategy == "out-of-core":
+        wpath = build_weight_store(
+            transformed, workdir / "weights", bins=config.bins,
+            order=config.order, dtype=config.dtype,
+        )
+        artifacts["weight_store"] = wpath
+        # The null needs a weight subset only; build it from a slice
+        # small enough for the budget (sampled pairs re-read the store).
+        weights_view = np.load(wpath, mmap_mode="r")
+        mi_path = mi_matrix_outofcore(wpath, workdir / "mi", tile=config.tile)
+        artifacts["mi_store"] = mi_path
+        mi = np.asarray(np.load(mi_path, mmap_mode="r"))
+        null = pooled_null(
+            np.asarray(weights_view, dtype=np.float64)
+            if _weights_bytes(n, m, config.bins, "float64") <= mem_budget_gb * 1e9
+            else np.asarray(weights_view[: max(2, min(n, 2048))], dtype=np.float64),
+            config.n_permutations,
+            min(config.n_null_pairs, pair_count(n)),
+            config.seed, config.base,
+        )
+    else:
+        weights = weight_tensor(transformed, config.bins, config.order,
+                                np.dtype(config.dtype))
+        null = pooled_null(
+            weights, config.n_permutations,
+            min(config.n_null_pairs, pair_count(n)), config.seed, config.base,
+        )
+        if strategy == "checkpointed":
+            ck = workdir / "checkpoint"
+            mi = mi_matrix_checkpointed(weights, ck, tile=config.tile,
+                                        base=config.base)
+            artifacts["checkpoint_dir"] = ck
+        else:
+            mi = mi_matrix(weights, tile=config.tile, base=config.base).mi
+
+    threshold = null.threshold(config.alpha, n_tests=pair_count(n),
+                               correction="bonferroni" if config.correction == "bh"
+                               else config.correction)
+    network = GeneNetwork(
+        adjacency=threshold_adjacency(mi, threshold),
+        weights=mi, genes=list(genes), threshold=threshold,
+    )
+    seconds = time.perf_counter() - t0
+
+    if workdir is not None:
+        net_path = workdir / "network.npz"
+        network.save(net_path)
+        artifacts["network"] = net_path
+        from repro.data.io import write_edge_list
+
+        edges_path = workdir / "edges.tsv"
+        write_edge_list(network.edge_list(), edges_path)
+        artifacts["edges"] = edges_path
+    return AutoRunResult(
+        network=network, strategy=strategy, seconds=seconds, artifacts=artifacts
+    )

@@ -1,0 +1,113 @@
+"""Gene filtering: the QC step before whole-genome reconstruction.
+
+Real compendia carry probes that should never enter the pair computation:
+near-constant genes (no information to share — their MI is structurally
+~0 yet they still cost n kernel calls each) and low-coverage probes.  The
+paper's 15,575 genes are themselves a filtered subset of the full
+Arabidopsis probe set; these utilities make that step explicit, with a
+report of what was dropped and why (silent filtering corrupts downstream
+interpretation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FilterReport", "filter_genes"]
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """What the filter kept and why it dropped the rest.
+
+    ``dropped`` maps gene name → reason (``"constant"``, ``"low-variance"``,
+    ``"low-coverage"``).
+    """
+
+    kept_indices: np.ndarray
+    kept_genes: list
+    dropped: dict
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.kept_indices.size)
+
+    @property
+    def n_dropped(self) -> int:
+        return len(self.dropped)
+
+
+def filter_genes(
+    data: np.ndarray,
+    genes: "list[str] | None" = None,
+    min_variance: float = 1e-8,
+    min_finite_fraction: float = 0.5,
+    variance_quantile: "float | None" = None,
+) -> tuple:
+    """Drop uninformative genes; returns ``(filtered_data, report)``.
+
+    Parameters
+    ----------
+    data:
+        ``(n_genes, m_samples)`` matrix (NaNs allowed — coverage is
+        checked before variance; remaining NaNs survive for the caller's
+        imputation step).
+    min_variance:
+        Genes with variance below this (over finite entries) are dropped
+        as ``"constant"``/``"low-variance"``.
+    min_finite_fraction:
+        Genes with fewer finite samples than this fraction are dropped as
+        ``"low-coverage"``.
+    variance_quantile:
+        Optional additional rule: drop the least-variable fraction of the
+        *surviving* genes (e.g. ``0.25`` keeps the top 75% by variance) —
+        the standard compendium-size reduction knob.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+    n, m = data.shape
+    if genes is None:
+        genes = [f"G{i:05d}" for i in range(n)]
+    if len(genes) != n:
+        raise ValueError(f"{len(genes)} gene names for {n} genes")
+    if min_variance < 0:
+        raise ValueError("min_variance must be >= 0")
+    if not 0.0 < min_finite_fraction <= 1.0:
+        raise ValueError("min_finite_fraction must be in (0, 1]")
+    if variance_quantile is not None and not 0.0 <= variance_quantile < 1.0:
+        raise ValueError("variance_quantile must be in [0, 1)")
+
+    finite = np.isfinite(data)
+    coverage = finite.mean(axis=1)
+    with np.errstate(invalid="ignore"):
+        variances = np.nanvar(np.where(finite, data, np.nan), axis=1)
+    variances = np.nan_to_num(variances, nan=0.0)
+
+    dropped: dict = {}
+    keep = np.ones(n, dtype=bool)
+    for g in range(n):
+        if coverage[g] < min_finite_fraction:
+            dropped[genes[g]] = "low-coverage"
+            keep[g] = False
+        elif variances[g] <= min_variance:
+            dropped[genes[g]] = "constant" if variances[g] == 0.0 else "low-variance"
+            keep[g] = False
+    if variance_quantile:
+        surviving = np.nonzero(keep)[0]
+        if surviving.size:
+            cutoff = np.quantile(variances[surviving], variance_quantile)
+            for g in surviving:
+                if variances[g] < cutoff:
+                    dropped[genes[g]] = "low-variance"
+                    keep[g] = False
+
+    kept_idx = np.nonzero(keep)[0]
+    report = FilterReport(
+        kept_indices=kept_idx,
+        kept_genes=[genes[i] for i in kept_idx],
+        dropped=dropped,
+    )
+    return data[kept_idx], report

@@ -1,0 +1,139 @@
+"""Incremental network maintenance: grow a network gene by gene.
+
+Real compendia grow: a new probe set is added, a gene model is revised.
+Recomputing 1.2e8 pairs for one new gene wastes ``(n-1)/1`` of the work;
+:class:`NetworkUpdater` maintains the weight tensor, MI matrix and
+thresholded network, and updates them in ``O(n)`` per added/removed gene
+using the row kernel (:func:`repro.core.mi_matrix.mi_row`).
+
+Statistical note: the significance threshold was derived for the original
+gene universe.  Adding genes increases the number of hypotheses, so the
+updater re-tightens the Bonferroni threshold from the stored null at every
+change — edges can therefore *disappear* when genes are added, which is
+correct behaviour, not a bug (tests pin it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bspline import BsplineBasis
+from repro.core.discretize import rank_transform
+from repro.core.mi_matrix import mi_row
+from repro.core.network import GeneNetwork
+from repro.core.permutation import NullDistribution
+from repro.core.threshold import threshold_adjacency
+from repro.core.tiling import pair_count
+
+__all__ = ["NetworkUpdater"]
+
+
+class NetworkUpdater:
+    """Mutable wrapper around (weights, MI matrix, network).
+
+    Build one from a finished pipeline run and then :meth:`add_gene` /
+    :meth:`remove_gene`; :attr:`network` is always current.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, m, b)`` weight tensor of the *rank-transformed* genes.
+    mi:
+        The matching ``(n, n)`` MI matrix.
+    genes:
+        Gene names.
+    null:
+        The pooled null the run produced (thresholds re-derive from it).
+    alpha, correction:
+        Significance settings (as in the pipeline).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        mi: np.ndarray,
+        genes: list,
+        null: NullDistribution,
+        alpha: float = 0.01,
+        correction: str = "bonferroni",
+    ):
+        weights = np.asarray(weights)
+        mi = np.asarray(mi, dtype=np.float64)
+        if weights.ndim != 3:
+            raise ValueError(f"expected (n, m, b) weights, got {weights.shape}")
+        n = weights.shape[0]
+        if mi.shape != (n, n) or len(genes) != n:
+            raise ValueError("weights / mi / genes sizes disagree")
+        self._weights = np.array(weights, dtype=np.float64, copy=True)
+        self._mi = mi.copy()
+        self._genes = list(genes)
+        self._null = null
+        self._alpha = alpha
+        self._correction = correction
+        self._basis = BsplineBasis(bins=weights.shape[2])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_genes(self) -> int:
+        return len(self._genes)
+
+    @property
+    def mi(self) -> np.ndarray:
+        return self._mi.copy()
+
+    @property
+    def threshold(self) -> float:
+        return self._null.threshold(
+            self._alpha, n_tests=pair_count(self.n_genes),
+            correction=self._correction,
+        )
+
+    @property
+    def network(self) -> GeneNetwork:
+        """The current thresholded network (threshold re-tightened to the
+        current gene count)."""
+        thr = self.threshold
+        return GeneNetwork(
+            adjacency=threshold_adjacency(self._mi, thr),
+            weights=self._mi.copy(),
+            genes=list(self._genes),
+            threshold=thr,
+        )
+
+    # ------------------------------------------------------------------
+    def add_gene(self, name: str, samples: np.ndarray) -> None:
+        """Append a gene: O(n) MI evaluations instead of O(n^2).
+
+        ``samples`` is the gene's raw expression vector (rank-transformed
+        internally, matching the pipeline's preprocessing).
+        """
+        if name in self._genes:
+            raise ValueError(f"gene {name!r} already present")
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        if samples.size != self._weights.shape[1]:
+            raise ValueError(
+                f"expected {self._weights.shape[1]} samples, got {samples.size}"
+            )
+        w_new = self._basis.weights(rank_transform(samples))
+        self._weights = np.concatenate([self._weights, w_new[None]], axis=0)
+        self._genes.append(name)
+        n = self.n_genes
+        row = mi_row(self._weights, n - 1)
+        grown = np.zeros((n, n), dtype=np.float64)
+        grown[: n - 1, : n - 1] = self._mi
+        grown[n - 1, :] = row
+        grown[:, n - 1] = row
+        self._mi = grown
+
+    def remove_gene(self, name: str) -> None:
+        """Drop a gene (O(1) beyond the slicing)."""
+        try:
+            idx = self._genes.index(name)
+        except ValueError:
+            raise ValueError(f"gene {name!r} not present") from None
+        if self.n_genes <= 2:
+            raise ValueError("cannot shrink below 2 genes")
+        keep = [i for i in range(self.n_genes) if i != idx]
+        self._weights = self._weights[keep]
+        self._mi = self._mi[np.ix_(keep, keep)]
+        del self._genes[idx]

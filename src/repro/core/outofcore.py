@@ -1,0 +1,120 @@
+"""Out-of-core all-pairs MI for problems bigger than memory.
+
+When :func:`repro.machine.memory.memory_plan` says ``out-of-core``, this
+driver is the fallback: weights live in a memory-mapped file on disk
+(``.npy`` via ``numpy.lib.format``), the MI matrix is written into a
+second memory map, and tiles stream block-rows through RAM — the same
+panel-streaming structure the offload model prices for the coprocessor
+case.  Results are bit-identical to the in-memory driver (tests enforce
+it); only residency changes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bspline import weight_tensor
+from repro.core.entropy import marginal_entropies
+from repro.core.mi import mi_tile
+from repro.core.tiling import default_tile_size, tile_grid
+
+__all__ = ["build_weight_store", "open_weight_store", "mi_matrix_outofcore"]
+
+
+def build_weight_store(
+    data: np.ndarray,
+    path: "str | Path",
+    bins: int = 10,
+    order: int = 3,
+    dtype: str = "float32",
+    gene_block: int = 512,
+) -> Path:
+    """Write the weight tensor of ``data`` to a ``.npy`` file, block-wise.
+
+    Peak memory is one ``gene_block`` of weights, not the full tensor.
+    Returns the path (with the ``.npy`` suffix ensured).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+    if gene_block < 1:
+        raise ValueError("gene_block must be >= 1")
+    n, m = data.shape
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(".npy")
+    store = np.lib.format.open_memmap(
+        path, mode="w+", dtype=np.dtype(dtype), shape=(n, m, bins)
+    )
+    try:
+        for s in range(0, n, gene_block):
+            e = min(s + gene_block, n)
+            store[s:e] = weight_tensor(data[s:e], bins, order, np.dtype(dtype))
+        store.flush()
+    finally:
+        del store
+    return path
+
+
+def open_weight_store(path: "str | Path") -> np.memmap:
+    """Read-only memory map of a weight store written by
+    :func:`build_weight_store`."""
+    return np.load(Path(path), mmap_mode="r")
+
+
+def mi_matrix_outofcore(
+    weights_path: "str | Path",
+    out_path: "str | Path",
+    tile: "int | None" = None,
+    base: str = "nat",
+) -> Path:
+    """Compute the full MI matrix with both operands on disk.
+
+    The weight store is memory-mapped read-only; the symmetric ``(n, n)``
+    float64 MI matrix is written into ``out_path`` (``.npy``).  RAM usage
+    is one block-row of weights plus one tile of output at a time.
+
+    Returns the output path; load the result with
+    ``numpy.load(out_path, mmap_mode="r")`` to keep it on disk too.
+    """
+    weights = open_weight_store(weights_path)
+    if weights.ndim != 3:
+        raise ValueError(f"weight store has shape {weights.shape}, expected 3-D")
+    n, m, b = weights.shape
+    if n < 2:
+        raise ValueError(f"need at least 2 genes, got {n}")
+    if tile is None:
+        tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
+    out_path = Path(out_path)
+    if out_path.suffix != ".npy":
+        out_path = out_path.with_suffix(".npy")
+    mi = np.lib.format.open_memmap(out_path, mode="w+", dtype=np.float64, shape=(n, n))
+    try:
+        mi[:] = 0.0
+        # Marginal entropies: one streaming pass, block by block.
+        h = np.empty(n, dtype=np.float64)
+        block = max(tile, 256)
+        for s in range(0, n, block):
+            e = min(s + block, n)
+            h[s:e] = marginal_entropies(np.asarray(weights[s:e], dtype=np.float64))
+        for t in tile_grid(n, tile):
+            wi = np.asarray(weights[t.i0 : t.i1], dtype=np.float64)
+            wj = np.asarray(weights[t.j0 : t.j1], dtype=np.float64)
+            blockv = mi_tile(wi, wj, h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base)
+            if t.is_diagonal:
+                # Masked upper triangle + its transpose fills the whole
+                # square symmetrically in one write (no overlap: mask
+                # zeroes the diagonal and below).
+                blockv = np.where(t.pair_mask(), blockv, 0.0)
+                mi[t.i0 : t.i1, t.j0 : t.j1] = blockv + blockv.T
+            else:
+                mi[t.i0 : t.i1, t.j0 : t.j1] = blockv
+                # Mirror immediately so the output stays symmetric.
+                mi[t.j0 : t.j1, t.i0 : t.i1] = blockv.T
+        np.fill_diagonal(mi, 0.0)
+        mi.flush()
+    finally:
+        del mi
+    return out_path

@@ -1,0 +1,339 @@
+"""The end-to-end TINGe pipeline (preprocess → weights → null → MI → network).
+
+This is the package's primary public entry point: give it an expression
+matrix and gene names, get back a :class:`repro.core.network.GeneNetwork`
+plus per-phase wall-clock timings (the data behind the paper's phase
+breakdown, experiment E9).
+
+The phases correspond one-to-one to the stages the paper times on the Phi:
+
+1. ``preprocess``  — rank transform (copula), see :mod:`repro.core.discretize`.
+2. ``weights``     — B-spline weight tensor, :mod:`repro.core.bspline`.
+3. ``null``        — pooled permutation null, :mod:`repro.core.permutation`.
+4. ``mi``          — tiled all-pairs MI, :mod:`repro.core.mi_matrix`.
+5. ``threshold``   — significance thresholding + network object.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import preprocess
+from repro.core.exact import exact_mi_pvalues
+from repro.core.mi_matrix import mi_matrix
+from repro.core.network import GeneNetwork
+from repro.core.permutation import NullDistribution, pooled_null
+from repro.core.threshold import fdr_adjacency, threshold_adjacency
+from repro.core.tiling import pair_count
+
+__all__ = ["TingeConfig", "TingeResult", "reconstruct_network", "TingePipeline"]
+
+
+@dataclass(frozen=True)
+class TingeConfig:
+    """All tunables of a network reconstruction run.
+
+    Attributes
+    ----------
+    bins, order:
+        B-spline estimator parameters (TINGe defaults 10 / 3).
+    n_permutations:
+        Shared permutations ``q`` used to build the null.
+    n_null_pairs:
+        Random pairs sampled into the pooled null; pool size is
+        ``q * n_null_pairs`` and bounds the threshold's resolution.
+    alpha:
+        Significance level.
+    correction:
+        ``"bonferroni"`` (TINGe's family-wise default), ``"none"``, or
+        ``"bh"`` (p-value + FDR path).
+    transform:
+        Preprocessing transform; ``"rank"`` is required for the pooled null
+        to be valid (a non-rank transform with pooled testing is rejected).
+    tile:
+        Tile edge for the all-pairs kernel; ``None`` = cache-derived default.
+    base:
+        Entropy log base.
+    dtype:
+        Weight tensor dtype (``"float64"`` or ``"float32"``; float32 halves
+        memory traffic like the paper's single-precision kernels).
+    seed:
+        Seed for permutations and null-pair sampling.
+    exact_retest:
+        Two-stage testing: after the pooled-threshold screen, re-test every
+        surviving edge with its own exact per-pair permutation test and
+        keep only BH-significant ones.  Costs ``retest_permutations`` extra
+        MI evaluations per *candidate* (not per pair) — the affordable way
+        to buy exactness, since candidates are a vanishing fraction of the
+        n(n-1)/2 population.
+    retest_permutations:
+        Permutations per candidate in the exact re-test stage.
+    testing:
+        ``"pooled"`` (TINGe's fast path: one global null) or ``"exact"``
+        (the paper's fused kernel: every pair gets its own ``q``-permutation
+        p-value at ``(1 + q)x`` the MI cost).  Exact mode's p-value
+        resolution is ``1/(q+1)``, so Bonferroni correction demands
+        ``q + 1 >= n_tests / alpha`` — the pipeline refuses under-resolved
+        configurations instead of silently returning an empty network.
+    """
+
+    bins: int = 10
+    order: int = 3
+    n_permutations: int = 30
+    n_null_pairs: int = 200
+    alpha: float = 0.01
+    correction: str = "bonferroni"
+    transform: str = "rank"
+    tile: "int | None" = None
+    base: str = "nat"
+    dtype: str = "float64"
+    seed: "int | None" = 0
+    exact_retest: bool = False
+    retest_permutations: int = 100
+    testing: str = "pooled"
+
+    def __post_init__(self) -> None:
+        if self.correction not in ("bonferroni", "none", "bh"):
+            raise ValueError(f"unknown correction {self.correction!r}")
+        if (
+            self.testing == "pooled"
+            and self.correction != "bh"
+            and self.transform != "rank"
+        ):
+            raise ValueError(
+                "pooled-null thresholding requires the rank transform "
+                "(identical marginals); use correction='bh', transform='rank', "
+                "or testing='exact'"
+            )
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be float32/float64, got {self.dtype!r}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.retest_permutations < 1:
+            raise ValueError(
+                f"retest_permutations must be >= 1, got {self.retest_permutations}"
+            )
+        if self.testing not in ("pooled", "exact"):
+            raise ValueError(f"testing must be 'pooled' or 'exact', got {self.testing!r}")
+
+
+@dataclass
+class TingeResult:
+    """Everything a reconstruction run produced.
+
+    ``timings`` maps phase name → seconds; ``network.threshold`` holds the
+    global ``I_alpha`` for threshold-mode runs (NaN for FDR mode).
+    """
+
+    network: GeneNetwork
+    mi: np.ndarray
+    null: "NullDistribution | None"
+    timings: dict
+    config: TingeConfig
+    pvalues: "np.ndarray | None" = None
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.timings.values()))
+
+    def phase_fractions(self) -> dict:
+        """Phase → fraction of total runtime (the E9 breakdown rows)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {k: 0.0 for k in self.timings}
+        return {k: v / total for k, v in self.timings.items()}
+
+
+class TingePipeline:
+    """Stage-by-stage pipeline runner with per-phase timing.
+
+    Use :func:`reconstruct_network` for the one-call API; instantiate the
+    pipeline directly when you need intermediate artifacts (e.g. the weight
+    tensor for a custom analysis) or a non-default execution engine.
+    """
+
+    def __init__(self, config: TingeConfig | None = None, engine=None):
+        self.config = config or TingeConfig()
+        self.engine = engine
+        self.timings: dict = {}
+
+    def _timed(self, phase: str, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        self.timings[phase] = time.perf_counter() - t0
+        return out
+
+    def run(self, data: np.ndarray, genes: "list[str] | None" = None) -> TingeResult:
+        """Reconstruct the network of ``data`` (``(n_genes, m_samples)``).
+
+        Raises on degenerate inputs (fewer than 2 genes, fewer samples than
+        the spline order needs to be meaningful).
+        """
+        cfg = self.config
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+        n, m = data.shape
+        if not np.isfinite(data).all():
+            raise ValueError(
+                "expression data contains NaN/inf; impute first "
+                "(see repro.data.impute_missing)"
+            )
+        if n < 2:
+            raise ValueError(f"need at least 2 genes, got {n}")
+        if m < 2 * cfg.order:
+            raise ValueError(
+                f"need at least {2 * cfg.order} samples for order {cfg.order}, got {m}"
+            )
+        if genes is None:
+            genes = [f"G{i:05d}" for i in range(n)]
+        if len(genes) != n:
+            raise ValueError(f"{len(genes)} gene names for {n} genes")
+        self.timings = {}
+
+        transformed = self._timed("preprocess", preprocess, data, cfg.transform)
+        weights = self._timed(
+            "weights", weight_tensor, transformed, cfg.bins, cfg.order, np.dtype(cfg.dtype)
+        )
+        if cfg.testing == "exact":
+            return self._run_exact(weights, genes, n)
+        null = self._timed(
+            "null",
+            pooled_null,
+            weights,
+            cfg.n_permutations,
+            min(cfg.n_null_pairs, pair_count(n)),
+            cfg.seed,
+            cfg.base,
+        )
+        result = self._timed(
+            "mi", mi_matrix, weights, cfg.tile, cfg.base, self.engine
+        )
+
+        def build():
+            if cfg.correction == "bh":
+                adj, _p = fdr_adjacency(result.mi, null, alpha=cfg.alpha)
+                thr = float("nan")
+            else:
+                thr = null.threshold(cfg.alpha, n_tests=pair_count(n), correction=cfg.correction)
+                adj = threshold_adjacency(result.mi, thr)
+            return GeneNetwork(adjacency=adj, weights=result.mi, genes=list(genes), threshold=thr)
+
+        network = self._timed("threshold", build)
+        if cfg.exact_retest and network.n_edges:
+            network = self._timed("retest", self._exact_retest, network, weights)
+        return TingeResult(
+            network=network,
+            mi=result.mi,
+            null=null,
+            timings=dict(self.timings),
+            config=cfg,
+        )
+
+    def _run_exact(self, weights: np.ndarray, genes: list, n: int) -> TingeResult:
+        """Exact-testing branch: fused per-pair permutation p-values."""
+        from repro.stats.fdr import benjamini_hochberg
+
+        cfg = self.config
+        min_p = 1.0 / (cfg.n_permutations + 1.0)
+        if cfg.correction == "bonferroni" and min_p > cfg.alpha / pair_count(n):
+            raise ValueError(
+                f"exact testing with q={cfg.n_permutations} resolves p-values "
+                f"only to {min_p:.2e}, above the Bonferroni level "
+                f"{cfg.alpha / pair_count(n):.2e} for {pair_count(n)} pairs; "
+                "raise n_permutations or use correction='bh'/'none'"
+            )
+        exact = self._timed(
+            "mi", exact_mi_pvalues, weights, cfg.n_permutations, cfg.tile,
+            cfg.seed, cfg.base, self.engine,
+        )
+
+        def build():
+            iu = np.triu_indices(n, k=1)
+            p_upper = exact.pvalues[iu]
+            if cfg.correction == "bh":
+                keep = benjamini_hochberg(p_upper, alpha=cfg.alpha)
+            elif cfg.correction == "bonferroni":
+                keep = p_upper <= cfg.alpha / pair_count(n)
+            else:
+                keep = p_upper <= cfg.alpha
+            adj = np.zeros((n, n), dtype=bool)
+            adj[(iu[0][keep], iu[1][keep])] = True
+            adj = adj | adj.T
+            return GeneNetwork(adjacency=adj, weights=exact.mi,
+                               genes=list(genes), threshold=float("nan"))
+
+        network = self._timed("threshold", build)
+        return TingeResult(
+            network=network,
+            mi=exact.mi,
+            null=None,
+            timings=dict(self.timings),
+            config=cfg,
+            pvalues=exact.pvalues,
+        )
+
+    def _exact_retest(self, network: GeneNetwork, weights: np.ndarray) -> GeneNetwork:
+        """Stage-two exact per-pair permutation test of the candidate edges."""
+        from repro.core.permutation import per_pair_pvalues
+        from repro.stats.fdr import benjamini_hochberg
+
+        cfg = self.config
+        iu = np.nonzero(np.triu(network.adjacency, k=1))
+        pairs = np.stack(iu, axis=1)
+        _obs, pvals = per_pair_pvalues(
+            weights, pairs, n_permutations=cfg.retest_permutations,
+            seed=cfg.seed, base=cfg.base,
+        )
+        keep = benjamini_hochberg(pvals, alpha=cfg.alpha)
+        adj = np.zeros_like(network.adjacency)
+        adj[(iu[0][keep], iu[1][keep])] = True
+        adj = adj | adj.T
+        return GeneNetwork(
+            adjacency=adj, weights=network.weights,
+            genes=network.genes, threshold=network.threshold,
+        )
+
+
+
+
+def reconstruct_network(
+    data: np.ndarray,
+    genes: "list[str] | None" = None,
+    config: TingeConfig | None = None,
+    engine=None,
+) -> TingeResult:
+    """One-call TINGe network reconstruction.
+
+    Parameters
+    ----------
+    data:
+        ``(n_genes, m_samples)`` expression matrix.
+    genes:
+        Optional gene names (defaults to ``G00000...``).
+    config:
+        :class:`TingeConfig`; defaults are the TINGe paper settings scaled
+        for interactive use.
+    engine:
+        Optional parallel execution engine (:mod:`repro.parallel.engine`).
+
+    Returns
+    -------
+    TingeResult
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import reconstruct_network
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.normal(size=200); noisy = x + 0.1 * rng.normal(size=200)
+    >>> data = np.vstack([x, noisy, rng.normal(size=200)])
+    >>> res = reconstruct_network(data, genes=["a", "b", "c"])
+    >>> ("a", "b") in res.network.edge_set()
+    True
+    """
+    return TingePipeline(config=config, engine=engine).run(data, genes)

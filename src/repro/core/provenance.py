@@ -1,0 +1,112 @@
+"""Run provenance: a self-describing record of how a network was made.
+
+A network file without its generating configuration is unreproducible.
+:func:`run_record` captures everything needed to regenerate a
+:class:`~repro.core.pipeline.TingeResult` — the full config, data
+fingerprint, package/library versions, timings, threshold, and edge count
+— as a JSON-serializable dict; :func:`save_run_record` /
+:func:`load_run_record` round-trip it next to the network artifact, and
+:func:`verify_run_record` checks a record against a dataset + result pair
+(the guard a pipeline re-run uses to confirm it reproduced the original).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["data_fingerprint", "run_record", "save_run_record", "load_run_record", "verify_run_record"]
+
+RECORD_VERSION = 1
+
+
+def data_fingerprint(data: np.ndarray) -> str:
+    """SHA-256 of the expression matrix's bytes (shape- and dtype-bound)."""
+    arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def run_record(result, data: np.ndarray) -> dict:
+    """Build the provenance record of a pipeline run.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.pipeline.TingeResult`.
+    data:
+        The exact expression matrix the pipeline consumed.
+    """
+    import repro
+
+    cfg = dataclasses.asdict(result.config)
+    threshold = result.network.threshold
+    return {
+        "record_version": RECORD_VERSION,
+        "package_version": repro.__version__,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "config": cfg,
+        "data": {
+            "n_genes": int(data.shape[0]),
+            "m_samples": int(data.shape[1]),
+            "sha256": data_fingerprint(data),
+        },
+        "result": {
+            "n_edges": int(result.network.n_edges),
+            "threshold": None if np.isnan(threshold) else float(threshold),
+            "timings": {k: float(v) for k, v in result.timings.items()},
+        },
+    }
+
+
+def save_run_record(record: dict, path: "str | Path") -> None:
+    """Write a record as pretty JSON."""
+    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def load_run_record(path: "str | Path") -> dict:
+    """Read a record back; raises on version mismatch."""
+    record = json.loads(Path(path).read_text())
+    version = record.get("record_version")
+    if version != RECORD_VERSION:
+        raise ValueError(
+            f"unsupported run-record version {version!r} (expected {RECORD_VERSION})"
+        )
+    return record
+
+
+def verify_run_record(record: dict, data: np.ndarray, result=None) -> list:
+    """Check a record against data (and optionally a re-run's result).
+
+    Returns a list of human-readable mismatch strings — empty means the
+    record matches, i.e. the re-run reproduced the original.
+    """
+    problems = []
+    expected = record.get("data", {})
+    if tuple(data.shape) != (expected.get("n_genes"), expected.get("m_samples")):
+        problems.append(
+            f"data shape {tuple(data.shape)} != recorded "
+            f"({expected.get('n_genes')}, {expected.get('m_samples')})"
+        )
+    elif data_fingerprint(data) != expected.get("sha256"):
+        problems.append("data fingerprint differs from the recorded sha256")
+    if result is not None:
+        rec = record.get("result", {})
+        if result.network.n_edges != rec.get("n_edges"):
+            problems.append(
+                f"edge count {result.network.n_edges} != recorded {rec.get('n_edges')}"
+            )
+        thr = result.network.threshold
+        rec_thr = rec.get("threshold")
+        both_nan = np.isnan(thr) and rec_thr is None
+        if not both_nan and (rec_thr is None or abs(thr - rec_thr) > 1e-12):
+            problems.append(f"threshold {thr} != recorded {rec_thr}")
+    return problems

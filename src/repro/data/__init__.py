@@ -1,0 +1,69 @@
+"""Synthetic expression-data substrate (ground truth included).
+
+Substitutes the paper's proprietary Arabidopsis microarray compendium with
+generated data at the same shapes: a known regulatory network
+(:mod:`repro.data.grn`) drives expression synthesis
+(:mod:`repro.data.expression`), a microarray measurement model adds
+realistic noise (:mod:`repro.data.microarray`), presets pin the shapes the
+paper evaluates (:mod:`repro.data.datasets`), and :mod:`repro.data.io`
+round-trips everything.
+"""
+
+from repro.data.datasets import (
+    ARABIDOPSIS_SHAPE,
+    DatasetShape,
+    arabidopsis_scale,
+    arabidopsis_shape,
+    microarray_dataset,
+    toy,
+    yeast_subset,
+)
+from repro.data.expression import ExpressionDataset, simulate_expression
+from repro.data.grn import GroundTruthNetwork, erdos_renyi_grn, modular_grn, scale_free_grn
+from repro.data.io import (
+    load_dataset,
+    read_edge_list,
+    read_expression_tsv,
+    save_dataset,
+    write_edge_list,
+    write_expression_tsv,
+)
+from repro.data.perturbation import PerturbationPanel, simulate_perturbations
+from repro.data.microarray import (
+    add_batch_effects,
+    apply_measurement_noise,
+    center_batches,
+    impute_missing,
+    log2_transform,
+    quantile_normalize,
+)
+
+__all__ = [
+    "ARABIDOPSIS_SHAPE",
+    "DatasetShape",
+    "ExpressionDataset",
+    "GroundTruthNetwork",
+    "PerturbationPanel",
+    "add_batch_effects",
+    "apply_measurement_noise",
+    "center_batches",
+    "arabidopsis_scale",
+    "arabidopsis_shape",
+    "erdos_renyi_grn",
+    "impute_missing",
+    "load_dataset",
+    "log2_transform",
+    "microarray_dataset",
+    "modular_grn",
+    "quantile_normalize",
+    "read_edge_list",
+    "read_expression_tsv",
+    "save_dataset",
+    "scale_free_grn",
+    "simulate_expression",
+    "simulate_perturbations",
+    "toy",
+    "write_edge_list",
+    "write_expression_tsv",
+    "yeast_subset",
+]

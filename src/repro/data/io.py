@@ -1,0 +1,127 @@
+"""Reading and writing expression matrices, edge lists and datasets.
+
+Formats:
+
+* **Expression TSV** — the TINGe input convention: one header row of sample
+  names, then one row per gene (``gene_name <tab> value ...``).
+* **Edge-list TSV** — ``gene_a <tab> gene_b <tab> mi`` per line, the
+  network output format.
+* **NPZ** — compressed binary round-trip of a whole
+  :class:`~repro.data.expression.ExpressionDataset` including ground truth.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.expression import ExpressionDataset
+from repro.data.grn import GroundTruthNetwork
+
+__all__ = [
+    "write_expression_tsv",
+    "read_expression_tsv",
+    "write_edge_list",
+    "read_edge_list",
+    "save_dataset",
+    "load_dataset",
+]
+
+
+def write_expression_tsv(dataset: ExpressionDataset, path: "str | Path") -> None:
+    """Write an expression matrix in TINGe TSV layout."""
+    path = Path(path)
+    m = dataset.m_samples
+    with path.open("w") as fh:
+        fh.write("gene\t" + "\t".join(f"S{j:04d}" for j in range(m)) + "\n")
+        for name, row in zip(dataset.genes, dataset.expression):
+            fh.write(name + "\t" + "\t".join(f"{v:.6g}" for v in row) + "\n")
+
+
+def read_expression_tsv(path: "str | Path") -> ExpressionDataset:
+    """Read the TSV layout written by :func:`write_expression_tsv`.
+
+    Ground truth is not representable in TSV, so ``truth`` is ``None``.
+    Raises on ragged rows or non-numeric values.
+    """
+    path = Path(path)
+    genes: list = []
+    rows: list = []
+    with path.open() as fh:
+        header = fh.readline()
+        if not header:
+            raise ValueError(f"{path}: empty file")
+        n_cols = len(header.rstrip("\n").split("\t")) - 1
+        for lineno, line in enumerate(fh, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != n_cols + 1:
+                raise ValueError(
+                    f"{path}:{lineno}: expected {n_cols + 1} columns, got {len(parts)}"
+                )
+            genes.append(parts[0])
+            try:
+                rows.append([float(v) for v in parts[1:]])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-numeric value ({exc})") from None
+    if not rows:
+        raise ValueError(f"{path}: no gene rows")
+    return ExpressionDataset(expression=np.asarray(rows), genes=genes, truth=None)
+
+
+def write_edge_list(edges, path: "str | Path") -> None:
+    """Write ``(gene_a, gene_b, mi)`` triples as TSV."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("gene_a\tgene_b\tmi\n")
+        for a, b, w in edges:
+            fh.write(f"{a}\t{b}\t{w:.8g}\n")
+
+
+def read_edge_list(path: "str | Path") -> list:
+    """Read the TSV written by :func:`write_edge_list`."""
+    path = Path(path)
+    out = []
+    with path.open() as fh:
+        header = fh.readline()
+        if not header.startswith("gene_a"):
+            raise ValueError(f"{path}: missing edge-list header")
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 3 columns")
+            out.append((parts[0], parts[1], float(parts[2])))
+    return out
+
+
+def save_dataset(dataset: ExpressionDataset, path: "str | Path") -> None:
+    """Binary round-trip of a dataset including any ground truth."""
+    payload = {
+        "expression": dataset.expression,
+        "genes": np.asarray(dataset.genes, dtype=object),
+    }
+    if dataset.truth is not None:
+        payload["truth_edges"] = dataset.truth.edges
+        payload["truth_strengths"] = dataset.truth.strengths
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_dataset(path: "str | Path") -> ExpressionDataset:
+    """Inverse of :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=True) as z:
+        genes = [str(g) for g in z["genes"]]
+        truth = None
+        if "truth_edges" in z:
+            truth = GroundTruthNetwork(
+                n_genes=len(genes),
+                edges=z["truth_edges"],
+                strengths=z["truth_strengths"],
+                genes=genes,
+            )
+        return ExpressionDataset(expression=z["expression"], genes=genes, truth=truth)

@@ -1,0 +1,79 @@
+"""Chip-level machine models: specs, cost model, simulator, offload.
+
+The reproduction's substitute for the paper's hardware (see DESIGN.md):
+:class:`~repro.machine.spec.MachineSpec` describes a chip,
+:class:`~repro.machine.costmodel.TileCostModel` prices a tile on it,
+:class:`~repro.machine.simulator.MachineSimulator` replays a scheduled tile
+workload, and :mod:`~repro.machine.offload` adds the PCIe bus.
+:mod:`~repro.machine.calibrate` ties the model back to measured host rates.
+"""
+
+from repro.machine.calibrate import HostCalibration, calibrate_host, project_runtime
+from repro.machine.costmodel import (
+    KernelProfile,
+    RooflinePoint,
+    TileCostModel,
+    roofline_point,
+    workload_flops,
+)
+from repro.machine.energy import DEFAULT_TDP_W, EnergyEstimate, energy_to_solution, platform_power_watts
+from repro.machine.memory import MemoryPlan, memory_plan
+from repro.machine.offload import OffloadPlan, offload_plan
+from repro.machine.simulator import MachineSimulator, SimResult, simulate_workload, speedup_curve
+from repro.machine.sweep import SweepPoint, scale_machine, sweep
+from repro.machine.validate import ShapeValidation, loglog_exponent, validate_shape
+from repro.machine.trace import (
+    active_threads_timeline,
+    render_gantt,
+    tail_start,
+    trace_utilization,
+)
+from repro.machine.spec import (
+    BLUEGENE_L_1024,
+    PRESETS,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_5110P,
+    ClusterSpec,
+    MachineSpec,
+    get_machine,
+)
+
+__all__ = [
+    "BLUEGENE_L_1024",
+    "ClusterSpec",
+    "DEFAULT_TDP_W",
+    "EnergyEstimate",
+    "HostCalibration",
+    "KernelProfile",
+    "MachineSimulator",
+    "MachineSpec",
+    "MemoryPlan",
+    "OffloadPlan",
+    "PRESETS",
+    "RooflinePoint",
+    "SimResult",
+    "ShapeValidation",
+    "SweepPoint",
+    "active_threads_timeline",
+    "TileCostModel",
+    "XEON_E5_2670_DUAL",
+    "XEON_PHI_5110P",
+    "calibrate_host",
+    "energy_to_solution",
+    "get_machine",
+    "memory_plan",
+    "offload_plan",
+    "platform_power_watts",
+    "project_runtime",
+    "render_gantt",
+    "roofline_point",
+    "scale_machine",
+    "simulate_workload",
+    "speedup_curve",
+    "loglog_exponent",
+    "sweep",
+    "tail_start",
+    "trace_utilization",
+    "validate_shape",
+    "workload_flops",
+]

@@ -1,0 +1,96 @@
+"""Host calibration: anchor the model to a measured kernel rate.
+
+The machine simulator predicts *other* machines; this module measures what
+**this** host actually sustains on the real numpy tile kernel, so the
+benchmarks can (a) report measured pairs/second honestly and (b) project
+measured small-scale runs to whole-genome scale with a constant that came
+from a real run rather than a spec sheet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bspline import weight_tensor
+from repro.core.mi import mi_tile
+from repro.core.tiling import pair_count
+from repro.machine.costmodel import KernelProfile
+
+__all__ = ["HostCalibration", "calibrate_host", "project_runtime"]
+
+
+@dataclass(frozen=True)
+class HostCalibration:
+    """Measured host throughput on the MI tile kernel.
+
+    Attributes
+    ----------
+    pairs_per_second:
+        Sustained MI pair evaluations per second (tile kernel, hot cache).
+    gflops:
+        The same measurement expressed as model flops per second (using the
+        cost model's flop count, so it is directly comparable to
+        ``MachineSpec.effective_gflops``).
+    m_samples, bins, order:
+        The workload shape the calibration ran.
+    """
+
+    pairs_per_second: float
+    gflops: float
+    m_samples: int
+    bins: int
+    order: int
+
+
+def calibrate_host(
+    m_samples: int = 512,
+    bins: int = 10,
+    order: int = 3,
+    tile: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+) -> HostCalibration:
+    """Time the real tile kernel on synthetic data and report throughput.
+
+    Runs ``repeats`` timed evaluations of one ``tile x tile`` MI block and
+    keeps the fastest (standard min-of-N microbenchmark practice — the
+    minimum is the least noise-contaminated estimate).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    data = rng.random((2 * tile, m_samples))
+    w = weight_tensor(data, bins=bins, order=order)
+    wi, wj = w[:tile], w[tile:]
+    mi_tile(wi, wj)  # warm-up (allocations, BLAS thread spin-up)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        mi_tile(wi, wj)
+        best = min(best, time.perf_counter() - t0)
+    pairs = tile * tile
+    profile = KernelProfile(m_samples=m_samples, bins=bins, order=order)
+    return HostCalibration(
+        pairs_per_second=pairs / best,
+        gflops=pairs * profile.flops_per_pair / best / 1e9,
+        m_samples=m_samples,
+        bins=bins,
+        order=order,
+    )
+
+
+def project_runtime(calibration: HostCalibration, n_genes: int, m_samples: int | None = None) -> float:
+    """Projected host seconds for an all-pairs run of ``n_genes``.
+
+    Scales the calibrated pair rate linearly in ``m`` (the kernel is a GEMM
+    over the sample axis) and quadratically in ``n`` — the projection the
+    whole-genome benchmark prints next to the simulator's numbers.
+    """
+    if n_genes < 2:
+        raise ValueError("n_genes must be >= 2")
+    m = m_samples or calibration.m_samples
+    rate = calibration.pairs_per_second * (calibration.m_samples / m)
+    return pair_count(n_genes) / rate

@@ -1,0 +1,236 @@
+"""Analytic cost model of the MI tile kernel on a modelled machine.
+
+The model charges each tile three resources and takes the roofline max:
+
+* **compute** — flops of the joint-histogram accumulation (the sparse
+  B-spline formulation touches ``order²`` weight products per sample) plus
+  the entropy reduction (``bins²`` log-multiply-adds, with logs costed at
+  :data:`LOG_FLOP_EQUIV` flop-equivalents), repeated ``1 + q`` times when
+  permutation testing is fused into the kernel the way TINGe fuses it
+  (the permuted weight rows are already in cache, so compute — not memory —
+  scales with ``q``);
+* **memory** — weight slabs stream in once per tile when the kernel is
+  cache-blocked; an *unblocked* kernel reloads both genes' weights for
+  every pair, which is the memory-traffic cliff the paper's tiling
+  optimization removes (experiment E3's "+tiling" bar);
+* **vector efficiency** — a scalar kernel forfeits the machine's SIMD lanes
+  (the "baseline" bar of E3).
+
+All times are single-thread: the simulator combines them with the SMT issue
+model and bandwidth sharing of :class:`repro.machine.spec.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.tiling import Tile, pair_count
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "LOG_FLOP_EQUIV",
+    "KernelProfile",
+    "TileCostModel",
+    "RooflinePoint",
+    "roofline_point",
+    "workload_flops",
+]
+
+#: Flop-equivalents charged per (vectorized) logarithm in the entropy sum.
+LOG_FLOP_EQUIV = 8.0
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Shape parameters of the MI workload.
+
+    Attributes
+    ----------
+    m_samples, bins, order:
+        Estimator shape (see :mod:`repro.core.bspline`).
+    itemsize:
+        Bytes per weight value (4 = float32, the paper's choice).
+    n_permutations_fused:
+        Permuted MI evaluations fused into the kernel per pair (``q``);
+        0 models the pooled-null pipeline where the null is a separate,
+        negligible pre-pass.
+    vectorized:
+        Whether the kernel uses the machine's SIMD lanes.
+    tiled:
+        Whether weights are cache-blocked (loaded once per tile) or
+        re-streamed per pair.
+    """
+
+    m_samples: int
+    bins: int = 10
+    order: int = 3
+    itemsize: int = 4
+    n_permutations_fused: int = 0
+    vectorized: bool = True
+    tiled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.m_samples < 1:
+            raise ValueError("m_samples must be >= 1")
+        if self.bins < self.order or self.order < 1:
+            raise ValueError("need bins >= order >= 1")
+        if self.itemsize not in (4, 8):
+            raise ValueError("itemsize must be 4 or 8 bytes")
+        if self.n_permutations_fused < 0:
+            raise ValueError("n_permutations_fused must be >= 0")
+
+    @property
+    def evaluations_per_pair(self) -> int:
+        """MI evaluations per pair: the observed one plus fused permutations."""
+        return 1 + self.n_permutations_fused
+
+    @property
+    def flops_per_evaluation(self) -> float:
+        """Flops of one MI evaluation (joint accumulation + entropy)."""
+        joint = 2.0 * self.m_samples * self.order**2
+        entropy = self.bins**2 * (LOG_FLOP_EQUIV + 2.0)
+        return joint + entropy
+
+    @property
+    def flops_per_pair(self) -> float:
+        return self.evaluations_per_pair * self.flops_per_evaluation
+
+    def weight_bytes_per_gene(self) -> float:
+        """Streamed bytes of one gene's packed weight rows (values + index)."""
+        return self.m_samples * (self.order * self.itemsize + 4.0)
+
+
+@dataclass(frozen=True)
+class TileCostModel:
+    """Per-tile seconds on one thread of a given machine.
+
+    Combines a :class:`KernelProfile` with a :class:`MachineSpec`.  The
+    thread's compute rate depends on how many threads share its core, so
+    :meth:`tile_seconds` takes the SMT occupancy and the number of threads
+    sharing chip bandwidth as parameters (the simulator supplies them).
+    """
+
+    machine: MachineSpec
+    profile: KernelProfile
+
+    def tile_flops(self, tile: Tile) -> float:
+        """Total flops of a tile (rectangular kernel: all cells computed)."""
+        return tile.n_elements * self.profile.flops_per_pair
+
+    def tile_bytes(self, tile: Tile) -> float:
+        """Memory traffic of a tile.
+
+        Cache-blocked: both slabs stream once.  Unblocked: every pair
+        re-reads both genes' weights from memory.
+        """
+        wpg = self.profile.weight_bytes_per_gene()
+        if self.profile.tiled:
+            slab = (tile.rows + tile.cols) * wpg
+        else:
+            slab = 2.0 * tile.n_elements * wpg
+        output = tile.n_elements * 4.0
+        return slab + output
+
+    def thread_gflops(self, active_threads_on_core: int) -> float:
+        """Sustained kernel GFLOP/s of one thread at the given occupancy."""
+        rate = self.machine.thread_rate_gflops(active_threads_on_core)
+        rate *= self.machine.kernel_efficiency
+        if not self.profile.vectorized:
+            rate /= self.machine.vector_lanes_sp
+        return rate
+
+    def tile_seconds(
+        self,
+        tile: Tile,
+        active_threads_on_core: int = 1,
+        threads_sharing_bw: int = 1,
+    ) -> float:
+        """Roofline time of one tile on one thread.
+
+        ``max(compute, memory)``: compute at the thread's SMT-adjusted
+        kernel rate, memory at a fair ``1/threads_sharing_bw`` share of chip
+        bandwidth.
+        """
+        if threads_sharing_bw < 1:
+            raise ValueError("threads_sharing_bw must be >= 1")
+        t_flop = self.tile_flops(tile) / (self.thread_gflops(active_threads_on_core) * 1e9)
+        bw_share = self.machine.mem_bw_gbs * 1e9 / threads_sharing_bw
+        t_mem = self.tile_bytes(tile) / bw_share
+        return max(t_flop, t_mem)
+
+    def tile_seconds_vector(
+        self,
+        tiles: "list[Tile]",
+        active_threads_on_core: int = 1,
+        threads_sharing_bw: int = 1,
+    ) -> np.ndarray:
+        """Vectorized :meth:`tile_seconds` over a tile list."""
+        return np.array(
+            [self.tile_seconds(t, active_threads_on_core, threads_sharing_bw) for t in tiles],
+            dtype=np.float64,
+        )
+
+    def with_profile(self, **changes) -> "TileCostModel":
+        """Copy with profile fields replaced (for optimization-stage sweeps)."""
+        return TileCostModel(self.machine, replace(self.profile, **changes))
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where the MI kernel sits on a machine's roofline.
+
+    Attributes
+    ----------
+    arithmetic_intensity:
+        Kernel flops per byte of memory traffic (tile-amortized).
+    ridge_intensity:
+        The machine's ridge point ``peak_flops / mem_bw`` (in kernel-
+        effective terms): intensities above it are compute-bound.
+    compute_bound:
+        True when the kernel's intensity exceeds the ridge.
+    attainable_gflops:
+        ``min(peak, intensity * bw)`` with kernel efficiency applied — the
+        model's sustained-rate ceiling.
+    """
+
+    arithmetic_intensity: float
+    ridge_intensity: float
+    compute_bound: bool
+    attainable_gflops: float
+
+
+def roofline_point(
+    machine: MachineSpec,
+    profile: KernelProfile,
+    tile: int = 32,
+) -> RooflinePoint:
+    """Roofline classification of the MI kernel on a machine.
+
+    Explains the tiling stage of E3 quantitatively: the tiled kernel's
+    intensity scales with the tile edge (weights amortize over ``T`` pairs
+    each) and with ``1 + q`` fused permutations (in-cache weight reuse),
+    while the un-tiled kernel's intensity is fixed and low.
+    """
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    t = Tile(0, tile, tile, 2 * tile)
+    model = TileCostModel(machine, profile)
+    flops = model.tile_flops(t)
+    traffic = model.tile_bytes(t)
+    intensity = flops / traffic
+    eff_peak = machine.peak_gflops_sp * machine.kernel_efficiency
+    ridge = eff_peak / machine.mem_bw_gbs
+    attainable = min(eff_peak, intensity * machine.mem_bw_gbs)
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        ridge_intensity=ridge,
+        compute_bound=intensity >= ridge,
+        attainable_gflops=attainable,
+    )
+
+
+def workload_flops(n_genes: int, profile: KernelProfile) -> float:
+    """Total useful flops of an all-pairs run (valid pairs only)."""
+    return pair_count(n_genes) * profile.flops_per_pair

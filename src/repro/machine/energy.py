@@ -1,0 +1,88 @@
+"""Energy-to-solution model.
+
+The accelerator argument of the Phi era was never only about speed: a
+coprocessor drawing ~225 W replacing a machine room drawing tens of
+kilowatts changes *energy per network*, the number a facility pays for.
+This module attaches TDP figures to the modelled platforms and converts
+the runtime predictions into energy-to-solution — the comparison (E22)
+where the single-chip solution wins by an order of magnitude even while
+losing on raw time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import (
+    BLUEGENE_L_1024,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_5110P,
+    ClusterSpec,
+    MachineSpec,
+)
+
+__all__ = ["EnergyEstimate", "platform_power_watts", "energy_to_solution", "DEFAULT_TDP_W"]
+
+#: Nominal platform power draws (board/system level, W).  Phi 5110P TDP is
+#: 225 W plus ~75 W for the host that feeds it; the dual E5-2670 node is
+#: 2 x 115 W TDP plus ~70 W platform; Blue Gene/L drew ~20 W per compute
+#: node (1,024 cores = 512 nodes) plus ~15% for I/O and link hardware.
+DEFAULT_TDP_W = {
+    XEON_PHI_5110P.name: 225.0 + 75.0,
+    XEON_E5_2670_DUAL.name: 2 * 115.0 + 70.0,
+    BLUEGENE_L_1024.name: 512 * 20.0 * 1.15,
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy to solution of one run on one platform."""
+
+    platform: str
+    seconds: float
+    watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.seconds * self.watts
+
+    @property
+    def watt_hours(self) -> float:
+        return self.joules / 3600.0
+
+
+def platform_power_watts(machine) -> float:
+    """Nominal power of a preset machine or cluster (see
+    :data:`DEFAULT_TDP_W`); raises for machines without a power figure."""
+    name = machine.name if isinstance(machine, (MachineSpec, ClusterSpec)) else str(machine)
+    try:
+        return DEFAULT_TDP_W[name]
+    except KeyError:
+        raise ValueError(
+            f"no power figure for {name!r}; pass watts explicitly to "
+            "energy_to_solution"
+        ) from None
+
+
+def energy_to_solution(machine, seconds: float, watts: "float | None" = None) -> EnergyEstimate:
+    """Convert a runtime prediction into energy to solution.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`MachineSpec`/:class:`ClusterSpec` (for the name and the
+        default power figure) or a plain name string.
+    seconds:
+        Predicted runtime (e.g. from
+        :meth:`repro.machine.simulator.MachineSimulator.predict_seconds`).
+    watts:
+        Override the default platform power.
+    """
+    if seconds < 0:
+        raise ValueError("seconds must be >= 0")
+    if watts is None:
+        watts = platform_power_watts(machine)
+    if watts <= 0:
+        raise ValueError("watts must be positive")
+    name = machine.name if isinstance(machine, (MachineSpec, ClusterSpec)) else str(machine)
+    return EnergyEstimate(platform=name, seconds=float(seconds), watts=float(watts))

@@ -1,0 +1,124 @@
+"""Memory-capacity planning for whole-genome runs.
+
+The Phi 5110P has 8 GB of GDDR5 and no virtual-memory escape hatch: the
+paper's single-chip claim only works because the working state fits.  This
+module makes the footprint arithmetic explicit — expression matrix,
+weight tensor (dense or packed), permutation storage, output edges — and
+decides the residency strategy a machine can afford, the same feasibility
+check the authors had to pass before any optimization mattered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tiling import pair_count
+from repro.machine.costmodel import KernelProfile
+from repro.machine.spec import MachineSpec
+
+__all__ = ["MemoryPlan", "memory_plan"]
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Footprint breakdown of one whole-genome run on one machine.
+
+    All sizes in bytes.  ``strategy`` is one of:
+
+    * ``"dense-resident"`` — full dense ``(n, m, b)`` weight tensor fits;
+    * ``"packed-resident"`` — only the packed ``(n, m, k+1)`` layout fits
+      (the paper's layout; the kernel unpacks per tile);
+    * ``"out-of-core"`` — not even packed weights fit: gene panels must be
+      streamed over PCIe per block-row (cost modelled by
+      :mod:`repro.machine.offload`).
+    """
+
+    expression_bytes: float
+    weights_dense_bytes: float
+    weights_packed_bytes: float
+    permutations_bytes: float
+    output_bytes: float
+    capacity_bytes: float
+    strategy: str
+
+    @property
+    def resident_bytes(self) -> float:
+        """Bytes resident under the chosen strategy."""
+        w = {
+            "dense-resident": self.weights_dense_bytes,
+            "packed-resident": self.weights_packed_bytes,
+            "out-of-core": 0.0,
+        }[self.strategy]
+        return w + self.permutations_bytes + self.output_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Resident share of capacity (0 when out-of-core)."""
+        if self.capacity_bytes <= 0:
+            return float("inf")
+        return self.resident_bytes / self.capacity_bytes
+
+
+def memory_plan(
+    machine: MachineSpec,
+    n_genes: int,
+    profile: KernelProfile,
+    n_permutations_stored: int = 0,
+    expected_edge_density: float = 1e-4,
+    headroom: float = 0.85,
+) -> MemoryPlan:
+    """Plan weight-tensor residency for a run.
+
+    Parameters
+    ----------
+    machine:
+        Target machine (its ``mem_gb`` is the budget).
+    n_genes:
+        Problem size.
+    profile:
+        Kernel shape (samples, bins, order, itemsize).
+    n_permutations_stored:
+        Permutation index vectors kept resident (``q`` vectors of ``m``
+        4-byte indices; the shared-permutation design needs only these, not
+        permuted weight copies).
+    expected_edge_density:
+        Fraction of pairs expected to become edges (sizes the output
+        buffer); whole-genome MI networks run ~1e-4 .. 1e-2.
+    headroom:
+        Usable fraction of capacity (the uOS and buffers take the rest).
+    """
+    if n_genes < 1:
+        raise ValueError("n_genes must be >= 1")
+    if not 0.0 < headroom <= 1.0:
+        raise ValueError("headroom must be in (0, 1]")
+    if not 0.0 <= expected_edge_density <= 1.0:
+        raise ValueError("expected_edge_density must be in [0, 1]")
+    m = profile.m_samples
+    b = profile.bins
+    k = profile.order
+    item = profile.itemsize
+
+    expression = float(n_genes) * m * item
+    dense = float(n_genes) * m * b * item
+    packed = float(n_genes) * m * (k * item + 4.0)  # values + first-index
+    perms = float(n_permutations_stored) * m * 4.0
+    # One edge record: two int32 ids + one float MI.
+    output = pair_count(n_genes) * expected_edge_density * 12.0
+    capacity = machine.mem_gb * 1e9 * headroom
+
+    fixed = perms + output
+    if dense + fixed <= capacity:
+        strategy = "dense-resident"
+    elif packed + fixed <= capacity:
+        strategy = "packed-resident"
+    else:
+        strategy = "out-of-core"
+    return MemoryPlan(
+        expression_bytes=expression,
+        weights_dense_bytes=dense,
+        weights_packed_bytes=packed,
+        permutations_bytes=perms,
+        output_bytes=output,
+        capacity_bytes=capacity,
+        strategy=strategy,
+    )

@@ -1,0 +1,115 @@
+"""PCIe offload model for the coprocessor execution mode.
+
+The Phi is a PCIe device: the expression data (or the precomputed weight
+tensor) must cross the bus before compute starts, and the MI matrix's edges
+cross back.  The paper's offload design streams the input while the first
+tiles compute; this module models both the naive (serial) and overlapped
+(double-buffered) schedules so experiment E12 can show when the bus
+matters — and why, for this workload (O(n·m) bytes in, O(n²) flops), it
+essentially never does at whole-genome scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["OffloadPlan", "offload_plan"]
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """Timed breakdown of one offloaded run.
+
+    Attributes
+    ----------
+    transfer_in_s, transfer_out_s:
+        Bus time for input weights and output edge list.
+    compute_s:
+        Device compute time (from the machine simulator / cost model).
+    serial_s:
+        Total under the naive schedule: in + compute + out.
+    overlapped_s:
+        Total when input streaming overlaps compute in chunks: the device
+        starts after the first chunk lands and never starves iff per-chunk
+        compute exceeds per-chunk transfer.
+    """
+
+    transfer_in_s: float
+    transfer_out_s: float
+    compute_s: float
+    serial_s: float
+    overlapped_s: float
+
+    @property
+    def overlap_benefit(self) -> float:
+        """Fraction of the serial time that overlapping removes."""
+        if self.serial_s <= 0:
+            return 0.0
+        return 1.0 - self.overlapped_s / self.serial_s
+
+    @property
+    def bus_fraction_serial(self) -> float:
+        """Share of the serial schedule spent on the bus."""
+        if self.serial_s <= 0:
+            return 0.0
+        return (self.transfer_in_s + self.transfer_out_s) / self.serial_s
+
+
+def offload_plan(
+    machine: MachineSpec,
+    bytes_in: float,
+    bytes_out: float,
+    compute_s: float,
+    n_chunks: int = 16,
+    latency_us: float = 20.0,
+) -> OffloadPlan:
+    """Build the offload schedule for a run.
+
+    Parameters
+    ----------
+    machine:
+        Must have ``pcie_gbs > 0`` (a coprocessor).
+    bytes_in:
+        Host→device volume (weight tensor: ``n * m * (order+1) * 4`` for
+        the packed layout, or the raw expression matrix if weights are
+        built on the device).
+    bytes_out:
+        Device→host volume (significant edges; tiny).
+    compute_s:
+        Device compute time, from
+        :meth:`repro.machine.simulator.MachineSimulator.predict_seconds`.
+    n_chunks:
+        Double-buffering granularity for the overlapped schedule.
+    latency_us:
+        Per-transfer setup latency.
+    """
+    if machine.pcie_gbs <= 0:
+        raise ValueError(f"{machine.name} is not a PCIe coprocessor")
+    if bytes_in < 0 or bytes_out < 0 or compute_s < 0:
+        raise ValueError("volumes and compute time must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    bw = machine.pcie_gbs * 1e9
+    lat = latency_us * 1e-6
+    t_in = lat + bytes_in / bw
+    t_out = lat + bytes_out / bw
+    serial = t_in + compute_s + t_out
+
+    # Overlapped: input in n_chunks pieces; compute of chunk i needs chunk i
+    # resident. With uniform chunks, steady state is max(compute, transfer)
+    # per chunk; the pipeline fills with one transfer and drains with the
+    # last compute.
+    chunk_in = lat + (bytes_in / bw) / n_chunks
+    chunk_cmp = compute_s / n_chunks
+    overlapped = chunk_in + (n_chunks - 1) * max(chunk_in, chunk_cmp) + chunk_cmp + t_out
+    # Overlap can't be worse than serial (fall back to one chunk).
+    overlapped = min(overlapped, serial)
+    return OffloadPlan(
+        transfer_in_s=t_in,
+        transfer_out_s=t_out,
+        compute_s=compute_s,
+        serial_s=serial,
+        overlapped_s=overlapped,
+    )

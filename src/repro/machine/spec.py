@@ -1,0 +1,284 @@
+"""Machine specifications for the platforms the paper evaluates.
+
+The reproduction cannot run on a 2013 Xeon Phi, so the hardware becomes an
+explicit, inspectable model: a :class:`MachineSpec` captures exactly the
+properties the paper's optimizations exploit — core count, hardware threads
+per core (SMT), vector width, FMA, frequency, memory and PCIe bandwidth —
+plus the two empirical behaviours that shape its scaling curves:
+
+* **SMT issue efficiency.**  The Phi's (KNC) cores are in-order and cannot
+  issue instructions from the same thread in back-to-back cycles: one
+  thread per core reaches at most ~50% of core issue rate, and ≥2 threads
+  are needed to saturate it.  This is why the paper's Phi curves *require*
+  multiple threads per core — the single most distinctive shape in its
+  evaluation.  Xeon cores are out-of-order: one thread ≈ full rate,
+  HyperThreading adds a modest boost.
+* **Kernel efficiency.**  The MI kernel is not a pure GEMM (sparse k-wide
+  weight rows, scattered joint-histogram accumulation, transcendental
+  entropy terms), so it achieves a platform-dependent fraction of peak.
+  The value is a calibration constant per machine, chosen so the modelled
+  whole-genome runtimes land in the regime the paper reports (see
+  EXPERIMENTS.md, E8); all *relative* results (scaling, scheduling,
+  platform ratios) are insensitive to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MachineSpec",
+    "ClusterSpec",
+    "XEON_PHI_5110P",
+    "XEON_E5_2670_DUAL",
+    "BLUEGENE_L_1024",
+    "PRESETS",
+    "get_machine",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A single-node (or single-chip) execution target.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    cores:
+        Physical cores usable by the application (the paper leaves one Phi
+        core to the OS: 60 of 61).
+    threads_per_core:
+        Hardware thread contexts per core.
+    freq_ghz:
+        Clock frequency.
+    vector_lanes_sp:
+        Single-precision SIMD lanes (512-bit ⇒ 16; 256-bit AVX ⇒ 8).
+    fma:
+        Whether a lane retires a fused multiply-add (2 flops) per cycle.
+        (Sandy Bridge has no FMA but issues mul+add per cycle on separate
+        ports, which models identically at this granularity.)
+    smt_efficiency:
+        Tuple ``e[t-1]`` = aggregate core issue efficiency with ``t`` active
+        threads, relative to the core's peak.  KNC: ``(0.5, 1, 1, 1)``.
+    mem_bw_gbs:
+        Achievable memory bandwidth (GB/s) across the chip.
+    pcie_gbs:
+        Host↔device transfer bandwidth; ``0`` for a self-hosted machine.
+    kernel_efficiency:
+        Fraction of peak flops the MI tile kernel sustains (calibration
+        constant; see module docstring).
+    dispatch_overhead_us:
+        Cost of one dynamic-scheduler work-queue pull (atomic increment +
+        coherence), in microseconds.
+    mem_gb:
+        Device/host memory capacity in GB — the constraint that decides
+        whether the whole weight tensor is resident (the Phi's 8 GB GDDR5
+        is the tight case the paper designs for; see
+        :mod:`repro.machine.memory`).
+    """
+
+    name: str
+    cores: int
+    threads_per_core: int
+    freq_ghz: float
+    vector_lanes_sp: int
+    fma: bool = True
+    smt_efficiency: tuple = (1.0,)
+    mem_bw_gbs: float = 100.0
+    pcie_gbs: float = 0.0
+    kernel_efficiency: float = 0.25
+    dispatch_overhead_us: float = 1.0
+    mem_gb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads_per_core < 1:
+            raise ValueError("cores and threads_per_core must be >= 1")
+        if len(self.smt_efficiency) != self.threads_per_core:
+            raise ValueError(
+                f"smt_efficiency needs {self.threads_per_core} entries, "
+                f"got {len(self.smt_efficiency)}"
+            )
+        if not 0.0 < self.kernel_efficiency <= 1.0:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+        if min(self.smt_efficiency) <= 0 or max(self.smt_efficiency) > 1.3:
+            raise ValueError("smt_efficiency values out of plausible range")
+
+    @property
+    def max_threads(self) -> int:
+        """Total hardware thread contexts."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def flops_per_cycle_per_core(self) -> float:
+        """Peak SP flops per cycle of one core (all lanes, FMA counted)."""
+        return self.vector_lanes_sp * (2.0 if self.fma else 1.0)
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        """Chip peak single-precision GFLOP/s."""
+        return self.cores * self.flops_per_cycle_per_core * self.freq_ghz
+
+    def core_rate_gflops(self, active_threads: int) -> float:
+        """Aggregate GFLOP/s of one core running ``active_threads`` threads.
+
+        ``peak_per_core * smt_efficiency[t-1]`` — the function whose shape
+        makes 2+ threads/core mandatory on KNC.
+        """
+        if not 1 <= active_threads <= self.threads_per_core:
+            raise ValueError(
+                f"active_threads must be in [1, {self.threads_per_core}], got {active_threads}"
+            )
+        return (
+            self.flops_per_cycle_per_core
+            * self.freq_ghz
+            * self.smt_efficiency[active_threads - 1]
+        )
+
+    def thread_rate_gflops(self, active_threads: int) -> float:
+        """GFLOP/s available to *one* thread when ``active_threads`` share
+        its core (core rate split evenly)."""
+        return self.core_rate_gflops(active_threads) / active_threads
+
+    def effective_gflops(self, n_threads: int, placement: str = "balanced") -> float:
+        """Sustained MI-kernel GFLOP/s of the chip with ``n_threads`` threads.
+
+        Sums per-core rates under the given affinity placement (default:
+        the paper's ``balanced``); kernel efficiency is applied on top of
+        the issue model.
+        """
+        counts = self.threads_on_core_count(n_threads, placement)
+        total = sum(self.core_rate_gflops(c) for c in counts)
+        return total * self.kernel_efficiency
+
+    def threads_on_core_count(self, n_threads: int, placement: str = "balanced") -> list[int]:
+        """Per-active-core thread counts under an affinity placement.
+
+        ``"balanced"`` (the paper's choice, OpenMP ``KMP_AFFINITY=balanced``)
+        spreads threads breadth-first: one per core before doubling up.
+        ``"compact"`` fills each core to ``threads_per_core`` before using
+        the next — at partial occupancy it strands cores idle, the classic
+        Phi affinity mistake the balanced setting exists to avoid
+        (ablation E15).  ``"scatter"`` is equivalent to balanced at this
+        model's granularity and is accepted as an alias.
+        """
+        if not 1 <= n_threads <= self.max_threads:
+            raise ValueError(f"n_threads out of range: {n_threads}")
+        if placement in ("balanced", "scatter"):
+            full, extra = divmod(n_threads, self.cores)
+            if full == 0:
+                return [1] * n_threads
+            return [full + 1] * extra + [full] * (self.cores - extra)
+        if placement == "compact":
+            full, extra = divmod(n_threads, self.threads_per_core)
+            counts = [self.threads_per_core] * full
+            if extra:
+                counts.append(extra)
+            return counts
+        raise ValueError(f"unknown placement {placement!r}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A distributed-memory cluster (for the cluster-TINGe comparator).
+
+    Communication uses the classic alpha–beta model: a message of ``s``
+    bytes costs ``alpha + s / beta`` and collectives pay ``log2(p)`` rounds.
+    """
+
+    name: str
+    nodes: int
+    node: MachineSpec
+    latency_us: float = 5.0
+    link_gbs: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores
+
+    def effective_gflops(self) -> float:
+        """Sustained kernel GFLOP/s of the whole machine (all threads)."""
+        return self.nodes * self.node.effective_gflops(self.node.max_threads)
+
+
+# ---------------------------------------------------------------------------
+# The paper's platforms
+# ---------------------------------------------------------------------------
+
+#: Intel Xeon Phi 5110P coprocessor: 60 usable cores (61 minus one reserved
+#: for the uOS), 4-way SMT, 512-bit VPU (16 SP lanes), FMA, 1.053 GHz,
+#: ~160 GB/s achievable GDDR5 bandwidth, PCIe gen2 x16 ≈ 6 GB/s sustained.
+#: In-order cores: one thread per core can only reach half issue rate.
+XEON_PHI_5110P = MachineSpec(
+    name="Xeon Phi 5110P",
+    cores=60,
+    threads_per_core=4,
+    freq_ghz=1.053,
+    vector_lanes_sp=16,
+    fma=True,
+    smt_efficiency=(0.5, 1.0, 1.0, 1.0),
+    mem_bw_gbs=160.0,
+    pcie_gbs=6.0,
+    kernel_efficiency=0.081,
+    dispatch_overhead_us=2.0,
+    mem_gb=8.0,
+)
+
+#: Dual-socket Xeon E5-2670 (Sandy Bridge): 2 x 8 cores, 2-way HT, 256-bit
+#: AVX (8 SP lanes, mul+add dual-issue ≈ FMA at this granularity), 2.6 GHz,
+#: ~80 GB/s achievable. Out-of-order: HT adds ~15%.
+XEON_E5_2670_DUAL = MachineSpec(
+    name="2x Xeon E5-2670",
+    cores=16,
+    threads_per_core=2,
+    freq_ghz=2.6,
+    vector_lanes_sp=8,
+    fma=True,
+    smt_efficiency=(1.0, 1.15),
+    mem_bw_gbs=80.0,
+    pcie_gbs=0.0,
+    kernel_efficiency=0.107,
+    dispatch_overhead_us=0.5,
+    mem_gb=64.0,
+)
+
+#: The cluster the original TINGe result used (order-of-magnitude model of
+#: 1,024 Blue Gene/L cores: 700 MHz dual-FPU PowerPC 440, tree network).
+BLUEGENE_L_1024 = ClusterSpec(
+    name="Blue Gene/L (1024 cores)",
+    nodes=512,
+    node=MachineSpec(
+        name="BG/L node (2 cores)",
+        cores=2,
+        threads_per_core=1,
+        freq_ghz=0.7,
+        vector_lanes_sp=2,
+        fma=True,
+        smt_efficiency=(1.0,),
+        mem_bw_gbs=5.5,
+        kernel_efficiency=0.15,
+        dispatch_overhead_us=0.0,
+        mem_gb=0.5,
+    ),
+    latency_us=3.0,
+    link_gbs=0.175,
+)
+
+PRESETS = {
+    "xeon_phi": XEON_PHI_5110P,
+    "xeon": XEON_E5_2670_DUAL,
+    "bluegene_l": BLUEGENE_L_1024,
+}
+
+
+def get_machine(name: str):
+    """Look up a preset machine by key (``xeon_phi``, ``xeon``,
+    ``bluegene_l``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown machine {name!r}; choose from {sorted(PRESETS)}") from None

@@ -1,0 +1,122 @@
+"""Design-space exploration over the machine model.
+
+One call sweeps (machine x thread count x scheduler x placement) and
+returns comparable rows — the workflow behind the paper's evaluation
+matrix, packaged so new configurations (a hypothetical 128-core chip, a
+wider VPU) can be explored in seconds.  The example and CLI layers print
+the results; tests pin the dominance relations that must hold (balanced
+>= compact, dynamic <= static, more threads never worse beyond
+quantization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import MachineSpec
+from repro.parallel.scheduler import SchedulerPolicy
+
+__all__ = ["SweepPoint", "sweep", "scale_machine"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    machine: str
+    n_threads: int
+    policy: str
+    placement: str
+    seconds: float
+    utilization: float
+    imbalance: float
+
+    def as_row(self) -> dict:
+        from repro.bench.reporting import format_seconds
+
+        return {
+            "machine": self.machine,
+            "threads": self.n_threads,
+            "policy": self.policy,
+            "placement": self.placement,
+            "time": format_seconds(self.seconds),
+            "util": f"{self.utilization * 100:.0f}%",
+            "imbalance": f"{self.imbalance * 100:.1f}%",
+        }
+
+
+def sweep(
+    machines: "list[MachineSpec]",
+    profile: KernelProfile,
+    n_genes: int,
+    thread_counts: "dict | None" = None,
+    policies: "list[SchedulerPolicy] | None" = None,
+    placements: "list[str] | None" = None,
+    tile: "int | None" = None,
+) -> "list[SweepPoint]":
+    """Evaluate every combination and return sorted points (fastest first).
+
+    Parameters
+    ----------
+    machines:
+        Machine specs to compare.
+    thread_counts:
+        Map machine name → list of thread counts; defaults to
+        ``[max_threads]`` per machine.
+    policies:
+        Scheduler policies; defaults to dynamic chunk=1 only.
+    placements:
+        Affinity placements; defaults to ``["balanced"]``.
+    """
+    from repro.parallel.scheduler import DynamicScheduler
+
+    if not machines:
+        raise ValueError("no machines to sweep")
+    policies = policies or [DynamicScheduler(chunk=1)]
+    placements = placements or ["balanced"]
+    points = []
+    for machine in machines:
+        counts = (thread_counts or {}).get(machine.name, [machine.max_threads])
+        sim = MachineSimulator(machine, profile)
+        for t in counts:
+            for policy in policies:
+                for placement in placements:
+                    res = sim.run(n_genes, t, policy=policy, tile=tile,
+                                  placement=placement)
+                    points.append(SweepPoint(
+                        machine=machine.name,
+                        n_threads=t,
+                        policy=policy.name,
+                        placement=placement,
+                        seconds=res.makespan,
+                        utilization=res.utilization,
+                        imbalance=res.imbalance,
+                    ))
+    return sorted(points, key=lambda p: p.seconds)
+
+
+def scale_machine(
+    base: MachineSpec,
+    name: str,
+    cores: "int | None" = None,
+    vector_lanes_sp: "int | None" = None,
+    freq_ghz: "float | None" = None,
+    mem_bw_gbs: "float | None" = None,
+) -> MachineSpec:
+    """Hypothetical-machine helper: scale a preset's headline parameters.
+
+    The "what if KNL?" questions the paper's discussion invites: more
+    cores, wider vectors, more bandwidth — everything else inherited.
+    """
+    changes = {"name": name}
+    if cores is not None:
+        changes["cores"] = cores
+    if vector_lanes_sp is not None:
+        changes["vector_lanes_sp"] = vector_lanes_sp
+    if freq_ghz is not None:
+        changes["freq_ghz"] = freq_ghz
+    if mem_bw_gbs is not None:
+        changes["mem_bw_gbs"] = mem_bw_gbs
+    return replace(base, **changes)

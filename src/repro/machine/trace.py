@@ -1,0 +1,99 @@
+"""Rendering and analyzing simulator execution traces.
+
+A :class:`~repro.machine.simulator.SimResult` produced with
+``record_trace=True`` carries ``(thread, start, end, n_tiles)`` intervals.
+This module turns them into the two views performance engineers actually
+look at: a text Gantt chart of thread occupancy and an active-thread
+timeline, plus the derived tail metrics (when the last tranche of threads
+goes idle — the cost of load imbalance in time rather than percent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.simulator import SimResult
+
+__all__ = ["render_gantt", "active_threads_timeline", "tail_start", "trace_utilization"]
+
+
+def _require_trace(result: SimResult) -> list:
+    if result.trace is None:
+        raise ValueError("SimResult has no trace; run the simulator with record_trace=True")
+    return result.trace
+
+
+def render_gantt(result: SimResult, width: int = 72, max_threads: int = 16) -> str:
+    """ASCII Gantt chart: one row per thread, ``#`` = busy, ``.`` = idle.
+
+    Shows the first ``max_threads`` threads (traces at 240 threads are
+    summarized better by :func:`active_threads_timeline`).
+    """
+    trace = _require_trace(result)
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    span = result.makespan or 1.0
+    n_rows = min(result.n_threads, max_threads)
+    grid = [["."] * width for _ in range(n_rows)]
+    for thread, start, end, _tiles in trace:
+        if thread >= n_rows:
+            continue
+        a = int(start / span * (width - 1))
+        b = max(int(np.ceil(end / span * (width - 1))), a + 1)
+        for col in range(a, min(b, width)):
+            grid[thread][col] = "#"
+    lines = [f"t{w:<4d}|" + "".join(row) + "|" for w, row in enumerate(grid)]
+    header = f"0{' ' * (width - len(f'{span:.3g}s') - 1)}{span:.3g}s"
+    return "\n".join([header] + lines)
+
+
+def active_threads_timeline(result: SimResult, bins: int = 50) -> tuple:
+    """``(times, active_counts)``: threads busy in each time bin.
+
+    The figure behind "utilization over time": flat at ``n_threads`` for a
+    balanced run, with a decaying tail when stragglers finish late.
+    """
+    trace = _require_trace(result)
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    span = result.makespan or 1.0
+    edges = np.linspace(0.0, span, bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2
+    active = np.zeros(bins, dtype=np.float64)
+    for _thread, start, end, _tiles in trace:
+        # Fractional overlap of [start, end) with each bin.
+        lo = np.clip(edges[:-1], start, end)
+        hi = np.clip(edges[1:], start, end)
+        active += np.maximum(hi - lo, 0.0) / np.maximum(edges[1:] - edges[:-1], 1e-30)
+    return centers, active
+
+
+def tail_start(result: SimResult, threshold: float = 0.95) -> float:
+    """Time at which active threads first drop below ``threshold`` of the
+    thread count and never recover — the start of the straggler tail.
+
+    Returns the makespan when occupancy never drops (perfectly balanced).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    times, active = active_threads_timeline(result, bins=200)
+    below = active < threshold * result.n_threads
+    if not below.any():
+        return float(result.makespan)
+    # Last index where occupancy was still at/above threshold.
+    above_idx = np.nonzero(~below)[0]
+    if above_idx.size == 0:
+        return 0.0
+    start_idx = above_idx.max() + 1
+    if start_idx >= times.size:
+        return float(result.makespan)
+    return float(times[start_idx])
+
+
+def trace_utilization(result: SimResult) -> float:
+    """Busy area divided by ``n_threads * makespan`` from the trace itself
+    (cross-check of ``SimResult.utilization``)."""
+    trace = _require_trace(result)
+    busy = sum(end - start for _w, start, end, _t in trace)
+    denom = result.n_threads * result.makespan
+    return busy / denom if denom > 0 else 1.0

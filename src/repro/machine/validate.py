@@ -1,0 +1,88 @@
+"""Validating the machine model against measurements.
+
+The simulator's absolute times are calibrated (one constant per machine),
+so validation must target what the model actually claims: *shapes*.  Two
+series — measured and modelled — are normalized to their first point and
+compared; the report quantifies how well scaling exponents and curve
+shapes agree, independent of units or calibration.  The test suite runs
+this against real host measurements (E6's quadratic gene scaling), closing
+the loop between model and reality that DESIGN.md's substitution argument
+rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShapeValidation", "validate_shape", "loglog_exponent"]
+
+
+def loglog_exponent(x, y) -> float:
+    """Least-squares slope of ``log y`` vs ``log x`` (the scaling exponent)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("log-log fit requires positive values")
+    return float(np.polyfit(np.log(x), np.log(y), 1)[0])
+
+
+@dataclass(frozen=True)
+class ShapeValidation:
+    """Agreement of a measured and a modelled series.
+
+    Attributes
+    ----------
+    max_ratio_error:
+        ``max_i |measured_norm_i / modelled_norm_i - 1|`` after normalizing
+        both series to their first point — the worst-case shape deviation.
+    exponent_measured, exponent_modelled:
+        Log-log scaling exponents of the two series.
+    n_points:
+        Series length.
+    """
+
+    max_ratio_error: float
+    exponent_measured: float
+    exponent_modelled: float
+    n_points: int
+
+    @property
+    def exponent_gap(self) -> float:
+        return abs(self.exponent_measured - self.exponent_modelled)
+
+    def acceptable(self, ratio_tol: float = 0.5, exponent_tol: float = 0.3) -> bool:
+        """Pass/fail at the given tolerances (defaults: shapes within 50%
+        pointwise after normalization, exponents within 0.3)."""
+        return (self.max_ratio_error <= ratio_tol
+                and self.exponent_gap <= exponent_tol)
+
+
+def validate_shape(x, measured, modelled) -> ShapeValidation:
+    """Compare a measured series against the model's prediction.
+
+    Both series are evaluated at the same ``x`` points and normalized to
+    their own first values, so only *relative* growth is compared — the
+    honest comparison for a calibrated model.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    modelled = np.asarray(modelled, dtype=np.float64)
+    if not (x.size == measured.size == modelled.size):
+        raise ValueError("series lengths differ")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    if np.any(measured <= 0) or np.any(modelled <= 0):
+        raise ValueError("series must be positive")
+    m_norm = measured / measured[0]
+    p_norm = modelled / modelled[0]
+    max_err = float(np.max(np.abs(m_norm / p_norm - 1.0)))
+    return ShapeValidation(
+        max_ratio_error=max_err,
+        exponent_measured=loglog_exponent(x, measured),
+        exponent_modelled=loglog_exponent(x, modelled),
+        n_points=int(x.size),
+    )

@@ -1,0 +1,56 @@
+"""Thread-level parallelism: partitioning, scheduling policies, engines.
+
+The split mirrors the paper's structure: *policies*
+(:mod:`repro.parallel.scheduler`) decide who computes which tile in what
+order; *engines* (:mod:`repro.parallel.engine`) execute them on this host;
+the machine simulator (:mod:`repro.machine`) replays the same policies on
+modelled hardware.
+"""
+
+from repro.parallel.engine import ProcessEngine, SerialEngine, ThreadEngine, make_engine
+from repro.parallel.partition import (
+    block_partition,
+    chunked_partition,
+    cost_balanced_partition,
+    cyclic_partition,
+    imbalance,
+)
+from repro.parallel.reductions import linear_reduce, merge_histograms, tree_depth, tree_reduce
+from repro.parallel.scheduler import (
+    Assignment,
+    CyclicScheduler,
+    DynamicScheduler,
+    GuidedScheduler,
+    LptScheduler,
+    SchedulerPolicy,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from repro.parallel.sharedmem import SharedArray
+
+__all__ = [
+    "Assignment",
+    "CyclicScheduler",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "LptScheduler",
+    "ProcessEngine",
+    "SchedulerPolicy",
+    "SerialEngine",
+    "SharedArray",
+    "StaticScheduler",
+    "ThreadEngine",
+    "WorkStealingScheduler",
+    "block_partition",
+    "chunked_partition",
+    "cost_balanced_partition",
+    "cyclic_partition",
+    "imbalance",
+    "linear_reduce",
+    "make_engine",
+    "make_scheduler",
+    "merge_histograms",
+    "tree_depth",
+    "tree_reduce",
+]

@@ -1,0 +1,152 @@
+"""Execution engines: how tile tasks actually run on this host.
+
+An engine is anything with ``map(fn, items) -> list`` (results in item
+order).  The core drivers (:func:`repro.core.mi_matrix.mi_matrix`) are
+engine-agnostic; picking an engine picks the host-level parallelism:
+
+* :class:`SerialEngine` — in-process loop (the reference).
+* :class:`ThreadEngine` — ``ThreadPoolExecutor``; effective for the MI
+  kernel because its time is spent inside BLAS/numpy calls that release the
+  GIL, the numpy analog of the paper's OpenMP threads.
+* :class:`ProcessEngine` — a ``fork``-based process pool for kernels that
+  hold the GIL.  Task functions may be closures: the engine publishes the
+  function in a module global *before* forking, so children inherit it by
+  COW memory instead of pickling (the same zero-copy trick the paper plays
+  with the weight matrices resident on the coprocessor).
+
+Engines execute tasks in the order given by a
+:class:`repro.parallel.scheduler.SchedulerPolicy`; results are always
+returned in the original item order regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.parallel.scheduler import DynamicScheduler, SchedulerPolicy
+
+__all__ = ["SerialEngine", "ThreadEngine", "ProcessEngine", "make_engine"]
+
+
+class SerialEngine:
+    """Run tasks one after another in the calling thread."""
+
+    n_workers = 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item, returning results in order."""
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialEngine()"
+
+
+class ThreadEngine:
+    """Thread-pool engine honouring a scheduling policy.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread count; defaults to the host CPU count.
+    policy:
+        A :class:`SchedulerPolicy` deciding the submission order.  With a
+        dynamic policy the pool's own work queue provides the pull
+        behaviour; with a static policy each worker thread runs its fixed
+        slice.
+    """
+
+    def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None):
+        self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        self.policy = policy or DynamicScheduler(chunk=1)
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        results: list = [None] * len(items)
+        if not items:
+            return results
+
+        if self.policy.is_dynamic():
+            chunks = self.policy.chunk_sequence(len(items), self.n_workers)
+        else:
+            chunks = self.policy.static_assignment(len(items), self.n_workers)
+
+        def run_chunk(chunk) -> None:
+            for idx in chunk:
+                results[int(idx)] = fn(items[int(idx)])
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            list(pool.map(run_chunk, chunks))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadEngine(n_workers={self.n_workers}, policy={self.policy.name})"
+
+
+# ---------------------------------------------------------------------------
+# Fork-based process pool
+# ---------------------------------------------------------------------------
+# Children inherit this registry through fork; only integer indices cross the
+# pipe, never the function or the (large, read-only) arrays it closes over.
+_FORK_TASK: dict = {}
+
+
+def _fork_worker(idx: int):
+    fn = _FORK_TASK["fn"]
+    items = _FORK_TASK["items"]
+    return idx, fn(items[idx])
+
+
+class ProcessEngine:
+    """Fork-based process pool for GIL-bound task functions.
+
+    Only usable where ``fork`` is available (Linux; the benchmark hosts).
+    Falls back to serial execution with a single worker.  Results cross
+    process boundaries by pickling — fine for tile-sized MI blocks, wrong
+    for whole-matrix outputs, which is why the drivers return per-tile
+    blocks.
+    """
+
+    def __init__(self, n_workers: int | None = None):
+        self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError("ProcessEngine requires the fork start method")
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if not items:
+            return []
+        if self.n_workers == 1:
+            return [fn(item) for item in items]
+        ctx = multiprocessing.get_context("fork")
+        _FORK_TASK["fn"] = fn
+        _FORK_TASK["items"] = items
+        try:
+            with ctx.Pool(self.n_workers) as pool:
+                pairs = pool.map(_fork_worker, range(len(items)))
+        finally:
+            _FORK_TASK.clear()
+        results: list = [None] * len(items)
+        for idx, value in pairs:
+            results[idx] = value
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessEngine(n_workers={self.n_workers})"
+
+
+def make_engine(kind: str = "serial", n_workers: int | None = None, **kwargs):
+    """Factory: ``serial``, ``thread``, or ``process``."""
+    if kind == "serial":
+        return SerialEngine()
+    if kind == "thread":
+        return ThreadEngine(n_workers=n_workers, **kwargs)
+    if kind == "process":
+        return ProcessEngine(n_workers=n_workers)
+    raise ValueError(f"unknown engine kind {kind!r}")

@@ -1,0 +1,72 @@
+"""Parallel reduction patterns.
+
+The permutation-null builder and several benchmarks end in a reduction
+(merge per-worker partials).  A linear fold is O(P) sequential steps; the
+tree fold here is O(log P) — the distinction the cluster-TINGe baseline's
+communication model cares about, since its allreduce cost is the tree
+depth times the message latency.  Both folds are provided so tests can
+assert they agree and the machine model can charge the right depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = ["linear_reduce", "tree_reduce", "tree_depth", "merge_histograms"]
+
+
+def linear_reduce(parts: Sequence[T], op: Callable[[T, T], T]) -> T:
+    """Left-to-right fold; the sequential reference."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("nothing to reduce")
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = op(acc, p)
+    return acc
+
+
+def tree_reduce(parts: Sequence[T], op: Callable[[T, T], T]) -> T:
+    """Pairwise (binary-tree) fold.
+
+    Requires an associative ``op``; equals :func:`linear_reduce` for
+    associative-and-commutative operators, and has ``ceil(log2 P)`` levels —
+    the parallel depth a P-worker reduction needs.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("nothing to reduce")
+    while len(parts) > 1:
+        nxt = []
+        for i in range(0, len(parts) - 1, 2):
+            nxt.append(op(parts[i], parts[i + 1]))
+        if len(parts) % 2:
+            nxt.append(parts[-1])
+        parts = nxt
+    return parts[0]
+
+
+def tree_depth(n_parts: int) -> int:
+    """Number of levels a binary-tree reduction of ``n_parts`` takes."""
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    return int(np.ceil(np.log2(n_parts))) if n_parts > 1 else 0
+
+
+def merge_histograms(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-worker histogram/count arrays (tree order).
+
+    The concrete reduction the null-distribution builder uses when workers
+    each accumulate a share of the pooled null.
+    """
+    parts = [np.asarray(p, dtype=np.float64) for p in parts]
+    if not parts:
+        raise ValueError("nothing to merge")
+    shape = parts[0].shape
+    if any(p.shape != shape for p in parts):
+        raise ValueError("histogram shapes differ")
+    return tree_reduce(parts, np.add)

@@ -1,0 +1,87 @@
+"""Shared-memory numpy arrays for cross-process tile kernels.
+
+The fork-based :class:`repro.parallel.engine.ProcessEngine` shares read-only
+inputs by copy-on-write inheritance, but *outputs* written by children are
+lost.  :class:`SharedArray` closes that gap with
+``multiprocessing.shared_memory``: workers write their tile blocks into one
+shared output matrix, the parent reads it back with zero copies — the
+process analog of the paper's threads writing disjoint blocks of the MI
+matrix in coprocessor memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray"]
+
+
+@dataclass
+class SharedArray:
+    """A numpy array backed by named shared memory.
+
+    Create with :meth:`create` in the parent, pass ``handle()`` (name,
+    shape, dtype — cheap to pickle) to workers, and have them
+    :meth:`attach`.  The parent must call :meth:`close` (and
+    :meth:`unlink` exactly once) when done; attached views call only
+    :meth:`close`.
+
+    Examples
+    --------
+    >>> sa = SharedArray.create((4, 4), "float64")
+    >>> sa.array[:] = 0.0
+    >>> dup = SharedArray.attach(*sa.handle())
+    >>> dup.array[1, 2] = 7.0
+    >>> float(sa.array[1, 2])
+    7.0
+    >>> dup.close(); sa.close(); sa.unlink()
+    """
+
+    shm: shared_memory.SharedMemory
+    array: np.ndarray
+    owner: bool
+
+    @classmethod
+    def create(cls, shape: tuple, dtype) -> "SharedArray":
+        """Allocate a new shared block sized for ``(shape, dtype)``."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if nbytes <= 0:
+            raise ValueError(f"cannot share an empty array of shape {shape}")
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        return cls(shm=shm, array=arr, owner=True)
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """Allocate shared memory and copy ``source`` into it."""
+        sa = cls.create(source.shape, source.dtype)
+        sa.array[...] = source
+        return sa
+
+    @classmethod
+    def attach(cls, name: str, shape: tuple, dtype) -> "SharedArray":
+        """Map an existing shared block created elsewhere."""
+        shm = shared_memory.SharedMemory(name=name)
+        arr = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+        return cls(shm=shm, array=arr, owner=False)
+
+    def handle(self) -> tuple:
+        """Picklable ``(name, shape, dtype-str)`` triple for workers."""
+        return (self.shm.name, self.array.shape, self.array.dtype.str)
+
+    def close(self) -> None:
+        """Release this process's mapping (keeps the block alive)."""
+        # Drop the numpy view first or SharedMemory.close() warns about
+        # exported buffer pointers.
+        self.array = None  # type: ignore[assignment]
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the underlying block (owner only, call once)."""
+        if not self.owner:
+            raise RuntimeError("only the creating process may unlink")
+        self.shm.unlink()

@@ -1,0 +1,43 @@
+"""Low-level statistical utilities shared by the TINGe reproduction.
+
+This subpackage is dependency-light (numpy only) and hosts the pieces of
+statistics that the core algorithm builds on: seeded random-number helpers
+and permutation generation (:mod:`repro.stats.random`), histogram estimation
+(:mod:`repro.stats.histogram`), empirical p-values
+(:mod:`repro.stats.pvalues`), multiple-testing corrections
+(:mod:`repro.stats.fdr`), and quantile helpers (:mod:`repro.stats.quantile`).
+"""
+
+from repro.stats.fdr import benjamini_hochberg, bonferroni, holm_bonferroni
+from repro.stats.histogram import histogram1d, histogram2d, joint_counts
+from repro.stats.pvalues import empirical_pvalue, empirical_pvalues
+from repro.stats.quantile import empirical_quantile, upper_tail_threshold
+from repro.stats.random import (
+    as_rng,
+    derangement,
+    flat_index_from_pair,
+    pair_from_flat_index,
+    permutation_matrix,
+    sample_pairs,
+    spawn_rngs,
+)
+
+__all__ = [
+    "as_rng",
+    "benjamini_hochberg",
+    "bonferroni",
+    "derangement",
+    "empirical_pvalue",
+    "empirical_pvalues",
+    "empirical_quantile",
+    "flat_index_from_pair",
+    "histogram1d",
+    "histogram2d",
+    "holm_bonferroni",
+    "joint_counts",
+    "pair_from_flat_index",
+    "permutation_matrix",
+    "sample_pairs",
+    "spawn_rngs",
+    "upper_tail_threshold",
+]

@@ -1,0 +1,62 @@
+"""Empirical (permutation) p-values.
+
+Permutation testing compares an observed statistic against a null sample.
+We use the add-one (Phipson & Smyth 2010) estimator
+``p = (1 + #{null >= observed}) / (1 + q)`` which is never exactly zero and
+is the exact p-value of the randomization test that includes the identity
+permutation — the correct choice for TINGe-style MI significance testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_pvalue", "empirical_pvalues"]
+
+
+def empirical_pvalue(observed: float, null: np.ndarray) -> float:
+    """Add-one upper-tail empirical p-value of one observation.
+
+    Parameters
+    ----------
+    observed:
+        The observed statistic (larger = more significant, as for MI).
+    null:
+        1-D array of null statistics from permutations.
+    """
+    null = np.asarray(null, dtype=np.float64).ravel()
+    if null.size == 0:
+        raise ValueError("null sample is empty")
+    exceed = int(np.count_nonzero(null >= observed))
+    return (1.0 + exceed) / (1.0 + null.size)
+
+
+def empirical_pvalues(observed: np.ndarray, null: np.ndarray) -> np.ndarray:
+    """Vectorized add-one upper-tail p-values against a shared null.
+
+    Sorts the null once and ranks every observation with ``searchsorted`` —
+    ``O((q + t) log q)`` for ``t`` observations instead of ``O(t * q)``.
+
+    Parameters
+    ----------
+    observed:
+        Array of observed statistics (any shape).
+    null:
+        1-D array (the pooled null sample shared by all tests — valid for
+        TINGe because the rank transform makes marginals identical, so all
+        pairs share one null distribution).
+
+    Returns
+    -------
+    numpy.ndarray
+        P-values with the same shape as ``observed``.
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    null = np.asarray(null, dtype=np.float64).ravel()
+    if null.size == 0:
+        raise ValueError("null sample is empty")
+    sorted_null = np.sort(null)
+    # count of null < observed, so exceed = q - that count (>= comparison)
+    below = np.searchsorted(sorted_null, obs, side="left")
+    exceed = null.size - below
+    return (1.0 + exceed) / (1.0 + null.size)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.bspline import weight_tensor
+from repro.data.datasets import toy, yeast_subset
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def coupled_pair(rng):
+    """(x, y, z): x and y strongly dependent, z independent of both."""
+    x = rng.normal(size=400)
+    y = x + 0.25 * rng.normal(size=400)
+    z = rng.normal(size=400)
+    return x, y, z
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 30-gene ground-truth dataset (session-scoped: generation is pure)."""
+    return toy(n_genes=30, m_samples=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """An 80-gene dataset with hubs and nonlinear links."""
+    return yeast_subset(n_genes=80, m_samples=250, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_weights(small_dataset):
+    """Weight tensor of the small dataset (rank-transformed)."""
+    from repro.core.discretize import rank_transform
+
+    return weight_tensor(rank_transform(small_dataset.expression), bins=10, order=3)

@@ -1,0 +1,150 @@
+"""Tests for repro.analysis: accuracy scoring and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    ConfusionCounts,
+    aupr,
+    pr_curve,
+    random_baseline_precision,
+    score_network,
+)
+from repro.analysis.graphstats import (
+    degree_histogram,
+    power_law_exponent,
+    summarize,
+    top_hubs,
+)
+from repro.core.network import GeneNetwork
+from repro.data.grn import GroundTruthNetwork
+
+
+@pytest.fixture
+def truth4():
+    return GroundTruthNetwork(
+        n_genes=4, edges=[[0, 1], [1, 2]], strengths=[1.0, 1.0],
+        genes=["a", "b", "c", "d"],
+    )
+
+
+def net_from_edges(edges, n=4, genes=None):
+    genes = genes or ["a", "b", "c", "d"]
+    adj = np.zeros((n, n), dtype=bool)
+    w = np.zeros((n, n))
+    for i, j in edges:
+        adj[i, j] = adj[j, i] = True
+        w[i, j] = w[j, i] = 1.0
+    return GeneNetwork(adjacency=adj, weights=w, genes=genes)
+
+
+class TestConfusionCounts:
+    def test_metrics(self):
+        c = ConfusionCounts(tp=3, fp=1, fn=2, tn=10)
+        assert c.precision == pytest.approx(0.75)
+        assert c.recall == pytest.approx(0.6)
+        assert c.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+        assert c.false_positive_rate == pytest.approx(1 / 11)
+
+    def test_degenerate_zero(self):
+        c = ConfusionCounts(0, 0, 0, 0)
+        assert c.precision == 0.0 and c.recall == 0.0 and c.f1 == 0.0
+
+
+class TestScoreNetwork:
+    def test_perfect_recovery(self, truth4):
+        net = net_from_edges([(0, 1), (1, 2)])
+        c = score_network(net, truth4)
+        assert (c.tp, c.fp, c.fn) == (2, 0, 0)
+        assert c.precision == 1.0 and c.recall == 1.0
+
+    def test_partial_recovery(self, truth4):
+        net = net_from_edges([(0, 1), (2, 3)])
+        c = score_network(net, truth4)
+        assert (c.tp, c.fp, c.fn) == (1, 1, 1)
+
+    def test_counts_total_pairs(self, truth4):
+        net = net_from_edges([(0, 1)])
+        c = score_network(net, truth4)
+        assert c.tp + c.fp + c.fn + c.tn == 6  # C(4,2)
+
+    def test_gene_count_mismatch(self, truth4):
+        net = net_from_edges([(0, 1)], n=5, genes=list("abcde"))
+        with pytest.raises(ValueError):
+            score_network(net, truth4)
+
+
+class TestPrCurve:
+    def test_perfect_ranking(self, truth4):
+        scores = np.zeros((4, 4))
+        scores[0, 1] = scores[1, 0] = 0.9
+        scores[1, 2] = scores[2, 1] = 0.8
+        recall, precision = pr_curve(scores, truth4)
+        assert precision[0] == 1.0 and precision[1] == 1.0
+        assert recall[-1] == 1.0
+        assert aupr(scores, truth4) == pytest.approx(1.0)
+
+    def test_worst_ranking(self, truth4):
+        scores = np.zeros((4, 4))
+        # Rank the two non-edges highest.
+        scores[0, 2] = scores[2, 0] = 0.9
+        scores[0, 3] = scores[3, 0] = 0.8
+        a = aupr(scores, truth4)
+        assert a < 0.6
+
+    def test_random_baseline(self, truth4):
+        assert random_baseline_precision(truth4) == pytest.approx(2 / 6)
+
+    def test_aupr_bounds(self, rng, truth4):
+        s = rng.uniform(0, 1, size=(4, 4))
+        s = (s + s.T) / 2
+        assert 0.0 <= aupr(s, truth4) <= 1.0
+
+    def test_curve_lengths(self, rng, truth4):
+        s = rng.uniform(0, 1, size=(4, 4))
+        recall, precision = pr_curve((s + s.T) / 2, truth4)
+        assert recall.shape == precision.shape == (6,)
+
+
+class TestGraphStats:
+    def test_summarize_counts(self):
+        net = net_from_edges([(0, 1), (1, 2)])
+        s = summarize(net)
+        assert s.n_genes == 4 and s.n_edges == 2
+        assert s.n_components == 2  # {a,b,c} and {d}
+        assert s.largest_component == 3
+        assert s.max_degree == 2
+
+    def test_degree_histogram(self):
+        net = net_from_edges([(0, 1), (1, 2)])
+        values, counts = degree_histogram(net)
+        assert dict(zip(values.tolist(), counts.tolist())) == {0: 1, 1: 2, 2: 1}
+
+    def test_top_hubs(self):
+        net = net_from_edges([(0, 1), (1, 2), (1, 3)])
+        hubs = top_hubs(net, 1)
+        assert hubs == [("b", 3)]
+
+    def test_power_law_range_on_scale_free(self):
+        from repro.data.grn import scale_free_grn
+
+        truth = scale_free_grn(400, n_regulators=20, mean_in_degree=2.5, seed=0)
+        adj = truth.adjacency()
+        net = GeneNetwork(adj, adj.astype(float), truth.genes)
+        alpha = power_law_exponent(net, k_min=2)
+        assert 1.2 < alpha < 4.5
+
+    def test_power_law_nan_when_no_tail(self):
+        net = net_from_edges([])
+        assert np.isnan(power_law_exponent(net, k_min=1))
+
+    def test_as_row_keys(self):
+        row = summarize(net_from_edges([(0, 1)])).as_row()
+        assert "edges" in row and "clustering" in row
+
+    def test_invalid_args(self):
+        net = net_from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            top_hubs(net, -1)
+        with pytest.raises(ValueError):
+            power_law_exponent(net, k_min=0)

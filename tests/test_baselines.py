@@ -1,0 +1,226 @@
+"""Tests for repro.baselines: naive kernels, correlation, CLR, ARACNE,
+cluster-TINGe."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aracne import aracne_network, dpi_prune
+from repro.baselines.clr import clr_network, clr_scores
+from repro.baselines.cluster_tinge import estimate_cluster_run
+from repro.baselines.correlation import (
+    correlation_network,
+    correlation_pvalues,
+    pearson_matrix,
+    spearman_matrix,
+)
+from repro.baselines.naive import joint_probs_scalar, mi_bspline_scalar, mi_histogram_scalar
+from repro.core.bspline import BsplineBasis
+from repro.core.mi import mi_bspline, mi_histogram_pair
+from repro.machine.costmodel import KernelProfile
+from repro.machine.spec import BLUEGENE_L_1024, ClusterSpec, XEON_E5_2670_DUAL
+
+
+class TestNaiveOracles:
+    """The scalar kernels are oracles: the fast paths must match them."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bspline_scalar_matches_vectorized(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=70)
+        y = x + rng.normal(size=70) * (seed + 0.5)
+        assert mi_bspline_scalar(x, y) == pytest.approx(mi_bspline(x, y), rel=1e-10, abs=1e-12)
+
+    def test_histogram_scalar_matches_vectorized(self, rng):
+        x = rng.normal(size=90)
+        y = rng.normal(size=90)
+        assert mi_histogram_scalar(x, y, 8) == pytest.approx(
+            mi_histogram_pair(x, y, 8), rel=1e-10, abs=1e-12
+        )
+
+    def test_joint_scalar_matches_gemm(self, rng):
+        b = BsplineBasis()
+        wx = b.weights(rng.normal(size=40))
+        wy = b.weights(rng.normal(size=40))
+        from repro.core.mi import joint_probs_pair
+
+        assert np.allclose(joint_probs_scalar(wx, wy), joint_probs_pair(wx, wy))
+
+    def test_scalar_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            mi_histogram_scalar(rng.normal(size=5), rng.normal(size=6))
+        with pytest.raises(ValueError):
+            joint_probs_scalar(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestPearsonSpearman:
+    def test_pearson_matches_numpy(self, rng):
+        data = rng.normal(size=(6, 50))
+        mine = pearson_matrix(data)
+        ref = np.corrcoef(data)
+        assert np.allclose(mine, ref, atol=1e-10)
+
+    def test_constant_gene_zero(self, rng):
+        data = np.vstack([np.full(30, 2.0), rng.normal(size=30)])
+        corr = pearson_matrix(data)
+        assert corr[0, 1] == 0.0
+        assert not np.isnan(corr).any()
+
+    def test_spearman_monotone_invariance(self, rng):
+        x = rng.normal(size=(1, 80))
+        data = np.vstack([x, np.exp(x)])
+        assert spearman_matrix(data)[0, 1] == pytest.approx(1.0)
+
+    def test_spearman_matches_scipy(self, rng):
+        import scipy.stats
+
+        data = rng.normal(size=(4, 60))
+        mine = spearman_matrix(data)
+        ref, _ = scipy.stats.spearmanr(data.T)
+        assert np.allclose(mine, ref, atol=1e-10)
+
+    def test_pvalues_small_for_strong_correlation(self, rng):
+        x = rng.normal(size=100)
+        data = np.vstack([x, x + 0.05 * rng.normal(size=100)])
+        p = correlation_pvalues(pearson_matrix(data), 100)
+        assert p[0, 1] < 1e-10
+
+    def test_correlation_network_edge_budget(self, rng):
+        data = rng.normal(size=(10, 60))
+        net = correlation_network(data, [f"g{i}" for i in range(10)], n_edges=7)
+        assert net.n_edges == 7
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            correlation_network(rng.normal(size=(3, 10)), list("abc"), 1, method="kendall")
+
+
+class TestClr:
+    def test_shape_and_diagonal(self, rng):
+        mi = rng.uniform(0, 1, size=(8, 8))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        scores = clr_scores(mi)
+        assert scores.shape == (8, 8)
+        assert np.all(np.diag(scores) == 0)
+        assert (scores >= 0).all()
+
+    def test_symmetric(self, rng):
+        mi = rng.uniform(0, 1, size=(6, 6))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        scores = clr_scores(mi)
+        assert np.allclose(scores, scores.T)
+
+    def test_exceptional_edge_amplified(self):
+        # A single strong edge in a flat background should get the top score.
+        n = 10
+        mi = np.full((n, n), 0.1)
+        np.fill_diagonal(mi, 0)
+        mi[2, 7] = mi[7, 2] = 1.5
+        scores = clr_scores(mi)
+        iu = np.triu_indices(n, 1)
+        top = np.unravel_index(np.argmax(scores), scores.shape)
+        assert set(top) == {2, 7}
+
+    def test_network_budget(self, rng):
+        mi = rng.uniform(0, 1, size=(9, 9))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        net = clr_network(mi, [f"g{i}" for i in range(9)], n_edges=4)
+        assert net.n_edges == 4
+
+    def test_too_few_genes(self):
+        with pytest.raises(ValueError):
+            clr_scores(np.zeros((2, 2)))
+
+
+class TestAracneDpi:
+    def test_weakest_triangle_edge_removed(self):
+        mi = np.zeros((3, 3))
+        mi[0, 1] = mi[1, 0] = 1.0
+        mi[1, 2] = mi[2, 1] = 0.9
+        mi[0, 2] = mi[2, 0] = 0.2  # indirect: 0->1->2
+        adj = mi > 0.0
+        np.fill_diagonal(adj, False)
+        pruned = dpi_prune(mi, adj, tolerance=0.0)
+        assert not pruned[0, 2]
+        assert pruned[0, 1] and pruned[1, 2]
+
+    def test_tolerance_keeps_borderline(self):
+        mi = np.zeros((3, 3))
+        mi[0, 1] = mi[1, 0] = 1.0
+        mi[1, 2] = mi[2, 1] = 0.9
+        mi[0, 2] = mi[2, 0] = 0.85
+        adj = mi > 0.0
+        np.fill_diagonal(adj, False)
+        assert dpi_prune(mi, adj, tolerance=0.2)[0, 2]  # within 20% of 0.9
+        assert not dpi_prune(mi, adj, tolerance=0.0)[0, 2]
+
+    def test_no_triangles_nothing_removed(self):
+        mi = np.zeros((4, 4))
+        mi[0, 1] = mi[1, 0] = 0.5
+        mi[2, 3] = mi[3, 2] = 0.4
+        adj = mi > 0
+        np.fill_diagonal(adj, False)
+        assert np.array_equal(dpi_prune(mi, adj), adj)
+
+    def test_result_symmetric(self, rng):
+        mi = rng.uniform(0, 1, size=(7, 7))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        adj = mi > 0.3
+        np.fill_diagonal(adj, False)
+        pruned = dpi_prune(mi, adj)
+        assert np.array_equal(pruned, pruned.T)
+
+    def test_pruned_is_subset(self, rng):
+        mi = rng.uniform(0, 1, size=(10, 10))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        adj = mi > 0.2
+        np.fill_diagonal(adj, False)
+        pruned = dpi_prune(mi, adj)
+        assert np.all(adj | ~pruned)
+
+    def test_aracne_network(self, rng):
+        mi = rng.uniform(0, 1, size=(8, 8))
+        mi = (mi + mi.T) / 2
+        np.fill_diagonal(mi, 0)
+        net = aracne_network(mi, [f"g{i}" for i in range(8)], threshold=0.3)
+        assert net.n_edges <= (mi > 0.3).sum() // 2
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            dpi_prune(np.zeros((3, 3)), np.zeros((3, 3), dtype=bool), tolerance=1.0)
+
+
+class TestClusterTinge:
+    @pytest.fixture
+    def profile(self):
+        return KernelProfile(m_samples=3137, n_permutations_fused=30)
+
+    def test_headline_near_nine_minutes(self, profile):
+        est = estimate_cluster_run(BLUEGENE_L_1024, 15575, profile)
+        assert 5 * 60 < est.total < 15 * 60
+
+    def test_phases_positive(self, profile):
+        est = estimate_cluster_run(BLUEGENE_L_1024, 15575, profile)
+        assert est.weights_s > 0 and est.allgather_s > 0
+        assert est.compute_s > 0 and est.allreduce_s > 0
+
+    def test_compute_dominates(self, profile):
+        est = estimate_cluster_run(BLUEGENE_L_1024, 15575, profile)
+        assert est.comm_fraction < 0.2
+
+    def test_single_node_no_comm(self, profile):
+        cluster = ClusterSpec("one", 1, XEON_E5_2670_DUAL)
+        est = estimate_cluster_run(cluster, 1000, profile)
+        assert est.allreduce_s == 0.0
+
+    def test_more_nodes_faster_compute(self, profile):
+        half = ClusterSpec("half", 256, BLUEGENE_L_1024.node,
+                           latency_us=BLUEGENE_L_1024.latency_us,
+                           link_gbs=BLUEGENE_L_1024.link_gbs)
+        est_full = estimate_cluster_run(BLUEGENE_L_1024, 8000, profile)
+        est_half = estimate_cluster_run(half, 8000, profile)
+        assert est_half.compute_s == pytest.approx(2 * est_full.compute_s, rel=0.01)

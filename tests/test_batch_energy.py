@@ -1,0 +1,97 @@
+"""Tests for batch effects (repro.data.microarray) and the energy model
+(repro.machine.energy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mi import mi_bspline
+from repro.data.microarray import add_batch_effects, center_batches
+from repro.machine.energy import (
+    DEFAULT_TDP_W,
+    energy_to_solution,
+    platform_power_watts,
+)
+from repro.machine.spec import BLUEGENE_L_1024, XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+
+class TestBatchEffects:
+    def test_shapes_and_labels(self, rng):
+        x = rng.normal(size=(6, 100))
+        noisy, labels = add_batch_effects(x, n_batches=4, seed=0)
+        assert noisy.shape == x.shape
+        assert labels.shape == (100,)
+        assert set(labels.tolist()) <= set(range(4))
+
+    def test_creates_spurious_dependence(self, rng):
+        """Two independent genes share the batch signal: MI inflates, and
+        per-batch centering deflates it back."""
+        x = rng.normal(size=(2, 400))
+        base_mi = mi_bspline(x[0], x[1])
+        noisy, labels = add_batch_effects(x, n_batches=3, strength=3.0, seed=1)
+        confounded_mi = mi_bspline(noisy[0], noisy[1])
+        corrected = center_batches(noisy, labels)
+        corrected_mi = mi_bspline(corrected[0], corrected[1])
+        assert confounded_mi > 2 * base_mi
+        assert corrected_mi < confounded_mi / 2
+
+    def test_zero_strength_noop(self, rng):
+        x = rng.normal(size=(3, 50))
+        noisy, _ = add_batch_effects(x, strength=0.0, seed=0)
+        assert np.allclose(noisy, x)
+
+    def test_centering_zeroes_batch_means(self, rng):
+        x = rng.normal(size=(4, 60))
+        noisy, labels = add_batch_effects(x, n_batches=3, seed=2)
+        centered = center_batches(noisy, labels)
+        for b in range(3):
+            cols = labels == b
+            if cols.any():
+                assert np.allclose(centered[:, cols].mean(axis=1), 0.0, atol=1e-12)
+
+    def test_input_not_modified(self, rng):
+        x = rng.normal(size=(2, 20))
+        copy = x.copy()
+        noisy, labels = add_batch_effects(x, seed=0)
+        center_batches(noisy, labels)
+        assert np.array_equal(x, copy)
+
+    def test_validation(self, rng):
+        x = rng.normal(size=(2, 20))
+        with pytest.raises(ValueError):
+            add_batch_effects(x, n_batches=0)
+        with pytest.raises(ValueError):
+            add_batch_effects(x, strength=-1)
+        with pytest.raises(ValueError):
+            center_batches(x, np.zeros(5))
+
+
+class TestEnergyModel:
+    def test_known_power_figures(self):
+        assert platform_power_watts(XEON_PHI_5110P) == 300.0
+        assert platform_power_watts(XEON_E5_2670_DUAL) == 300.0
+        assert platform_power_watts(BLUEGENE_L_1024) > 10_000
+
+    def test_energy_arithmetic(self):
+        e = energy_to_solution(XEON_PHI_5110P, seconds=3600.0)
+        assert e.joules == pytest.approx(300.0 * 3600)
+        assert e.watt_hours == pytest.approx(300.0)
+
+    def test_watts_override(self):
+        e = energy_to_solution(XEON_PHI_5110P, seconds=10.0, watts=100.0)
+        assert e.joules == pytest.approx(1000.0)
+
+    def test_name_string_accepted(self):
+        e = energy_to_solution("Xeon Phi 5110P", seconds=1.0)
+        assert e.watts == 300.0
+
+    def test_unknown_machine_needs_watts(self):
+        with pytest.raises(ValueError, match="power figure"):
+            energy_to_solution("mystery box", seconds=1.0)
+        e = energy_to_solution("mystery box", seconds=1.0, watts=50.0)
+        assert e.joules == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_to_solution(XEON_PHI_5110P, seconds=-1.0)
+        with pytest.raises(ValueError):
+            energy_to_solution(XEON_PHI_5110P, seconds=1.0, watts=0.0)

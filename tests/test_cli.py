@@ -1,0 +1,166 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.network import GeneNetwork
+from repro.data.io import load_dataset, read_edge_list
+
+
+@pytest.fixture
+def dataset_npz(tmp_path):
+    path = tmp_path / "ds.npz"
+    rc = main(["generate", "--genes", "30", "--samples", "120",
+               "--seed", "3", "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_npz_roundtrip(self, dataset_npz):
+        ds = load_dataset(dataset_npz)
+        assert ds.expression.shape == (30, 120)
+        assert ds.truth is not None
+
+    def test_tsv_output(self, tmp_path, capsys):
+        path = tmp_path / "ds.tsv"
+        rc = main(["generate", "--genes", "10", "--samples", "20", "--out", str(path)])
+        assert rc == 0
+        assert "wrote 10 genes" in capsys.readouterr().out
+        assert path.read_text().startswith("gene\t")
+
+    def test_bad_extension(self, tmp_path, capsys):
+        rc = main(["generate", "--out", str(tmp_path / "ds.csv")])
+        assert rc == 2
+        assert "unsupported output format" in capsys.readouterr().err
+
+    def test_presets(self, tmp_path):
+        for preset in ("yeast", "microarray"):
+            rc = main(["generate", "--preset", preset, "--genes", "20",
+                       "--samples", "30", "--out", str(tmp_path / f"{preset}.npz")])
+            assert rc == 0
+
+    def test_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        for p in (a, b):
+            main(["generate", "--genes", "15", "--samples", "25",
+                  "--seed", "9", "--out", str(p)])
+        assert np.array_equal(load_dataset(a).expression, load_dataset(b).expression)
+
+
+class TestReconstruct:
+    def test_end_to_end(self, dataset_npz, tmp_path, capsys):
+        edges = tmp_path / "edges.tsv"
+        net = tmp_path / "net.npz"
+        rc = main(["reconstruct", str(dataset_npz), "--out", str(edges),
+                   "--network-out", str(net), "--permutations", "15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edges in" in out
+        parsed = read_edge_list(edges)
+        loaded = GeneNetwork.load(net)
+        assert len(parsed) == loaded.n_edges
+
+    def test_tsv_input(self, tmp_path):
+        src = tmp_path / "ds.tsv"
+        main(["generate", "--genes", "12", "--samples", "60", "--out", str(src)])
+        edges = tmp_path / "edges.tsv"
+        rc = main(["reconstruct", str(src), "--out", str(edges),
+                   "--permutations", "10"])
+        assert rc == 0
+        assert edges.exists()
+
+    def test_dpi_prunes(self, dataset_npz, tmp_path):
+        raw = tmp_path / "raw.tsv"
+        pruned = tmp_path / "pruned.tsv"
+        main(["reconstruct", str(dataset_npz), "--out", str(raw), "--seed", "1"])
+        main(["reconstruct", str(dataset_npz), "--out", str(pruned),
+              "--seed", "1", "--dpi", "0.1"])
+        assert len(read_edge_list(pruned)) <= len(read_edge_list(raw))
+
+    def test_thread_engine(self, dataset_npz, tmp_path):
+        edges = tmp_path / "edges.tsv"
+        rc = main(["reconstruct", str(dataset_npz), "--out", str(edges),
+                   "--engine", "thread", "--workers", "2", "--permutations", "10"])
+        assert rc == 0
+
+    def test_missing_input(self, tmp_path, capsys):
+        rc = main(["reconstruct", str(tmp_path / "nope.tsv"),
+                   "--out", str(tmp_path / "e.tsv")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_format(self, tmp_path, capsys):
+        bad = tmp_path / "x.csv"
+        bad.write_text("hi")
+        rc = main(["reconstruct", str(bad), "--out", str(tmp_path / "e.tsv")])
+        assert rc == 2
+
+
+class TestAnalyze:
+    def test_with_truth(self, dataset_npz, tmp_path, capsys):
+        net = tmp_path / "net.npz"
+        main(["reconstruct", str(dataset_npz), "--out", str(tmp_path / "e.tsv"),
+              "--network-out", str(net), "--permutations", "15"])
+        capsys.readouterr()
+        rc = main(["analyze", str(net), "--truth", str(dataset_npz), "--hubs", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out and "hubs:" in out
+
+    def test_without_truth(self, dataset_npz, tmp_path, capsys):
+        net = tmp_path / "net.npz"
+        main(["reconstruct", str(dataset_npz), "--out", str(tmp_path / "e.tsv"),
+              "--network-out", str(net), "--permutations", "15"])
+        capsys.readouterr()
+        rc = main(["analyze", str(net)])
+        assert rc == 0
+        assert "accuracy" not in capsys.readouterr().out
+
+    def test_missing_network(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nope.npz")])
+        assert rc == 2
+
+    def test_truth_without_ground_truth(self, tmp_path, capsys):
+        # A TSV-generated dataset reloaded as npz without truth.
+        src = tmp_path / "ds.tsv"
+        main(["generate", "--genes", "10", "--samples", "40", "--out", str(src)])
+        from repro.data import read_expression_tsv, save_dataset
+
+        ds = read_expression_tsv(src)
+        truthless = tmp_path / "truthless.npz"
+        save_dataset(ds, truthless)
+        net = tmp_path / "net.npz"
+        main(["reconstruct", str(src), "--out", str(tmp_path / "e.tsv"),
+              "--network-out", str(net), "--permutations", "10"])
+        capsys.readouterr()
+        rc = main(["analyze", str(net), "--truth", str(truthless)])
+        assert rc == 2
+
+
+class TestSimulate:
+    def test_table_printed(self, capsys):
+        rc = main(["simulate", "--genes", "15575", "--samples", "3137"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Xeon Phi 5110P" in out
+        assert "Blue Gene/L" in out
+
+    def test_custom_threads(self, capsys):
+        rc = main(["simulate", "--genes", "1000", "--threads", "16"])
+        assert rc == 0
+        assert "16" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("generate", "reconstruct", "analyze", "simulate"):
+            # parse_args on each subcommand's --help would exit; just check
+            # the choices are present.
+            assert cmd in parser._subparsers._group_actions[0].choices

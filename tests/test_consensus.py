@@ -1,0 +1,83 @@
+"""Tests for repro.core.consensus: bootstrap edge stability."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig
+from repro.core.consensus import ConsensusResult, bootstrap_networks, consensus_network
+
+
+@pytest.fixture(scope="module")
+def planted_data():
+    rng = np.random.default_rng(40)
+    x = rng.normal(size=200)
+    data = np.vstack([x, x + 0.1 * rng.normal(size=200), rng.normal(size=(4, 200))])
+    return data, list("abcdef")
+
+
+@pytest.fixture(scope="module")
+def consensus(planted_data):
+    data, genes = planted_data
+    return bootstrap_networks(
+        data, genes,
+        config=TingeConfig(n_permutations=15, alpha=0.05),
+        n_rounds=8, seed=0,
+    )
+
+
+class TestBootstrapNetworks:
+    def test_frequency_bounds(self, consensus):
+        assert consensus.frequency.min() >= 0.0
+        assert consensus.frequency.max() <= 1.0
+        assert consensus.n_rounds == 8
+
+    def test_frequency_symmetric_zero_diagonal(self, consensus):
+        assert np.array_equal(consensus.frequency, consensus.frequency.T)
+        assert np.all(np.diag(consensus.frequency) == 0.0)
+
+    def test_planted_edge_fully_stable(self, consensus):
+        assert consensus.frequency[0, 1] == 1.0
+
+    def test_noise_pairs_unstable(self, consensus):
+        # Pairs among the independent genes (2..5) should rarely appear.
+        block = consensus.frequency[2:, 2:]
+        assert block.max() <= 0.5
+
+    def test_reproducible(self, planted_data):
+        data, genes = planted_data
+        a = bootstrap_networks(data, genes, TingeConfig(n_permutations=10),
+                               n_rounds=3, seed=5)
+        b = bootstrap_networks(data, genes, TingeConfig(n_permutations=10),
+                               n_rounds=3, seed=5)
+        assert np.array_equal(a.frequency, b.frequency)
+
+    def test_validation(self, planted_data):
+        data, genes = planted_data
+        with pytest.raises(ValueError):
+            bootstrap_networks(data, genes, n_rounds=0)
+        with pytest.raises(ValueError):
+            bootstrap_networks(data[0], genes)
+
+
+class TestConsensusNetwork:
+    def test_threshold_filters(self, consensus):
+        strict = consensus_network(consensus, min_frequency=1.0)
+        loose = consensus_network(consensus, min_frequency=0.25)
+        assert strict.n_edges <= loose.n_edges
+        assert strict.adjacency[0, 1]
+
+    def test_weights_are_mean_mi(self, consensus):
+        net = consensus_network(consensus, min_frequency=0.5)
+        assert np.array_equal(net.weights, consensus.mean_mi)
+
+    def test_stable_edges_sorted(self, consensus):
+        edges = consensus.stable_edges(min_frequency=0.2)
+        freqs = [f for _, _, f in edges]
+        assert freqs == sorted(freqs, reverse=True)
+        assert edges[0][:2] == ("a", "b")
+
+    def test_validation(self, consensus):
+        with pytest.raises(ValueError):
+            consensus_network(consensus, min_frequency=0.0)
+        with pytest.raises(ValueError):
+            consensus.stable_edges(min_frequency=2.0)

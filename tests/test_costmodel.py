@@ -1,0 +1,101 @@
+"""Tests for repro.machine.costmodel."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import Tile, pair_count
+from repro.machine.costmodel import KernelProfile, TileCostModel, workload_flops
+from repro.machine.spec import XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+
+@pytest.fixture
+def profile():
+    return KernelProfile(m_samples=3137, bins=10, order=3, n_permutations_fused=30)
+
+
+class TestKernelProfile:
+    def test_flops_per_evaluation(self, profile):
+        # 2*m*k^2 + b^2*(8+2) = 2*3137*9 + 1000
+        assert profile.flops_per_evaluation == pytest.approx(2 * 3137 * 9 + 1000)
+
+    def test_fused_permutations_multiply(self, profile):
+        base = KernelProfile(m_samples=3137)
+        assert profile.flops_per_pair == pytest.approx(31 * base.flops_per_pair)
+
+    def test_weight_bytes(self):
+        p = KernelProfile(m_samples=100, order=3, itemsize=4)
+        assert p.weight_bytes_per_gene() == 100 * (12 + 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelProfile(m_samples=0)
+        with pytest.raises(ValueError):
+            KernelProfile(m_samples=10, bins=2, order=3)
+        with pytest.raises(ValueError):
+            KernelProfile(m_samples=10, itemsize=2)
+        with pytest.raises(ValueError):
+            KernelProfile(m_samples=10, n_permutations_fused=-1)
+
+
+class TestTileCostModel:
+    def test_flops_scale_with_tile_area(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        small = model.tile_flops(Tile(0, 8, 8, 16))
+        big = model.tile_flops(Tile(0, 16, 16, 32))
+        assert big == pytest.approx(4 * small)
+
+    def test_tiled_bytes_much_smaller(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        t = Tile(0, 32, 32, 64)
+        tiled = model.tile_bytes(t)
+        untiled = model.with_profile(tiled=False).tile_bytes(t)
+        assert untiled > 10 * tiled
+
+    def test_scalar_kernel_slower(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        t = Tile(0, 16, 16, 32)
+        vec = model.tile_seconds(t)
+        scalar = model.with_profile(vectorized=False).tile_seconds(t)
+        assert scalar > 4 * vec  # bounded by lanes or the memory roof
+
+    def test_smt_occupancy_affects_time(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        t = Tile(0, 16, 16, 32)
+        t1 = model.tile_seconds(t, active_threads_on_core=1)
+        t2 = model.tile_seconds(t, active_threads_on_core=2)
+        # Two threads sharing a KNC core: each gets the same rate as alone
+        # (0.5 issue alone, 1.0/2 shared) -> equal per-tile time.
+        assert t2 == pytest.approx(t1)
+        t4 = model.tile_seconds(t, active_threads_on_core=4)
+        assert t4 > t2  # four ways split a saturated core
+
+    def test_bandwidth_sharing_can_dominate(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        t = Tile(0, 8, 8, 16)
+        alone = model.tile_seconds(t, threads_sharing_bw=1)
+        crowded = model.tile_seconds(t, threads_sharing_bw=100000)
+        assert crowded > alone
+
+    def test_invalid_bw_share(self, profile):
+        model = TileCostModel(XEON_PHI_5110P, profile)
+        with pytest.raises(ValueError):
+            model.tile_seconds(Tile(0, 2, 2, 4), threads_sharing_bw=0)
+
+    def test_vector_form_matches_scalar_form(self, profile):
+        model = TileCostModel(XEON_E5_2670_DUAL, profile)
+        tiles = [Tile(0, 8, 8, 16), Tile(0, 8, 16, 24), Tile(8, 16, 8, 16)]
+        vec = model.tile_seconds_vector(tiles, 2, 32)
+        ref = [model.tile_seconds(t, 2, 32) for t in tiles]
+        assert np.allclose(vec, ref)
+
+
+class TestWorkloadFlops:
+    def test_counts_valid_pairs_only(self, profile):
+        assert workload_flops(100, profile) == pytest.approx(
+            pair_count(100) * profile.flops_per_pair
+        )
+
+    def test_quadratic_growth(self, profile):
+        a = workload_flops(1000, profile)
+        b = workload_flops(2000, profile)
+        assert b / a == pytest.approx(pair_count(2000) / pair_count(1000))

@@ -1,0 +1,104 @@
+"""Tests for repro.core.discretize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.discretize import bin_matrix, preprocess, rank_transform, zscore
+
+
+class TestRankTransform:
+    def test_spans_unit_interval(self, rng):
+        r = rank_transform(rng.normal(size=50))
+        assert r.min() == 0.0 and r.max() == 1.0
+
+    def test_preserves_order(self, rng):
+        x = rng.normal(size=30)
+        r = rank_transform(x)
+        assert np.array_equal(np.argsort(x), np.argsort(r))
+
+    def test_identical_marginals_across_genes(self, rng):
+        # The property the pooled null depends on: every (tie-free) gene has
+        # the same sorted transformed values.
+        data = rng.normal(size=(5, 40))
+        r = rank_transform(data)
+        ref = np.sort(r[0])
+        for g in range(1, 5):
+            assert np.allclose(np.sort(r[g]), ref)
+
+    def test_ties_averaged(self):
+        r = rank_transform(np.array([1.0, 1.0, 2.0]))
+        assert r[0] == r[1]
+        assert r[0] == pytest.approx(0.25)  # rank 1.5 -> (1.5-1)/2
+
+    def test_monotone_invariance(self, rng):
+        x = rng.normal(size=60)
+        assert np.allclose(rank_transform(x), rank_transform(np.exp(x)))
+
+    def test_2d_per_row(self, rng):
+        data = rng.normal(size=(3, 20))
+        r = rank_transform(data)
+        for g in range(3):
+            assert np.allclose(r[g], rank_transform(data[g]))
+
+    def test_single_sample(self):
+        assert rank_transform(np.array([7.0]))[0] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rank_transform(np.empty((2, 0)))
+
+    @given(hnp.arrays(np.float64, st.integers(2, 80),
+                      elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=40, deadline=None)
+    def test_range_property(self, x):
+        r = rank_transform(x)
+        assert np.all((r >= 0.0) & (r <= 1.0))
+
+
+class TestZscore:
+    def test_mean_zero_unit_var(self, rng):
+        z = zscore(rng.normal(5, 3, size=(4, 100)))
+        assert np.allclose(z.mean(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=1, ddof=1), 1.0)
+
+    def test_constant_gene_zeroed(self):
+        z = zscore(np.array([[3.0, 3.0, 3.0], [1.0, 2.0, 3.0]]))
+        assert np.all(z[0] == 0.0)
+        assert not np.isnan(z).any()
+
+    def test_1d(self, rng):
+        z = zscore(rng.normal(size=50))
+        assert z.shape == (50,)
+        assert abs(z.mean()) < 1e-12
+
+
+class TestBinMatrix:
+    def test_shape_and_range(self, rng):
+        b = bin_matrix(rng.normal(size=(5, 60)), 8)
+        assert b.shape == (5, 60)
+        assert b.min() >= 0 and b.max() < 8
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            bin_matrix(rng.normal(size=10), 4)
+
+
+class TestPreprocess:
+    def test_rank_default(self, rng):
+        data = rng.normal(size=(3, 30))
+        assert np.allclose(preprocess(data, "rank"), rank_transform(data))
+
+    def test_zscore(self, rng):
+        data = rng.normal(size=(3, 30))
+        assert np.allclose(preprocess(data, "zscore"), zscore(data))
+
+    def test_none_passthrough(self, rng):
+        data = rng.normal(size=(3, 30))
+        assert np.array_equal(preprocess(data, "none"), data)
+
+    def test_unknown_raises(self, rng):
+        with pytest.raises(ValueError):
+            preprocess(rng.normal(size=(2, 5)), "log")

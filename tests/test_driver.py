@@ -1,0 +1,109 @@
+"""Tests for repro.core.driver: the auto-strategy orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.core.driver import auto_reconstruct
+from repro.data import yeast_subset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return yeast_subset(n_genes=30, m_samples=120, seed=66)
+
+
+CFG = TingeConfig(n_permutations=12, seed=3)
+
+
+class TestStrategySelection:
+    def test_small_run_in_memory(self, dataset):
+        out = auto_reconstruct(dataset.expression, dataset.genes, CFG)
+        assert out.strategy == "in-memory"
+        assert out.artifacts == {}
+
+    def test_checkpoint_threshold_triggers(self, dataset, tmp_path):
+        out = auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                               workdir=tmp_path, checkpoint_threshold=10)
+        assert out.strategy == "checkpointed"
+        assert (tmp_path / "checkpoint").exists()
+
+    def test_tiny_budget_goes_out_of_core(self, dataset, tmp_path):
+        out = auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                               workdir=tmp_path, mem_budget_gb=1e-6)
+        assert out.strategy == "out-of-core"
+        assert out.artifacts["mi_store"].exists()
+        assert out.artifacts["weight_store"].exists()
+
+    def test_non_memory_strategy_needs_workdir(self, dataset):
+        with pytest.raises(ValueError, match="workdir"):
+            auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                             mem_budget_gb=1e-6)
+
+
+class TestStrategyEquivalence:
+    def test_all_strategies_same_network(self, dataset, tmp_path):
+        ref = auto_reconstruct(dataset.expression, dataset.genes, CFG)
+        ck = auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                              workdir=tmp_path / "ck", checkpoint=True)
+        # Out-of-core computes in float32 weights by default config; force
+        # float64 for bit-equality.
+        cfg64 = TingeConfig(n_permutations=12, seed=3, dtype="float64")
+        ref64 = auto_reconstruct(dataset.expression, dataset.genes, cfg64)
+        ooc = auto_reconstruct(dataset.expression, dataset.genes, cfg64,
+                               workdir=tmp_path / "ooc", mem_budget_gb=1e-6)
+        assert np.array_equal(ck.network.adjacency, ref.network.adjacency)
+        assert np.allclose(ooc.network.weights, ref64.network.weights, atol=1e-12)
+        assert np.array_equal(ooc.network.adjacency, ref64.network.adjacency)
+
+    def test_matches_pipeline(self, dataset):
+        auto = auto_reconstruct(dataset.expression, dataset.genes, CFG)
+        pipe = reconstruct_network(dataset.expression, dataset.genes, CFG)
+        assert np.array_equal(auto.network.adjacency, pipe.network.adjacency)
+        assert auto.network.threshold == pytest.approx(pipe.network.threshold)
+
+
+class TestArtifacts:
+    def test_network_and_edges_written(self, dataset, tmp_path):
+        out = auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                               workdir=tmp_path, checkpoint=True)
+        from repro.core import GeneNetwork
+        from repro.data.io import read_edge_list
+
+        net = GeneNetwork.load(out.artifacts["network"])
+        assert net.n_edges == out.network.n_edges
+        assert len(read_edge_list(out.artifacts["edges"])) == net.n_edges
+
+    def test_resume_after_partial_checkpoint(self, dataset, tmp_path):
+        from repro.core.bspline import weight_tensor
+        from repro.core.checkpoint import mi_matrix_checkpointed
+        from repro.core.discretize import rank_transform
+
+        # Pre-populate a partial checkpoint, then let the driver finish it.
+        weights = weight_tensor(rank_transform(dataset.expression),
+                                dtype=np.float64)
+        ck = tmp_path / "checkpoint"
+        cfg = TingeConfig(n_permutations=12, seed=3, dtype="float64", tile=8)
+        mi_matrix_checkpointed(weights, ck, tile=8, interrupt_after_rows=1)
+        out = auto_reconstruct(dataset.expression, dataset.genes, cfg,
+                               workdir=tmp_path, checkpoint=True)
+        ref = auto_reconstruct(dataset.expression, dataset.genes, cfg)
+        assert np.array_equal(out.network.adjacency, ref.network.adjacency)
+
+
+class TestValidation:
+    def test_exact_mode_rejected(self, dataset):
+        cfg = TingeConfig(testing="exact", correction="none", alpha=0.05)
+        with pytest.raises(ValueError, match="pooled"):
+            auto_reconstruct(dataset.expression, dataset.genes, cfg)
+
+    def test_nan_rejected(self, dataset):
+        bad = dataset.expression.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="impute"):
+            auto_reconstruct(bad, dataset.genes, CFG)
+
+    def test_bad_budget(self, dataset):
+        with pytest.raises(ValueError):
+            auto_reconstruct(dataset.expression, dataset.genes, CFG,
+                             mem_budget_gb=0.0)

@@ -1,0 +1,188 @@
+"""Tests for repro.parallel.engine, sharedmem and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.engine import ProcessEngine, SerialEngine, ThreadEngine, make_engine
+from repro.parallel.reductions import linear_reduce, merge_histograms, tree_depth, tree_reduce
+from repro.parallel.scheduler import StaticScheduler
+from repro.parallel.sharedmem import SharedArray
+
+
+def square(x):
+    return x * x
+
+
+class TestSerialEngine:
+    def test_map_order(self):
+        assert SerialEngine().map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialEngine().map(square, []) == []
+
+
+class TestThreadEngine:
+    def test_map_order_preserved(self):
+        eng = ThreadEngine(n_workers=4)
+        assert eng.map(square, list(range(50))) == [i * i for i in range(50)]
+
+    def test_static_policy(self):
+        eng = ThreadEngine(n_workers=3, policy=StaticScheduler())
+        assert eng.map(square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_closures_allowed(self):
+        offset = 10
+        eng = ThreadEngine(n_workers=2)
+        assert eng.map(lambda x: x + offset, [1, 2]) == [11, 12]
+
+    def test_single_worker(self):
+        assert ThreadEngine(n_workers=1).map(square, [3]) == [9]
+
+    def test_empty(self):
+        assert ThreadEngine(n_workers=2).map(square, []) == []
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ThreadEngine(n_workers=0)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("kernel failed")
+
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            ThreadEngine(n_workers=2).map(boom, [1])
+
+
+class TestProcessEngine:
+    def test_map_with_closure_over_array(self):
+        big = np.arange(100)
+
+        def task(i):
+            return int(big[i]) + 1
+
+        eng = ProcessEngine(n_workers=2)
+        assert eng.map(task, [0, 5, 99]) == [1, 6, 100]
+
+    def test_order_preserved(self):
+        eng = ProcessEngine(n_workers=2)
+        assert eng.map(square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_single_worker_inline(self):
+        assert ProcessEngine(n_workers=1).map(square, [4]) == [16]
+
+    def test_empty(self):
+        assert ProcessEngine(n_workers=2).map(square, []) == []
+
+
+class TestMakeEngine:
+    def test_kinds(self):
+        assert isinstance(make_engine("serial"), SerialEngine)
+        assert isinstance(make_engine("thread", n_workers=2), ThreadEngine)
+        assert isinstance(make_engine("process", n_workers=1), ProcessEngine)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_engine("gpu")
+
+
+class TestSharedArray:
+    def test_create_write_read(self):
+        sa = SharedArray.create((3, 3), "float64")
+        try:
+            sa.array[:] = 7.0
+            assert sa.array.sum() == 63.0
+        finally:
+            sa.close()
+            sa.unlink()
+
+    def test_attach_sees_writes(self):
+        sa = SharedArray.create((4,), "int64")
+        try:
+            sa.array[:] = 0
+            dup = SharedArray.attach(*sa.handle())
+            dup.array[2] = 42
+            assert sa.array[2] == 42
+            dup.close()
+        finally:
+            sa.close()
+            sa.unlink()
+
+    def test_from_array_copies(self, rng):
+        src = rng.normal(size=(5, 2))
+        sa = SharedArray.from_array(src)
+        try:
+            assert np.array_equal(sa.array, src)
+        finally:
+            sa.close()
+            sa.unlink()
+
+    def test_attacher_cannot_unlink(self):
+        sa = SharedArray.create((2,), "float64")
+        dup = SharedArray.attach(*sa.handle())
+        try:
+            with pytest.raises(RuntimeError):
+                dup.unlink()
+        finally:
+            dup.close()
+            sa.close()
+            sa.unlink()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArray.create((0,), "float64")
+
+    def test_cross_process_writes(self):
+        # Workers write disjoint slots of a shared output vector.
+        sa = SharedArray.create((8,), "float64")
+        try:
+            sa.array[:] = -1.0
+            handle = sa.handle()
+
+            def worker(i):
+                dup = SharedArray.attach(*handle)
+                dup.array[i] = i * 10.0
+                dup.close()
+                return i
+
+            eng = ProcessEngine(n_workers=2)
+            eng.map(worker, list(range(8)))
+            assert np.array_equal(sa.array, np.arange(8) * 10.0)
+        finally:
+            sa.close()
+            sa.unlink()
+
+
+class TestReductions:
+    def test_linear_and_tree_agree(self, rng):
+        parts = [rng.normal(size=4) for _ in range(9)]
+        a = linear_reduce(parts, np.add)
+        b = tree_reduce(parts, np.add)
+        assert np.allclose(a, b)
+
+    def test_single_part(self):
+        assert tree_reduce([5], lambda a, b: a + b) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], np.add)
+        with pytest.raises(ValueError):
+            linear_reduce([], np.add)
+
+    def test_tree_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(8) == 3
+        assert tree_depth(9) == 4
+
+    def test_tree_depth_invalid(self):
+        with pytest.raises(ValueError):
+            tree_depth(0)
+
+    def test_merge_histograms(self, rng):
+        parts = [rng.integers(0, 5, size=(3, 3)).astype(float) for _ in range(4)]
+        merged = merge_histograms(parts)
+        assert np.allclose(merged, sum(parts))
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_histograms([np.zeros(3), np.zeros(4)])

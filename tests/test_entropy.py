@@ -1,0 +1,141 @@
+"""Tests for repro.core.entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bspline import weight_tensor
+from repro.core.entropy import (
+    entropy_from_counts,
+    entropy_from_probs,
+    joint_entropy_from_probs,
+    marginal_entropies,
+    marginal_probs,
+    miller_madow_correction,
+)
+
+
+class TestEntropyFromProbs:
+    def test_uniform_is_log_n(self):
+        for n in (2, 4, 10):
+            assert entropy_from_probs(np.full(n, 1 / n)) == pytest.approx(np.log(n))
+
+    def test_point_mass_zero(self):
+        p = np.zeros(5)
+        p[2] = 1.0
+        assert entropy_from_probs(p) == 0.0
+
+    def test_zero_probs_ignored(self):
+        assert entropy_from_probs(np.array([0.5, 0.5, 0.0])) == pytest.approx(np.log(2))
+
+    def test_bits_vs_nats(self):
+        p = np.array([0.25, 0.75])
+        assert entropy_from_probs(p, base="bit") == pytest.approx(
+            entropy_from_probs(p, base="nat") / np.log(2)
+        )
+
+    def test_axis_reduction(self, rng):
+        p = rng.dirichlet(np.ones(6), size=4)
+        h = entropy_from_probs(p, axis=1)
+        assert h.shape == (4,)
+        assert np.allclose(h[0], entropy_from_probs(p[0]))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            entropy_from_probs(np.array([-0.1, 1.1]))
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ValueError):
+            entropy_from_probs(np.array([1.0]), base="dit")
+
+    @given(st.integers(2, 20), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, n, seed):
+        p = np.random.default_rng(seed).dirichlet(np.ones(n))
+        h = entropy_from_probs(p)
+        assert -1e-12 <= h <= np.log(n) + 1e-12
+
+
+class TestEntropyFromCounts:
+    def test_matches_probs(self, rng):
+        counts = rng.integers(0, 50, size=8).astype(float)
+        counts[0] += 1  # ensure nonzero total
+        p = counts / counts.sum()
+        assert entropy_from_counts(counts) == pytest.approx(entropy_from_probs(p))
+
+    def test_all_zero_counts(self):
+        assert entropy_from_counts(np.zeros(4)) == 0.0
+
+
+class TestMarginals:
+    def test_marginal_probs_sum_to_one(self, rng):
+        w = weight_tensor(rng.normal(size=(4, 50)))
+        p = marginal_probs(w)
+        assert p.shape == (4, 10)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_single_gene(self, rng):
+        w = weight_tensor(rng.normal(size=(1, 50)))[0]
+        p = marginal_probs(w)
+        assert p.shape == (10,)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_marginal_entropies_vector(self, rng):
+        w = weight_tensor(rng.normal(size=(5, 60)))
+        h = marginal_entropies(w)
+        assert h.shape == (5,)
+        assert (h >= 0).all()
+        assert np.allclose(h[1], entropy_from_probs(marginal_probs(w[1])))
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            marginal_probs(np.zeros(5))
+
+
+class TestJointEntropy:
+    def test_independent_product(self):
+        p = np.array([0.3, 0.7])
+        q = np.array([0.5, 0.5])
+        joint = np.outer(p, q)
+        assert joint_entropy_from_probs(joint) == pytest.approx(
+            entropy_from_probs(p) + entropy_from_probs(q)
+        )
+
+    def test_tile_shape(self, rng):
+        joint = rng.dirichlet(np.ones(16), size=(3, 4)).reshape(3, 4, 4, 4)
+        h = joint_entropy_from_probs(joint)
+        assert h.shape == (3, 4)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            joint_entropy_from_probs(np.array([0.5, 0.5]))
+
+    def test_subadditivity(self, rng):
+        # H(X, Y) <= H(X) + H(Y) for any joint.
+        joint = rng.dirichlet(np.ones(36)).reshape(6, 6)
+        hx = entropy_from_probs(joint.sum(axis=1))
+        hy = entropy_from_probs(joint.sum(axis=0))
+        assert joint_entropy_from_probs(joint) <= hx + hy + 1e-12
+
+    def test_joint_at_least_marginal(self, rng):
+        joint = rng.dirichlet(np.ones(25)).reshape(5, 5)
+        hx = entropy_from_probs(joint.sum(axis=1))
+        assert joint_entropy_from_probs(joint) >= hx - 1e-12
+
+
+class TestMillerMadow:
+    def test_zero_for_one_bin(self):
+        assert miller_madow_correction(np.array([1]), 100)[0] == 0.0
+
+    def test_formula(self):
+        assert miller_madow_correction(np.array([11]), 50)[0] == pytest.approx(0.1)
+
+    def test_shrinks_with_samples(self):
+        a = miller_madow_correction(np.array([10]), 10)
+        b = miller_madow_correction(np.array([10]), 1000)
+        assert b < a
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            miller_madow_correction(np.array([5]), 0)

@@ -1,0 +1,135 @@
+"""Tests for repro.data.expression and repro.data.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.mi import mi_bspline
+from repro.data.datasets import (
+    ARABIDOPSIS_SHAPE,
+    arabidopsis_scale,
+    microarray_dataset,
+    toy,
+    yeast_subset,
+)
+from repro.data.expression import ExpressionDataset, simulate_expression
+from repro.data.grn import GroundTruthNetwork, scale_free_grn
+
+
+class TestSimulateExpression:
+    def test_shape(self):
+        truth = scale_free_grn(30, seed=0)
+        ds = simulate_expression(truth, 100, seed=1)
+        assert ds.expression.shape == (30, 100)
+        assert ds.n_genes == 30 and ds.m_samples == 100
+
+    def test_reproducible(self):
+        truth = scale_free_grn(20, seed=0)
+        a = simulate_expression(truth, 50, seed=3)
+        b = simulate_expression(truth, 50, seed=3)
+        assert np.array_equal(a.expression, b.expression)
+
+    def test_regulated_pairs_carry_mi(self):
+        truth = scale_free_grn(40, n_regulators=4, seed=1)
+        ds = simulate_expression(truth, 400, noise_sd=0.2, seed=2)
+        # A directly regulated pair should have much higher MI than a random
+        # unrelated pair.
+        r, t = truth.edges[0]
+        linked = mi_bspline(ds.expression[r], ds.expression[t])
+        # Find two genes with no direct edge and different regulators.
+        unlinked = mi_bspline(ds.expression[4], ds.expression[5]) if not (
+            [4, 5] in truth.edges.tolist()
+        ) else 0.0
+        assert linked > 0.05
+
+    def test_noise_free_deterministic_link(self):
+        truth = GroundTruthNetwork(n_genes=2, edges=[[0, 1]], strengths=[1.0])
+        ds = simulate_expression(truth, 200, noise_sd=0.0, nonlinear_fraction=0.0, seed=0)
+        corr = np.corrcoef(ds.expression[0], ds.expression[1])[0, 1]
+        assert abs(corr) > 0.999
+
+    def test_higher_noise_lower_mi(self):
+        truth = GroundTruthNetwork(n_genes=2, edges=[[0, 1]], strengths=[1.0])
+        lo = simulate_expression(truth, 500, noise_sd=0.1, nonlinear_fraction=0.0, seed=1)
+        hi = simulate_expression(truth, 500, noise_sd=2.0, nonlinear_fraction=0.0, seed=1)
+        assert mi_bspline(lo.expression[0], lo.expression[1]) > mi_bspline(
+            hi.expression[0], hi.expression[1]
+        )
+
+    def test_nonlinear_links_low_correlation_high_mi(self):
+        # Force all-quadratic links: Pearson should be weak, MI strong.
+        import repro.data.expression as ex
+
+        truth = GroundTruthNetwork(n_genes=2, edges=[[0, 1]], strengths=[1.0])
+        rng_ds = simulate_expression(truth, 600, noise_sd=0.1, nonlinear_fraction=1.0, seed=7)
+        x, y = rng_ds.expression
+        # With nonlinear_fraction=1 the link is sigmoid or quadratic; only
+        # assert the MI signal survives.
+        assert mi_bspline(x, y) > 0.2
+
+    def test_validates_topological_order(self):
+        bad = GroundTruthNetwork(n_genes=3, edges=[[0, 1]], strengths=[1.0])
+        # Manually corrupt to a back edge.
+        bad.edges = np.array([[2, 1]])
+        bad.strengths = np.array([1.0])
+        with pytest.raises(ValueError):
+            simulate_expression(bad, 10)
+
+    def test_invalid_params(self):
+        truth = scale_free_grn(5, seed=0)
+        with pytest.raises(ValueError):
+            simulate_expression(truth, 0)
+        with pytest.raises(ValueError):
+            simulate_expression(truth, 10, noise_sd=-1)
+        with pytest.raises(ValueError):
+            simulate_expression(truth, 10, nonlinear_fraction=2.0)
+
+
+class TestExpressionDataset:
+    def test_subset_shapes(self):
+        ds = toy(n_genes=20, m_samples=50)
+        sub = ds.subset(n_genes=10, m_samples=25)
+        assert sub.expression.shape == (10, 25)
+        assert len(sub.genes) == 10
+
+    def test_subset_truth_filtered(self):
+        ds = toy(n_genes=20, m_samples=50)
+        sub = ds.subset(n_genes=10)
+        assert sub.truth is not None
+        assert sub.truth.edges.size == 0 or sub.truth.edges.max() < 10
+
+    def test_subset_out_of_range(self):
+        ds = toy(n_genes=10, m_samples=20)
+        with pytest.raises(ValueError):
+            ds.subset(n_genes=11)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ExpressionDataset(np.zeros(5), ["a"])
+        with pytest.raises(ValueError):
+            ExpressionDataset(np.zeros((2, 5)), ["a"])
+
+
+class TestDatasetPresets:
+    def test_toy_fast_and_small(self):
+        ds = toy()
+        assert ds.n_genes == 12 and ds.m_samples == 120
+        assert ds.truth is not None
+
+    def test_yeast_subset_has_hubs(self):
+        ds = yeast_subset(n_genes=100, m_samples=60, seed=0)
+        out_deg = np.bincount(ds.truth.edges[:, 0], minlength=10)
+        assert out_deg.max() >= 3
+
+    def test_arabidopsis_shape_constant(self):
+        assert ARABIDOPSIS_SHAPE.n_genes == 15575
+        assert ARABIDOPSIS_SHAPE.m_samples == 3137
+        assert ARABIDOPSIS_SHAPE.n_pairs == 15575 * 15574 // 2
+
+    def test_arabidopsis_scale_reduced(self):
+        ds = arabidopsis_scale(n_genes=60, m_samples=40, seed=0)
+        assert ds.expression.shape == (60, 40)
+
+    def test_microarray_dataset_complete(self):
+        ds = microarray_dataset(n_genes=30, m_samples=40, dropout=0.05, seed=0)
+        assert not np.isnan(ds.expression).any()
+        assert ds.truth is not None

@@ -1,0 +1,256 @@
+"""Tests for the extension features: shrinkage estimator, exact re-test,
+affinity placement, roofline analysis, and module detection."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis.modules import (
+    connected_modules,
+    modularity_modules,
+    module_purity,
+)
+from repro.core.bspline import weight_matrix
+from repro.core.entropy import james_stein_shrinkage
+from repro.core.mi import mi_bspline_pair, mi_shrinkage_pair
+from repro.core.network import GeneNetwork
+from repro.machine.costmodel import KernelProfile, roofline_point
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+
+class TestJamesSteinShrinkage:
+    def test_stays_normalized(self, rng):
+        p = rng.dirichlet(np.ones(25)).reshape(5, 5)
+        shrunk = james_stein_shrinkage(p, 50)
+        assert shrunk.sum() == pytest.approx(1.0)
+        assert (shrunk >= 0).all()
+
+    def test_moves_toward_uniform(self, rng):
+        p = rng.dirichlet(np.ones(10) * 0.1)  # very peaked
+        shrunk = james_stein_shrinkage(p, 20)
+        uniform = np.full(10, 0.1)
+        assert np.linalg.norm(shrunk - uniform) < np.linalg.norm(p - uniform)
+
+    def test_shrinkage_vanishes_with_samples(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        small_m = james_stein_shrinkage(p, 10)
+        large_m = james_stein_shrinkage(p, 100000)
+        assert np.linalg.norm(large_m - p) < np.linalg.norm(small_m - p)
+
+    def test_uniform_is_fixed_point(self):
+        p = np.full(6, 1 / 6)
+        assert np.allclose(james_stein_shrinkage(p, 30), p)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.array([1.0]), 1)
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.array([]), 10)
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.array([-0.1, 1.1]), 10)
+
+
+class TestMiShrinkage:
+    def test_shrunk_below_plugin_for_dependent(self, rng):
+        x = rng.normal(size=60)
+        y = x + 0.2 * rng.normal(size=60)
+        wx, wy = weight_matrix(x), weight_matrix(y)
+        assert 0 < mi_shrinkage_pair(wx, wy) < mi_bspline_pair(wx, wy)
+
+    def test_reduces_small_sample_bias(self, rng):
+        """For independent data, plug-in MI is biased up; shrinkage must
+        cut the mean estimate substantially."""
+        plug, shrunk = [], []
+        for seed in range(20):
+            g = np.random.default_rng(seed)
+            wx = weight_matrix(g.normal(size=30))
+            wy = weight_matrix(g.normal(size=30))
+            plug.append(mi_bspline_pair(wx, wy))
+            shrunk.append(mi_shrinkage_pair(wx, wy))
+        assert np.mean(shrunk) < 0.6 * np.mean(plug)
+
+    def test_preserves_dependence_ordering(self, rng):
+        x = rng.normal(size=200)
+        noise = rng.normal(size=200)
+        wx = weight_matrix(x)
+        strong = weight_matrix(x + 0.2 * noise)
+        weak = weight_matrix(x + 2.0 * noise)
+        assert mi_shrinkage_pair(wx, strong) > mi_shrinkage_pair(wx, weak)
+
+
+class TestExactRetest:
+    def test_retest_is_subset_of_screen(self, rng):
+        x = rng.normal(size=150)
+        data = np.vstack([x, x + 0.15 * rng.normal(size=150),
+                          rng.normal(size=(8, 150))])
+        base_cfg = TingeConfig(n_permutations=20, alpha=0.05, seed=3)
+        retest_cfg = TingeConfig(n_permutations=20, alpha=0.05, seed=3,
+                                 exact_retest=True, retest_permutations=50)
+        screened = reconstruct_network(data, config=base_cfg)
+        retested = reconstruct_network(data, config=retest_cfg)
+        assert np.all(screened.network.adjacency | ~retested.network.adjacency)
+        assert "retest" in retested.timings
+
+    def test_strong_edge_survives_retest(self, rng):
+        x = rng.normal(size=200)
+        data = np.vstack([x, x + 0.1 * rng.normal(size=200),
+                          rng.normal(size=(4, 200))])
+        res = reconstruct_network(
+            data, genes=list("abcdef"),
+            config=TingeConfig(n_permutations=25, alpha=0.05,
+                               exact_retest=True, retest_permutations=80),
+        )
+        assert ("a", "b") in res.network.edge_set()
+
+    def test_no_candidates_no_retest_phase(self, rng):
+        data = rng.normal(size=(6, 100))
+        res = reconstruct_network(
+            data, config=TingeConfig(n_permutations=30, alpha=0.01,
+                                     exact_retest=True),
+        )
+        if res.network.n_edges == 0:
+            assert "retest" not in res.timings
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TingeConfig(retest_permutations=0)
+
+
+class TestAffinityPlacement:
+    def test_compact_strands_cores(self):
+        phi = XEON_PHI_5110P
+        assert phi.threads_on_core_count(60, "compact") == [4] * 15
+        assert phi.threads_on_core_count(60, "balanced") == [1] * 60
+
+    def test_compact_partial_core(self):
+        assert XEON_PHI_5110P.threads_on_core_count(6, "compact") == [4, 2]
+
+    def test_scatter_alias(self):
+        phi = XEON_PHI_5110P
+        assert phi.threads_on_core_count(90, "scatter") == phi.threads_on_core_count(90)
+
+    def test_balanced_beats_compact_at_partial_occupancy(self):
+        phi = XEON_PHI_5110P
+        # 60 threads balanced: 60 cores at half issue = 30 core-equivalents.
+        # 60 threads compact: 15 cores saturated = 15 core-equivalents.
+        bal = phi.effective_gflops(60, "balanced")
+        cmp_ = phi.effective_gflops(60, "compact")
+        assert bal == pytest.approx(2 * cmp_)
+
+    def test_equal_at_full_occupancy(self):
+        phi = XEON_PHI_5110P
+        assert phi.effective_gflops(240, "balanced") == pytest.approx(
+            phi.effective_gflops(240, "compact")
+        )
+
+    def test_simulator_honours_placement(self):
+        sim = MachineSimulator(XEON_PHI_5110P,
+                               KernelProfile(m_samples=512, n_permutations_fused=10))
+        bal = sim.run(400, 60, placement="balanced").makespan
+        cmp_ = sim.run(400, 60, placement="compact").makespan
+        assert cmp_ / bal == pytest.approx(2.0, rel=0.15)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            XEON_PHI_5110P.threads_on_core_count(10, "explicit")
+
+
+class TestRoofline:
+    def test_untiled_memory_bound_tiled_compute_bound(self):
+        profile = KernelProfile(m_samples=3137)
+        tiled = roofline_point(XEON_PHI_5110P, profile, tile=32)
+        untiled = roofline_point(XEON_PHI_5110P, profile.__class__(
+            m_samples=3137, tiled=False))
+        assert tiled.compute_bound
+        assert not untiled.compute_bound
+        assert tiled.arithmetic_intensity > untiled.arithmetic_intensity
+
+    def test_fused_permutations_raise_intensity(self):
+        a = roofline_point(XEON_PHI_5110P, KernelProfile(m_samples=3137))
+        b = roofline_point(
+            XEON_PHI_5110P, KernelProfile(m_samples=3137, n_permutations_fused=30)
+        )
+        assert b.arithmetic_intensity > 10 * a.arithmetic_intensity
+
+    def test_attainable_capped_by_peak(self):
+        rp = roofline_point(XEON_E5_2670_DUAL,
+                            KernelProfile(m_samples=3137, n_permutations_fused=30))
+        eff_peak = XEON_E5_2670_DUAL.peak_gflops_sp * XEON_E5_2670_DUAL.kernel_efficiency
+        assert rp.attainable_gflops <= eff_peak + 1e-9
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            roofline_point(XEON_PHI_5110P, KernelProfile(m_samples=100), tile=0)
+
+
+class TestModules:
+    @pytest.fixture
+    def two_cliques(self):
+        # Two 3-cliques plus an isolated gene.
+        n = 7
+        adj = np.zeros((n, n), dtype=bool)
+        w = np.zeros((n, n))
+        for group in ([0, 1, 2], [3, 4, 5]):
+            for i in group:
+                for j in group:
+                    if i < j:
+                        adj[i, j] = adj[j, i] = True
+                        w[i, j] = w[j, i] = 0.5
+        genes = [f"g{i}" for i in range(n)]
+        return GeneNetwork(adj, w, genes)
+
+    def test_connected_modules(self, two_cliques):
+        modules = connected_modules(two_cliques)
+        assert len(modules) == 2
+        assert all(m.size == 3 and m.n_internal_edges == 3 for m in modules)
+        assert modules[0].mean_internal_mi == pytest.approx(0.5)
+
+    def test_min_size_filters(self, two_cliques):
+        assert len(connected_modules(two_cliques, min_size=4)) == 0
+
+    def test_modularity_modules(self, two_cliques):
+        modules = modularity_modules(two_cliques, min_size=2)
+        assert len(modules) == 2
+        assert {m.genes for m in modules} == {("g0", "g1", "g2"), ("g3", "g4", "g5")}
+
+    def test_empty_network(self):
+        net = GeneNetwork(np.zeros((3, 3), dtype=bool), np.zeros((3, 3)),
+                          ["a", "b", "c"])
+        assert modularity_modules(net) == []
+        assert connected_modules(net) == []
+
+    def test_module_purity(self, two_cliques):
+        from repro.data.grn import GroundTruthNetwork
+
+        truth = GroundTruthNetwork(
+            n_genes=7,
+            edges=[[0, 1], [0, 2], [1, 2], [3, 4]],
+            strengths=[1.0] * 4,
+            genes=two_cliques.genes,
+        )
+        modules = connected_modules(two_cliques)
+        purity = module_purity(modules, truth)
+        assert purity == pytest.approx(4 / 6)
+
+    def test_purity_empty(self):
+        from repro.data.grn import GroundTruthNetwork
+
+        truth = GroundTruthNetwork(n_genes=2, edges=[[0, 1]], strengths=[1.0])
+        assert module_purity([], truth) == 0.0
+
+    def test_end_to_end_module_detection(self):
+        from repro.data import yeast_subset
+
+        ds = yeast_subset(n_genes=40, m_samples=250, seed=12)
+        res = reconstruct_network(ds.expression, ds.genes,
+                                  TingeConfig(n_permutations=20))
+        modules = modularity_modules(res.network, min_size=3)
+        assert modules  # hub-driven data must yield communities
+        assert module_purity(modules, ds.truth) > 0.05
+
+    def test_invalid_min_size(self, two_cliques):
+        with pytest.raises(ValueError):
+            connected_modules(two_cliques, min_size=0)
+        with pytest.raises(ValueError):
+            modularity_modules(two_cliques, min_size=0)

@@ -1,0 +1,103 @@
+"""One larger end-to-end workflow test: the whole public surface in concert.
+
+A 300-gene reconstruction driven the way a real analysis would be: threaded
+engine, DPI pruning, module detection, enrichment against the generating
+regulons, topology significance against rewired nulls, provenance record,
+and serialization round-trips.  Slower than the unit tests (~10 s) but the
+single best regression net the repository has.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.analysis import (
+    clustering_zscore,
+    compare_networks,
+    enrich_modules,
+    modularity_modules,
+    module_purity,
+    regulon_annotations,
+    score_network,
+    summarize,
+)
+from repro.baselines import dpi_prune, pearson_matrix
+from repro.core import GeneNetwork
+from repro.core.provenance import run_record, save_run_record, load_run_record, verify_run_record
+from repro.data import save_dataset, load_dataset, yeast_subset
+from repro.parallel import ThreadEngine
+
+N_GENES = 300
+M_SAMPLES = 400
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("workflow")
+    ds = yeast_subset(n_genes=N_GENES, m_samples=M_SAMPLES, seed=100)
+    save_dataset(ds, tmp / "dataset.npz")
+    result = reconstruct_network(
+        ds.expression, ds.genes,
+        TingeConfig(n_permutations=25, alpha=0.01, dtype="float32", seed=1),
+        engine=ThreadEngine(n_workers=2),
+    )
+    pruned = GeneNetwork(
+        dpi_prune(result.mi, result.network.adjacency, tolerance=0.1),
+        result.mi, ds.genes,
+    )
+    return tmp, ds, result, pruned
+
+
+class TestFullWorkflow:
+    def test_statistical_sanity(self, workflow):
+        _, ds, result, pruned = workflow
+        # Significant structure found, far sparser than the pair universe.
+        assert 0 < result.network.n_edges < N_GENES * (N_GENES - 1) // 4
+        # Pruning only removes edges.
+        assert pruned.n_edges <= result.network.n_edges
+
+    def test_accuracy_beats_chance_and_tracks_pearson(self, workflow):
+        _, ds, result, pruned = workflow
+        c = score_network(pruned, ds.truth)
+        chance = ds.truth.n_edges / (N_GENES * (N_GENES - 1) / 2)
+        assert c.precision > 3 * chance
+        assert c.recall > 0.2
+
+    def test_topology_is_nonrandom(self, workflow):
+        _, ds, _result, pruned = workflow
+        s = summarize(pruned)
+        assert s.largest_component > N_GENES // 2
+        z = clustering_zscore(pruned, n_rewired=6, seed=0)
+        assert z.observed > z.null_mean  # clustered beyond its degrees
+
+    def test_modules_enrich_true_regulons(self, workflow):
+        _, ds, _result, pruned = workflow
+        modules = modularity_modules(pruned, min_size=4)
+        assert modules
+        assert module_purity(modules, ds.truth) > 0.05
+        hits = enrich_modules(modules, regulon_annotations(ds.truth, min_size=4),
+                              n_genes=N_GENES, alpha=0.05)
+        assert hits and hits[0].pvalue < 1e-3
+
+    def test_round_trips_and_provenance(self, workflow):
+        tmp, ds, result, pruned = workflow
+        # Dataset round-trip.
+        back = load_dataset(tmp / "dataset.npz")
+        assert np.array_equal(back.expression, ds.expression)
+        # Network round-trip.
+        pruned.save(tmp / "network.npz")
+        loaded = GeneNetwork.load(tmp / "network.npz")
+        assert compare_networks(loaded, pruned).jaccard == 1.0
+        # Provenance record verifies against the original inputs.
+        record = run_record(result, ds.expression)
+        save_run_record(record, tmp / "run.json")
+        assert verify_run_record(load_run_record(tmp / "run.json"),
+                                 ds.expression, result) == []
+
+    def test_mi_beats_pearson_ranking(self, workflow):
+        from repro.analysis import aupr
+
+        _, ds, result, _pruned = workflow
+        assert aupr(result.mi, ds.truth) > 0.9 * aupr(
+            np.abs(pearson_matrix(ds.expression)), ds.truth
+        )

@@ -1,0 +1,190 @@
+"""Tests for repro.data.grn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.grn import GroundTruthNetwork, erdos_renyi_grn, scale_free_grn
+
+
+class TestGroundTruthNetwork:
+    def test_basic_construction(self):
+        net = GroundTruthNetwork(
+            n_genes=4, edges=[[0, 1], [0, 2]], strengths=[1.0, -0.5]
+        )
+        assert net.n_edges == 2
+        assert net.genes == ["G00000", "G00001", "G00002", "G00003"]
+
+    def test_adjacency_symmetric(self):
+        net = GroundTruthNetwork(n_genes=3, edges=[[0, 2]], strengths=[1.0])
+        adj = net.adjacency()
+        assert adj[0, 2] and adj[2, 0]
+        assert adj.sum() == 2
+
+    def test_undirected_edge_set(self):
+        net = GroundTruthNetwork(n_genes=3, edges=[[0, 1]], strengths=[1.0])
+        assert net.undirected_edge_set() == {("G00000", "G00001")}
+
+    def test_regulators_of(self):
+        net = GroundTruthNetwork(n_genes=4, edges=[[0, 3], [1, 3], [0, 2]], strengths=[1, 1, 1])
+        assert sorted(net.regulators_of(3).tolist()) == [0, 1]
+
+    def test_to_networkx_directed(self):
+        net = GroundTruthNetwork(n_genes=3, edges=[[0, 1]], strengths=[-1.0])
+        g = net.to_networkx()
+        assert g.has_edge("G00000", "G00001")
+        assert not g.has_edge("G00001", "G00000")
+        assert g["G00000"]["G00001"]["strength"] == -1.0
+
+    def test_rejects_self_edge(self):
+        with pytest.raises(ValueError):
+            GroundTruthNetwork(n_genes=3, edges=[[1, 1]], strengths=[1.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GroundTruthNetwork(n_genes=2, edges=[[0, 5]], strengths=[1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GroundTruthNetwork(n_genes=3, edges=[[0, 1]], strengths=[1.0, 2.0])
+
+
+class TestScaleFreeGrn:
+    def test_reproducible(self):
+        a = scale_free_grn(100, seed=1)
+        b = scale_free_grn(100, seed=1)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_regulators_are_prefix(self):
+        net = scale_free_grn(100, n_regulators=10, seed=0)
+        assert net.edges[:, 0].max() < 10
+
+    def test_topological_order(self):
+        net = scale_free_grn(200, seed=2)
+        assert np.all(net.edges[:, 0] < net.edges[:, 1])
+
+    def test_every_target_regulated(self):
+        net = scale_free_grn(80, n_regulators=8, seed=3)
+        targets = set(net.edges[:, 1].tolist())
+        assert set(range(8, 80)) <= targets
+
+    def test_hub_structure(self):
+        # Preferential attachment: the most-connected regulator should hold
+        # far more than the average share of edges.
+        net = scale_free_grn(500, n_regulators=25, seed=4)
+        out_deg = np.bincount(net.edges[:, 0], minlength=25)
+        assert out_deg.max() > 3 * out_deg.mean()
+
+    def test_mean_in_degree_approximate(self):
+        net = scale_free_grn(1000, n_regulators=50, mean_in_degree=3.0, seed=5)
+        in_deg = net.n_edges / 950
+        assert 2.0 < in_deg < 4.2
+
+    def test_signed_strengths(self):
+        net = scale_free_grn(300, repression_fraction=0.5, seed=6)
+        frac_neg = (net.strengths < 0).mean()
+        assert 0.3 < frac_neg < 0.7
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scale_free_grn(1)
+        with pytest.raises(ValueError):
+            scale_free_grn(10, n_regulators=10)
+        with pytest.raises(ValueError):
+            scale_free_grn(10, mean_in_degree=0.0)
+
+    @given(n=st.integers(5, 150), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_structure_property(self, n, seed):
+        net = scale_free_grn(n, seed=seed)
+        assert np.all(net.edges[:, 0] < net.edges[:, 1])
+        assert net.n_edges == net.strengths.size
+
+
+class TestErdosRenyiGrn:
+    def test_exact_edge_count(self):
+        net = erdos_renyi_grn(30, 50, seed=0)
+        assert net.n_edges == 50
+
+    def test_edges_distinct(self):
+        net = erdos_renyi_grn(20, 100, seed=1)
+        assert len({tuple(e) for e in net.edges.tolist()}) == 100
+
+    def test_acyclic_order(self):
+        net = erdos_renyi_grn(25, 40, seed=2)
+        assert np.all(net.edges[:, 0] < net.edges[:, 1])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_grn(5, 11)  # only 10 pairs exist
+        with pytest.raises(ValueError):
+            erdos_renyi_grn(1, 0)
+
+    def test_zero_edges(self):
+        assert erdos_renyi_grn(10, 0, seed=0).n_edges == 0
+
+
+class TestModularGrn:
+    def test_reproducible_and_ordered(self):
+        from repro.data.grn import modular_grn
+
+        a = modular_grn(40, seed=1)
+        b = modular_grn(40, seed=1)
+        assert np.array_equal(a.edges, b.edges)
+        assert np.all(a.edges[:, 0] < a.edges[:, 1])
+
+    def test_intra_edges_dominate(self):
+        from repro.data.grn import modular_grn
+
+        net = modular_grn(60, n_modules=4, intra_density=0.4,
+                          inter_density=0.005, seed=2)
+        membership = np.repeat(np.arange(4), 15)
+        same = membership[net.edges[:, 0]] == membership[net.edges[:, 1]]
+        assert same.mean() > 0.85
+
+    def test_density_parameters_respected(self):
+        from repro.data.grn import modular_grn
+
+        dense = modular_grn(50, intra_density=0.5, inter_density=0.0, seed=3)
+        sparse = modular_grn(50, intra_density=0.1, inter_density=0.0, seed=3)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_single_module_is_erdos_renyi_like(self):
+        from repro.data.grn import modular_grn
+
+        net = modular_grn(30, n_modules=1, intra_density=0.2, seed=4)
+        assert net.n_edges > 0
+
+    def test_validation(self):
+        from repro.data.grn import modular_grn
+
+        with pytest.raises(ValueError):
+            modular_grn(1)
+        with pytest.raises(ValueError):
+            modular_grn(10, n_modules=11)
+        with pytest.raises(ValueError):
+            modular_grn(10, intra_density=1.5)
+
+    def test_planted_modules_recovered_end_to_end(self):
+        """The full loop: planted modules -> expression -> reconstruction ->
+        community detection -> the planted partition reappears."""
+        from repro import TingeConfig, reconstruct_network
+        from repro.analysis import modularity_modules
+        from repro.data.expression import simulate_expression
+        from repro.data.grn import modular_grn
+
+        truth = modular_grn(40, n_modules=4, intra_density=0.35,
+                            inter_density=0.0, seed=5)
+        ds = simulate_expression(truth, 400, noise_sd=0.25,
+                                 nonlinear_fraction=0.0, seed=6)
+        res = reconstruct_network(ds.expression, ds.genes,
+                                  TingeConfig(n_permutations=20))
+        modules = modularity_modules(res.network, min_size=5)
+        assert len(modules) >= 3
+        # Each detected module should be dominated by one planted block.
+        membership = {g: i // 10 for i, g in enumerate(truth.genes)}
+        for module in modules[:4]:
+            blocks = [membership[g] for g in module.genes]
+            counts = np.bincount(blocks, minlength=4)
+            assert counts.max() / counts.sum() > 0.7

@@ -1,0 +1,101 @@
+"""Tests for repro.data.io."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import toy
+from repro.data.io import (
+    load_dataset,
+    read_edge_list,
+    read_expression_tsv,
+    save_dataset,
+    write_edge_list,
+    write_expression_tsv,
+)
+
+
+class TestExpressionTsv:
+    def test_roundtrip(self, tmp_path):
+        ds = toy(n_genes=5, m_samples=8)
+        path = tmp_path / "expr.tsv"
+        write_expression_tsv(ds, path)
+        back = read_expression_tsv(path)
+        assert back.genes == ds.genes
+        assert np.allclose(back.expression, ds.expression, rtol=1e-5)
+        assert back.truth is None
+
+    def test_header_format(self, tmp_path):
+        ds = toy(n_genes=2, m_samples=3)
+        path = tmp_path / "expr.tsv"
+        write_expression_tsv(ds, path)
+        header = path.read_text().splitlines()[0]
+        assert header.split("\t") == ["gene", "S0000", "S0001", "S0002"]
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("gene\tS0\tS1\ng1\t1.0\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_expression_tsv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("gene\tS0\ng1\tNaNope\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_expression_tsv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_expression_tsv(path)
+
+    def test_no_rows_rejected(self, tmp_path):
+        path = tmp_path / "hdr.tsv"
+        path.write_text("gene\tS0\n")
+        with pytest.raises(ValueError, match="no gene rows"):
+            read_expression_tsv(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        edges = [("a", "b", 0.5), ("b", "c", 0.25)]
+        path = tmp_path / "edges.tsv"
+        write_edge_list(edges, path)
+        back = read_edge_list(path)
+        assert back == [("a", "b", 0.5), ("b", "c", 0.25)]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\t0.5\n")
+        with pytest.raises(ValueError, match="header"):
+            read_edge_list(path)
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("gene_a\tgene_b\tmi\na\tb\n")
+        with pytest.raises(ValueError, match="3 columns"):
+            read_edge_list(path)
+
+    def test_empty_edge_list(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        write_edge_list([], path)
+        assert read_edge_list(path) == []
+
+
+class TestDatasetNpz:
+    def test_roundtrip_with_truth(self, tmp_path):
+        ds = toy(n_genes=8, m_samples=12)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        back = load_dataset(path)
+        assert np.array_equal(back.expression, ds.expression)
+        assert back.genes == ds.genes
+        assert np.array_equal(back.truth.edges, ds.truth.edges)
+        assert np.allclose(back.truth.strengths, ds.truth.strengths)
+
+    def test_roundtrip_without_truth(self, tmp_path):
+        ds = toy(n_genes=4, m_samples=6)
+        ds.truth = None
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        assert load_dataset(path).truth is None

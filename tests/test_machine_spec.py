@@ -1,0 +1,116 @@
+"""Tests for repro.machine.spec: machine models and the SMT issue curve."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import (
+    BLUEGENE_L_1024,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_5110P,
+    ClusterSpec,
+    MachineSpec,
+    get_machine,
+)
+
+
+class TestPresets:
+    def test_phi_shape(self):
+        phi = XEON_PHI_5110P
+        assert phi.cores == 60
+        assert phi.threads_per_core == 4
+        assert phi.max_threads == 240
+        assert phi.vector_lanes_sp == 16
+
+    def test_phi_peak_flops(self):
+        # 60 cores * 16 lanes * 2 (FMA) * 1.053 GHz ~ 2.02 TF SP.
+        assert XEON_PHI_5110P.peak_gflops_sp == pytest.approx(2021.8, rel=1e-3)
+
+    def test_xeon_peak_flops(self):
+        # 16 * 8 * 2 * 2.6 = 665.6 GF SP.
+        assert XEON_E5_2670_DUAL.peak_gflops_sp == pytest.approx(665.6, rel=1e-3)
+
+    def test_get_machine(self):
+        assert get_machine("xeon_phi") is XEON_PHI_5110P
+        assert get_machine("xeon") is XEON_E5_2670_DUAL
+        assert get_machine("bluegene_l") is BLUEGENE_L_1024
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(ValueError):
+            get_machine("gpu")
+
+
+class TestSmtIssueModel:
+    def test_knc_one_thread_half_rate(self):
+        phi = XEON_PHI_5110P
+        assert phi.core_rate_gflops(1) == pytest.approx(0.5 * phi.core_rate_gflops(2))
+
+    def test_knc_saturates_at_two(self):
+        phi = XEON_PHI_5110P
+        assert phi.core_rate_gflops(2) == phi.core_rate_gflops(4)
+
+    def test_xeon_ht_modest_gain(self):
+        x = XEON_E5_2670_DUAL
+        gain = x.core_rate_gflops(2) / x.core_rate_gflops(1)
+        assert 1.0 < gain < 1.3
+
+    def test_thread_rate_splits_core(self):
+        phi = XEON_PHI_5110P
+        assert phi.thread_rate_gflops(4) == pytest.approx(phi.core_rate_gflops(4) / 4)
+
+    def test_occupancy_bounds(self):
+        with pytest.raises(ValueError):
+            XEON_PHI_5110P.core_rate_gflops(0)
+        with pytest.raises(ValueError):
+            XEON_PHI_5110P.core_rate_gflops(5)
+
+
+class TestEffectiveGflops:
+    def test_monotone_in_threads(self):
+        phi = XEON_PHI_5110P
+        rates = [phi.effective_gflops(t) for t in (1, 30, 60, 120, 180, 240)]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_phi_120_double_of_60(self):
+        # The signature KNC behaviour: 2 threads/core doubles 1 thread/core.
+        phi = XEON_PHI_5110P
+        assert phi.effective_gflops(120) == pytest.approx(2 * phi.effective_gflops(60))
+
+    def test_phi_240_equals_120(self):
+        phi = XEON_PHI_5110P
+        assert phi.effective_gflops(240) == pytest.approx(phi.effective_gflops(120))
+
+    def test_breadth_first_placement(self):
+        phi = XEON_PHI_5110P
+        counts = phi.threads_on_core_count(61)
+        assert sorted(counts, reverse=True)[:1] == [2]
+        assert sum(counts) == 61
+        assert len(counts) == 60
+
+    def test_placement_under_subscription(self):
+        assert XEON_PHI_5110P.threads_on_core_count(10) == [1] * 10
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            XEON_PHI_5110P.effective_gflops(0)
+        with pytest.raises(ValueError):
+            XEON_PHI_5110P.effective_gflops(241)
+
+
+class TestValidation:
+    def test_smt_tuple_length_checked(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 4, 2, 1.0, 8, smt_efficiency=(1.0,))
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 4, 1, 1.0, 8, kernel_efficiency=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 4, 1, 1.0, 8, kernel_efficiency=1.5)
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("c", 0, XEON_E5_2670_DUAL)
+
+    def test_cluster_totals(self):
+        assert BLUEGENE_L_1024.total_cores == 1024
+        assert BLUEGENE_L_1024.effective_gflops() > 0

@@ -1,0 +1,61 @@
+"""Tests for repro.machine.memory: capacity planning."""
+
+import pytest
+
+from repro.machine.costmodel import KernelProfile
+from repro.machine.memory import memory_plan
+from repro.machine.spec import BLUEGENE_L_1024, XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+ARABIDOPSIS = KernelProfile(m_samples=3137, bins=10, order=3, itemsize=4)
+
+
+class TestMemoryPlan:
+    def test_whole_genome_fits_the_phi(self):
+        """The paper's feasibility precondition: 15,575 genes fit in the
+        Phi's 8 GB (dense float32 weights are ~1.95 GB)."""
+        plan = memory_plan(XEON_PHI_5110P, 15575, ARABIDOPSIS,
+                           n_permutations_stored=30)
+        assert plan.strategy == "dense-resident"
+        assert plan.weights_dense_bytes == pytest.approx(
+            15575 * 3137 * 10 * 4, rel=1e-12)
+        assert plan.utilization < 0.5
+
+    def test_packed_smaller_than_dense(self):
+        plan = memory_plan(XEON_PHI_5110P, 1000, ARABIDOPSIS)
+        assert plan.weights_packed_bytes < plan.weights_dense_bytes
+
+    def test_tight_memory_falls_back_to_packed(self):
+        # 100k genes: dense ~12.5 GB exceeds the Phi; packed ~5 GB fits.
+        plan = memory_plan(XEON_PHI_5110P, 100_000, ARABIDOPSIS)
+        assert plan.strategy == "packed-resident"
+
+    def test_out_of_core_when_nothing_fits(self):
+        plan = memory_plan(BLUEGENE_L_1024.node, 100_000, ARABIDOPSIS)
+        assert plan.strategy == "out-of-core"
+
+    def test_float64_doubles_weights(self):
+        p32 = memory_plan(XEON_E5_2670_DUAL, 5000, ARABIDOPSIS)
+        p64 = memory_plan(
+            XEON_E5_2670_DUAL, 5000,
+            KernelProfile(m_samples=3137, bins=10, order=3, itemsize=8),
+        )
+        assert p64.weights_dense_bytes == pytest.approx(2 * p32.weights_dense_bytes)
+
+    def test_permutation_storage_is_indices_only(self):
+        plan = memory_plan(XEON_PHI_5110P, 15575, ARABIDOPSIS,
+                           n_permutations_stored=30)
+        # 30 index vectors of 3137 int32 ~ 376 KB: negligible by design.
+        assert plan.permutations_bytes == 30 * 3137 * 4
+        assert plan.permutations_bytes < plan.weights_dense_bytes / 1000
+
+    def test_resident_bytes_match_strategy(self):
+        plan = memory_plan(XEON_PHI_5110P, 15575, ARABIDOPSIS)
+        assert plan.resident_bytes >= plan.weights_dense_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_plan(XEON_PHI_5110P, 0, ARABIDOPSIS)
+        with pytest.raises(ValueError):
+            memory_plan(XEON_PHI_5110P, 10, ARABIDOPSIS, headroom=0.0)
+        with pytest.raises(ValueError):
+            memory_plan(XEON_PHI_5110P, 10, ARABIDOPSIS, expected_edge_density=2.0)

@@ -1,0 +1,226 @@
+"""Tests for repro.core.mi: kernel correctness and estimator behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bspline import BsplineBasis, weight_tensor
+from repro.core.entropy import marginal_entropies
+from repro.core.mi import (
+    joint_probs_pair,
+    joint_probs_tile,
+    mi_bspline,
+    mi_bspline_pair,
+    mi_from_joint,
+    mi_histogram_pair,
+    mi_kraskov,
+    mi_tile,
+)
+from repro.stats.histogram import histogram2d
+
+
+class TestJointProbsPair:
+    def test_sums_to_one(self, rng):
+        b = BsplineBasis()
+        wx = b.weights(rng.normal(size=80))
+        wy = b.weights(rng.normal(size=80))
+        j = joint_probs_pair(wx, wy)
+        assert j.sum() == pytest.approx(1.0)
+
+    def test_marginalizes_exactly(self, rng):
+        # Partition of unity => joint marginals equal the weight means.
+        b = BsplineBasis()
+        wx = b.weights(rng.normal(size=60))
+        wy = b.weights(rng.normal(size=60))
+        j = joint_probs_pair(wx, wy)
+        assert np.allclose(j.sum(axis=1), wx.mean(axis=0))
+        assert np.allclose(j.sum(axis=0), wy.mean(axis=0))
+
+    def test_transpose_symmetry(self, rng):
+        b = BsplineBasis()
+        wx = b.weights(rng.normal(size=40))
+        wy = b.weights(rng.normal(size=40))
+        assert np.allclose(joint_probs_pair(wx, wy), joint_probs_pair(wy, wx).T)
+
+    def test_sample_mismatch_raises(self, rng):
+        b = BsplineBasis()
+        with pytest.raises(ValueError):
+            joint_probs_pair(b.weights(rng.normal(size=10)), b.weights(rng.normal(size=11)))
+
+
+class TestMiFromJoint:
+    def test_independent_zero(self):
+        j = np.outer([0.3, 0.7], [0.4, 0.6])
+        assert mi_from_joint(j) == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_dependence(self):
+        j = np.diag([0.25, 0.25, 0.25, 0.25])
+        assert mi_from_joint(j) == pytest.approx(np.log(4))
+
+    def test_known_binary_value(self):
+        # Joint [[0.4, 0.1], [0.1, 0.4]]: MI computable by hand.
+        j = np.array([[0.4, 0.1], [0.1, 0.4]])
+        px = py = np.array([0.5, 0.5])
+        expected = sum(
+            j[a, b] * np.log(j[a, b] / (px[a] * py[b]))
+            for a in range(2)
+            for b in range(2)
+        )
+        assert mi_from_joint(j) == pytest.approx(expected)
+
+    def test_base_bits(self):
+        j = np.diag([0.5, 0.5])
+        assert mi_from_joint(j, base="bit") == pytest.approx(1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            mi_from_joint(np.array([1.0]))
+
+
+class TestMiBspline:
+    def test_symmetry(self, coupled_pair):
+        x, y, _ = coupled_pair
+        assert mi_bspline(x, y) == pytest.approx(mi_bspline(y, x), rel=1e-12)
+
+    def test_non_negative(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=100)
+            y = rng.normal(size=100)
+            assert mi_bspline(x, y) >= 0.0
+
+    def test_dependence_ordering(self, coupled_pair):
+        x, y, z = coupled_pair
+        assert mi_bspline(x, y) > 5 * mi_bspline(x, z)
+
+    def test_detects_nonlinear_dependence(self, rng):
+        # The estimator's whole point: quadratic dependence has ~zero
+        # correlation but large MI.
+        x = rng.normal(size=600)
+        y = x**2 + 0.1 * rng.normal(size=600)
+        corr = abs(np.corrcoef(x, y)[0, 1])
+        assert corr < 0.2
+        assert mi_bspline(x, y) > 0.3
+
+    def test_monotone_invariance_after_rank(self, rng):
+        # On rank-transformed inputs the estimate is exactly invariant to
+        # monotone maps of the raw data.
+        from repro.core.discretize import rank_transform
+
+        x = rng.normal(size=200)
+        y = x + rng.normal(size=200)
+        a = mi_bspline(rank_transform(x), rank_transform(y))
+        b = mi_bspline(rank_transform(np.exp(x)), rank_transform(y))
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_increases_with_coupling(self, rng):
+        x = rng.normal(size=500)
+        noise = rng.normal(size=500)
+        mis = [mi_bspline(x, x + s * noise) for s in (0.2, 0.5, 1.0, 2.0)]
+        assert mis == sorted(mis, reverse=True)
+
+    def test_order1_matches_histogram(self, rng):
+        x = rng.normal(size=150)
+        y = rng.normal(size=150)
+        a = mi_bspline(x, y, bins=8, order=1)
+        b = mi_histogram_pair(x, y, bins=8)
+        assert a == pytest.approx(b, rel=1e-10)
+
+    def test_constant_gene_zero_mi(self, rng):
+        x = np.full(100, 3.0)
+        y = rng.normal(size=100)
+        assert mi_bspline(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    @given(seed=st.integers(0, 200), m=st.integers(20, 150))
+    @settings(max_examples=30, deadline=None)
+    def test_nonneg_and_symmetric_property(self, seed, m):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=m)
+        y = rng.normal(size=m)
+        a = mi_bspline(x, y)
+        assert a >= 0.0
+        assert a == pytest.approx(mi_bspline(y, x), rel=1e-10, abs=1e-12)
+
+
+class TestMiHistogram:
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=200)
+        y = rng.normal(size=200)
+        j = histogram2d(x, y, 10)
+        assert mi_histogram_pair(x, y, 10) == pytest.approx(mi_from_joint(j))
+
+
+class TestMiTile:
+    def test_matches_pairwise(self, rng):
+        w = weight_tensor(rng.normal(size=(7, 90)))
+        wi, wj = w[:3], w[3:]
+        tile = mi_tile(wi, wj)
+        assert tile.shape == (3, 4)
+        for a in range(3):
+            for c in range(4):
+                assert tile[a, c] == pytest.approx(
+                    mi_bspline_pair(wi[a], wj[c]), rel=1e-10, abs=1e-12
+                )
+
+    def test_hoisted_entropies_identical(self, rng):
+        w = weight_tensor(rng.normal(size=(6, 70)))
+        h = marginal_entropies(w)
+        a = mi_tile(w[:3], w[3:], h_i=h[:3], h_j=h[3:])
+        b = mi_tile(w[:3], w[3:])
+        assert np.allclose(a, b)
+
+    def test_float32_close_to_float64(self, rng):
+        data = rng.normal(size=(6, 120))
+        w64 = weight_tensor(data, dtype=np.float64)
+        w32 = weight_tensor(data, dtype=np.float32)
+        a = mi_tile(w64[:3], w64[3:])
+        b = mi_tile(w32[:3], w32[3:])
+        assert np.allclose(a, b, atol=1e-4)
+
+    def test_nonnegative(self, rng):
+        w = weight_tensor(rng.normal(size=(8, 50)))
+        assert (mi_tile(w[:4], w[4:]) >= 0.0).all()
+
+    def test_joint_tile_marginalizes(self, rng):
+        w = weight_tensor(rng.normal(size=(5, 40)))
+        j = joint_probs_tile(w[:2], w[2:])
+        assert j.shape == (2, 3, 10, 10)
+        assert np.allclose(j.sum(axis=(2, 3)), 1.0)
+
+    def test_bad_marginal_shapes_raise(self, rng):
+        w = weight_tensor(rng.normal(size=(4, 30)))
+        with pytest.raises(ValueError):
+            mi_tile(w[:2], w[2:], h_i=np.zeros(3), h_j=np.zeros(2))
+
+    def test_mismatched_samples_raise(self, rng):
+        a = weight_tensor(rng.normal(size=(2, 30)))
+        b = weight_tensor(rng.normal(size=(2, 31)))
+        with pytest.raises(ValueError):
+            mi_tile(a, b)
+
+
+class TestMiKraskov:
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        assert mi_kraskov(x, y) < 0.1
+
+    def test_strong_dependence_positive(self, rng):
+        x = rng.normal(size=300)
+        y = x + 0.1 * rng.normal(size=300)
+        assert mi_kraskov(x, y) > 1.0
+
+    def test_tracks_bspline_ordering(self, rng):
+        x = rng.normal(size=250)
+        noise = rng.normal(size=250)
+        weak = x + 2.0 * noise
+        strong = x + 0.2 * noise
+        assert mi_kraskov(x, strong) > mi_kraskov(x, weak)
+        assert mi_bspline(x, strong) > mi_bspline(x, weak)
+
+    def test_invalid_k(self, rng):
+        x = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            mi_kraskov(x, x, k=0)
+        with pytest.raises(ValueError):
+            mi_kraskov(x, x, k=10)

@@ -1,0 +1,117 @@
+"""Tests for repro.data.microarray."""
+
+import numpy as np
+import pytest
+
+from repro.data.microarray import (
+    apply_measurement_noise,
+    impute_missing,
+    log2_transform,
+    quantile_normalize,
+)
+
+
+class TestMeasurementNoise:
+    def test_intensities_positive(self, rng):
+        x = rng.normal(size=(10, 50))
+        noisy = apply_measurement_noise(x, dropout=0.0, seed=0)
+        assert (noisy > 0).all()
+
+    def test_dropout_fraction(self, rng):
+        x = rng.normal(size=(50, 100))
+        noisy = apply_measurement_noise(x, dropout=0.1, seed=1)
+        frac = np.isnan(noisy).mean()
+        assert 0.05 < frac < 0.15
+
+    def test_signal_preserved_through_roundtrip(self, rng):
+        # log2(noise(x)) should correlate strongly with x at small noise.
+        x = rng.normal(size=(1, 500))
+        noisy = apply_measurement_noise(x, scale_sd=0.05, background=0.0,
+                                        dropout=0.0, seed=2)
+        back = log2_transform(noisy)
+        assert np.corrcoef(x[0], back[0])[0, 1] > 0.98
+
+    def test_input_unmodified(self, rng):
+        x = rng.normal(size=(3, 10))
+        copy = x.copy()
+        apply_measurement_noise(x, seed=0)
+        assert np.array_equal(x, copy)
+
+    def test_invalid_params(self, rng):
+        x = rng.normal(size=(2, 5))
+        with pytest.raises(ValueError):
+            apply_measurement_noise(x, scale_sd=-1)
+        with pytest.raises(ValueError):
+            apply_measurement_noise(x, dropout=1.0)
+
+
+class TestLog2Transform:
+    def test_inverts_exp2(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(log2_transform(np.exp2(x)), x)
+
+    def test_floors_non_positive(self):
+        out = log2_transform(np.array([[0.0, -5.0]]), pseudocount=1e-3)
+        assert np.allclose(out, np.log2(1e-3))
+
+    def test_nan_passthrough(self):
+        out = log2_transform(np.array([[np.nan, 4.0]]))
+        assert np.isnan(out[0, 0]) and out[0, 1] == 2.0
+
+    def test_invalid_pseudocount(self):
+        with pytest.raises(ValueError):
+            log2_transform(np.ones((1, 1)), pseudocount=0.0)
+
+
+class TestQuantileNormalize:
+    def test_identical_sorted_columns(self, rng):
+        x = rng.normal(size=(100, 5)) * np.array([1, 2, 3, 4, 5])
+        q = quantile_normalize(x)
+        ref = np.sort(q[:, 0])
+        for j in range(1, 5):
+            assert np.allclose(np.sort(q[:, j]), ref)
+
+    def test_preserves_within_column_order(self, rng):
+        x = rng.normal(size=(50, 3))
+        q = quantile_normalize(x)
+        for j in range(3):
+            assert np.array_equal(np.argsort(x[:, j]), np.argsort(q[:, j]))
+
+    def test_rejects_nan(self):
+        x = np.ones((3, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            quantile_normalize(x)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            quantile_normalize(np.ones(5))
+
+
+class TestImputeMissing:
+    def test_fills_with_gene_mean(self):
+        x = np.array([[1.0, np.nan, 3.0]])
+        out = impute_missing(x)
+        assert out[0, 1] == pytest.approx(2.0)
+
+    def test_median_strategy(self):
+        x = np.array([[1.0, 1.0, 10.0, np.nan]])
+        out = impute_missing(x, strategy="gene_median")
+        assert out[0, 3] == pytest.approx(1.0)
+
+    def test_all_missing_gene_zeroed(self):
+        x = np.full((1, 4), np.nan)
+        assert np.all(impute_missing(x) == 0.0)
+
+    def test_complete_data_unchanged(self, rng):
+        x = rng.normal(size=(4, 6))
+        assert np.array_equal(impute_missing(x), x)
+
+    def test_input_not_modified(self):
+        x = np.array([[1.0, np.nan]])
+        impute_missing(x)
+        assert np.isnan(x[0, 1])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            impute_missing(np.ones((1, 2)), strategy="knn")

@@ -1,0 +1,69 @@
+"""Tests for repro.machine.offload and repro.machine.calibrate."""
+
+import pytest
+
+from repro.machine.calibrate import calibrate_host, project_runtime
+from repro.machine.offload import offload_plan
+from repro.machine.spec import XEON_E5_2670_DUAL, XEON_PHI_5110P
+
+
+class TestOffloadPlan:
+    def test_serial_is_sum(self):
+        plan = offload_plan(XEON_PHI_5110P, bytes_in=6e9, bytes_out=1e6, compute_s=100.0)
+        assert plan.serial_s == pytest.approx(
+            plan.transfer_in_s + plan.compute_s + plan.transfer_out_s
+        )
+
+    def test_overlap_never_worse(self):
+        plan = offload_plan(XEON_PHI_5110P, bytes_in=6e9, bytes_out=1e6, compute_s=1.0)
+        assert plan.overlapped_s <= plan.serial_s + 1e-12
+
+    def test_compute_bound_hides_transfer(self):
+        # Whole-genome regime: transfer is ~0.2% of compute; overlap hides it.
+        plan = offload_plan(XEON_PHI_5110P, bytes_in=1e9, bytes_out=1e6, compute_s=1320.0)
+        assert plan.bus_fraction_serial < 0.01
+        assert plan.overlapped_s == pytest.approx(plan.compute_s, rel=0.02)
+
+    def test_transfer_bound_regime(self):
+        plan = offload_plan(XEON_PHI_5110P, bytes_in=60e9, bytes_out=1e6, compute_s=0.5)
+        assert plan.bus_fraction_serial > 0.9
+
+    def test_overlap_benefit_positive_when_balanced(self):
+        plan = offload_plan(XEON_PHI_5110P, bytes_in=6e9, bytes_out=0.0, compute_s=1.0)
+        assert plan.overlap_benefit > 0.2
+
+    def test_host_machine_rejected(self):
+        with pytest.raises(ValueError):
+            offload_plan(XEON_E5_2670_DUAL, 1e9, 1e6, 10.0)
+
+    def test_invalid_volumes(self):
+        with pytest.raises(ValueError):
+            offload_plan(XEON_PHI_5110P, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            offload_plan(XEON_PHI_5110P, 1.0, 0.0, 1.0, n_chunks=0)
+
+
+class TestCalibrate:
+    def test_measures_positive_rate(self):
+        cal = calibrate_host(m_samples=128, tile=8, repeats=1)
+        assert cal.pairs_per_second > 0
+        assert cal.gflops > 0
+
+    def test_projection_scales_quadratically(self):
+        cal = calibrate_host(m_samples=128, tile=8, repeats=1)
+        t1 = project_runtime(cal, 1000)
+        t2 = project_runtime(cal, 2000)
+        assert t2 / t1 == pytest.approx((2000 * 1999) / (1000 * 999), rel=1e-6)
+
+    def test_projection_scales_with_samples(self):
+        cal = calibrate_host(m_samples=128, tile=8, repeats=1)
+        assert project_runtime(cal, 500, m_samples=256) == pytest.approx(
+            2 * project_runtime(cal, 500, m_samples=128)
+        )
+
+    def test_invalid_args(self):
+        cal = calibrate_host(m_samples=64, tile=8, repeats=1)
+        with pytest.raises(ValueError):
+            project_runtime(cal, 1)
+        with pytest.raises(ValueError):
+            calibrate_host(repeats=0)

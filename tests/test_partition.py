@@ -1,0 +1,115 @@
+"""Tests for repro.parallel.partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partition import (
+    block_partition,
+    chunked_partition,
+    cost_balanced_partition,
+    cyclic_partition,
+    imbalance,
+)
+
+
+def covers_exactly(parts, n):
+    all_items = np.concatenate([p for p in parts if p.size] or [np.array([], dtype=int)])
+    return sorted(all_items.tolist()) == list(range(n))
+
+
+class TestBlockPartition:
+    def test_covers_all(self):
+        assert covers_exactly(block_partition(17, 4), 17)
+
+    def test_contiguous(self):
+        for part in block_partition(20, 3):
+            if part.size > 1:
+                assert np.all(np.diff(part) == 1)
+
+    def test_balanced_sizes(self):
+        sizes = [p.size for p in block_partition(22, 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_items(self):
+        parts = block_partition(3, 10)
+        assert covers_exactly(parts, 3)
+        assert len(parts) == 10
+
+    def test_zero_items(self):
+        assert covers_exactly(block_partition(0, 4), 0)
+
+    @given(n=st.integers(0, 200), p=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_property(self, n, p):
+        assert covers_exactly(block_partition(n, p), n)
+
+
+class TestCyclicPartition:
+    def test_covers_all(self):
+        assert covers_exactly(cyclic_partition(23, 4), 23)
+
+    def test_stride(self):
+        parts = cyclic_partition(12, 3)
+        assert parts[1].tolist() == [1, 4, 7, 10]
+
+    @given(n=st.integers(0, 200), p=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_property(self, n, p):
+        assert covers_exactly(cyclic_partition(n, p), n)
+
+
+class TestChunkedPartition:
+    def test_chunk_sizes(self):
+        chunks = chunked_partition(10, 3)
+        assert [c.size for c in chunks] == [3, 3, 3, 1]
+
+    def test_covers_all(self):
+        assert covers_exactly(chunked_partition(17, 5), 17)
+
+    def test_rejects_zero_chunk(self):
+        with pytest.raises(ValueError):
+            chunked_partition(10, 0)
+
+
+class TestCostBalancedPartition:
+    def test_covers_all(self, rng):
+        costs = rng.uniform(1, 10, size=30)
+        assert covers_exactly(cost_balanced_partition(costs, 4), 30)
+
+    def test_beats_block_on_skewed_costs(self):
+        # Linearly decreasing costs (triangular pair rows): LPT must balance
+        # far better than a contiguous block split.
+        costs = np.arange(100, 0, -1, dtype=float)
+        lpt_loads = [costs[p].sum() for p in cost_balanced_partition(costs, 4)]
+        blk_loads = [costs[p].sum() for p in block_partition(100, 4)]
+        assert imbalance(np.array(lpt_loads)) < imbalance(np.array(blk_loads))
+
+    def test_lpt_greedy_trace(self):
+        # LPT on [5,4,3,3,3] / 2 workers: 5->w0, 4->w1, 3->w1, 3->w0, 3->w1
+        # giving loads {8, 10} (the classic example where greedy LPT is
+        # within 4/3 of the optimal {9, 9} but not optimal).
+        costs = np.array([5.0, 4.0, 3.0, 3.0, 3.0])
+        loads = sorted(costs[p].sum() for p in cost_balanced_partition(costs, 2))
+        assert loads == [8.0, 10.0]
+        assert max(loads) <= (4 / 3) * 9.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            cost_balanced_partition(np.array([-1.0]), 2)
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        assert imbalance(np.array([3.0, 3.0, 3.0])) == 0.0
+
+    def test_known_value(self):
+        assert imbalance(np.array([2.0, 4.0])) == pytest.approx(4 / 3 - 1)
+
+    def test_all_zero(self):
+        assert imbalance(np.zeros(4)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            imbalance(np.array([]))

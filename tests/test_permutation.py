@@ -1,0 +1,148 @@
+"""Tests for repro.core.permutation: nulls, thresholds, p-values."""
+
+import numpy as np
+import pytest
+
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import rank_transform
+from repro.core.mi import mi_bspline_pair
+from repro.core.mi_matrix import mi_matrix
+from repro.core.permutation import (
+    NullDistribution,
+    per_pair_pvalues,
+    permuted_weights,
+    pooled_null,
+)
+
+
+@pytest.fixture(scope="module")
+def ranked_weights():
+    rng = np.random.default_rng(5)
+    data = rank_transform(rng.normal(size=(20, 120)))
+    return weight_tensor(data)
+
+
+class TestPermutedWeights:
+    def test_rows_permuted(self, rng):
+        w = weight_tensor(rng.normal(size=(1, 30)))[0]
+        perm = rng.permutation(30)
+        assert np.array_equal(permuted_weights(w, perm), w[perm])
+
+    def test_tensor_form(self, rng):
+        w = weight_tensor(rng.normal(size=(4, 25)))
+        perm = rng.permutation(25)
+        out = permuted_weights(w, perm)
+        assert np.array_equal(out, w[:, perm])
+
+    def test_identity_permutation_noop(self, rng):
+        w = weight_tensor(rng.normal(size=(2, 20)))
+        assert np.array_equal(permuted_weights(w, np.arange(20)), w)
+
+    def test_marginal_invariant_under_permutation(self, rng):
+        # Permutation preserves the marginal, hence H(X); only the joint moves.
+        w = weight_tensor(rng.normal(size=(1, 50)))[0]
+        perm = rng.permutation(50)
+        assert np.allclose(w.mean(axis=0), permuted_weights(w, perm).mean(axis=0))
+
+    def test_rejects_wrong_length(self, rng):
+        w = weight_tensor(rng.normal(size=(2, 20)))
+        with pytest.raises(ValueError):
+            permuted_weights(w, np.arange(19))
+
+    def test_rejects_non_permutation(self, rng):
+        w = weight_tensor(rng.normal(size=(1, 5)))[0]
+        with pytest.raises(ValueError):
+            permuted_weights(w, np.array([0, 0, 1, 2, 3]))
+
+
+class TestPooledNull:
+    def test_size_and_metadata(self, ranked_weights):
+        null = pooled_null(ranked_weights, n_permutations=7, n_pairs=13, seed=0)
+        assert null.size == 7 * 13
+        assert null.n_permutations == 7
+        assert null.n_pairs_sampled == 13
+
+    def test_reproducible(self, ranked_weights):
+        a = pooled_null(ranked_weights, 5, 10, seed=3)
+        b = pooled_null(ranked_weights, 5, 10, seed=3)
+        assert np.array_equal(a.mis, b.mis)
+
+    def test_nonnegative(self, ranked_weights):
+        null = pooled_null(ranked_weights, 5, 20, seed=1)
+        assert (null.mis >= 0).all()
+
+    def test_null_below_dependent_mi(self, rng):
+        # A strongly coupled pair's MI should exceed essentially all null values.
+        x = rng.normal(size=200)
+        data = rank_transform(np.vstack([x, x + 0.1 * rng.normal(size=200),
+                                         rng.normal(size=(8, 200))]))
+        w = weight_tensor(data)
+        null = pooled_null(w, 20, 30, seed=2)
+        observed = mi_bspline_pair(w[0], w[1])
+        assert observed > np.quantile(null.mis, 0.999)
+
+    def test_matches_manual_computation(self, ranked_weights):
+        # Reconstruct the first null value by hand using the same RNG stream.
+        from repro.stats.random import as_rng, permutation_matrix, sample_pairs
+
+        rng = as_rng(42)
+        pairs = sample_pairs(20, 4, rng)
+        perms = permutation_matrix(3, 120, rng)
+        null = pooled_null(ranked_weights, 3, 4, seed=42)
+        wi = ranked_weights[pairs[0, 0]][perms[0]]
+        wj = ranked_weights[pairs[0, 1]]
+        assert null.mis[0] == pytest.approx(mi_bspline_pair(wi, wj), rel=1e-10)
+
+    def test_threshold_monotone_in_alpha(self, ranked_weights):
+        null = pooled_null(ranked_weights, 20, 50, seed=0)
+        t_strict = null.threshold(alpha=0.001, n_tests=100)
+        t_loose = null.threshold(alpha=0.5, n_tests=100)
+        assert t_strict >= t_loose
+
+    def test_pvalues_interface(self, ranked_weights):
+        null = pooled_null(ranked_weights, 10, 30, seed=0)
+        p = null.pvalues(np.array([0.0, 1e9]))
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(1.0 / (null.size + 1))
+
+    def test_invalid_args(self, ranked_weights):
+        with pytest.raises(ValueError):
+            pooled_null(ranked_weights, 0, 10)
+        with pytest.raises(ValueError):
+            pooled_null(ranked_weights, 10, 0)
+        with pytest.raises(ValueError):
+            pooled_null(ranked_weights[0], 5, 5)
+
+
+class TestPerPairPvalues:
+    def test_dependent_pair_significant(self, rng):
+        x = rng.normal(size=150)
+        data = rank_transform(np.vstack([x, x + 0.1 * rng.normal(size=150),
+                                         rng.normal(size=150)]))
+        w = weight_tensor(data)
+        obs, p = per_pair_pvalues(w, np.array([[0, 1], [0, 2]]), n_permutations=60, seed=0)
+        assert p[0] == pytest.approx(1.0 / 61.0)  # beats every permutation
+        assert p[1] > 0.05  # independent pair not significant
+
+    def test_observed_matches_kernel(self, ranked_weights):
+        pairs = np.array([[0, 1], [5, 9]])
+        obs, _ = per_pair_pvalues(ranked_weights, pairs, n_permutations=5, seed=0)
+        for (i, j), o in zip(pairs, obs):
+            assert o == pytest.approx(mi_bspline_pair(ranked_weights[i], ranked_weights[j]))
+
+    def test_agrees_with_pooled_on_independent_data(self, rng):
+        # On fully independent rank-transformed genes, pooled-null p-values
+        # and per-pair p-values must be statistically indistinguishable:
+        # compare medians loosely.
+        data = rank_transform(rng.normal(size=(10, 100)))
+        w = weight_tensor(data)
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        _, p_exact = per_pair_pvalues(w, pairs, n_permutations=50, seed=1)
+        null = pooled_null(w, 50, 40, seed=2)
+        res = mi_matrix(w)
+        p_pooled = null.pvalues(res.mi[pairs[:, 0], pairs[:, 1]])
+        assert np.median(np.abs(p_exact - p_pooled)) < 0.35
+
+    def test_rejects_bad_pairs(self, ranked_weights):
+        with pytest.raises(ValueError):
+            per_pair_pvalues(ranked_weights, np.array([0, 1]))

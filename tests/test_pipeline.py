@@ -1,0 +1,151 @@
+"""Tests for repro.core.pipeline: the end-to-end reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, TingePipeline, reconstruct_network
+from repro.parallel.engine import ThreadEngine
+
+
+class TestTingeConfig:
+    def test_defaults_valid(self):
+        cfg = TingeConfig()
+        assert cfg.bins == 10 and cfg.order == 3
+
+    def test_pooled_requires_rank(self):
+        with pytest.raises(ValueError):
+            TingeConfig(transform="zscore", correction="bonferroni")
+
+    def test_bh_allows_other_transforms(self):
+        cfg = TingeConfig(transform="zscore", correction="bh")
+        assert cfg.correction == "bh"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TingeConfig(correction="fdr")
+        with pytest.raises(ValueError):
+            TingeConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            TingeConfig(dtype="float16")
+
+
+class TestReconstructNetwork:
+    def test_recovers_planted_edge(self, rng):
+        x = rng.normal(size=300)
+        data = np.vstack([x, x + 0.1 * rng.normal(size=300), rng.normal(size=(3, 300))])
+        res = reconstruct_network(data, genes=list("abcde"),
+                                  config=TingeConfig(n_permutations=25))
+        assert ("a", "b") in res.network.edge_set()
+
+    def test_independent_data_few_edges(self, rng):
+        data = rng.normal(size=(10, 200))
+        res = reconstruct_network(data, config=TingeConfig(n_permutations=40, alpha=0.01))
+        # 45 pairs at Bonferroni-corrected alpha: expect ~0 edges.
+        assert res.network.n_edges <= 2
+
+    def test_timings_cover_all_phases(self, small_dataset):
+        res = reconstruct_network(small_dataset.expression, small_dataset.genes,
+                                  TingeConfig(n_permutations=10))
+        assert set(res.timings) == {"preprocess", "weights", "null", "mi", "threshold"}
+        assert all(v >= 0 for v in res.timings.values())
+        assert res.total_seconds == pytest.approx(sum(res.timings.values()))
+
+    def test_phase_fractions_sum_to_one(self, small_dataset):
+        res = reconstruct_network(small_dataset.expression, small_dataset.genes,
+                                  TingeConfig(n_permutations=10))
+        assert sum(res.phase_fractions().values()) == pytest.approx(1.0)
+
+    def test_reproducible_with_seed(self, small_dataset):
+        cfg = TingeConfig(n_permutations=15, seed=11)
+        a = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg)
+        b = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg)
+        assert np.array_equal(a.network.adjacency, b.network.adjacency)
+        assert a.network.threshold == b.network.threshold
+
+    def test_default_gene_names(self, rng):
+        res = reconstruct_network(rng.normal(size=(4, 100)),
+                                  config=TingeConfig(n_permutations=5))
+        assert res.network.genes == [f"G{i:05d}" for i in range(4)]
+
+    def test_bh_mode(self, rng):
+        x = rng.normal(size=250)
+        data = np.vstack([x, x + 0.1 * rng.normal(size=250), rng.normal(size=(4, 250))])
+        # Null pool must resolve p below alpha/n_tests for BH's first rank:
+        # 200 perms x 15 pairs = 3000 null values -> min p ~ 3.3e-4.
+        cfg = TingeConfig(correction="bh", alpha=0.05, n_permutations=200, n_null_pairs=100)
+        res = reconstruct_network(data, config=cfg)
+        assert np.isnan(res.network.threshold)
+        assert res.network.adjacency[0, 1]
+
+    def test_float32_close_to_float64(self, small_dataset):
+        a = reconstruct_network(small_dataset.expression, small_dataset.genes,
+                                TingeConfig(n_permutations=10, dtype="float32"))
+        b = reconstruct_network(small_dataset.expression, small_dataset.genes,
+                                TingeConfig(n_permutations=10, dtype="float64"))
+        assert np.allclose(a.mi, b.mi, atol=1e-4)
+
+    def test_thread_engine_same_network(self, small_dataset):
+        cfg = TingeConfig(n_permutations=10)
+        a = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg)
+        b = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg,
+                                engine=ThreadEngine(n_workers=2))
+        assert np.array_equal(a.network.adjacency, b.network.adjacency)
+
+    def test_explicit_tile(self, small_dataset):
+        cfg_a = TingeConfig(n_permutations=10, tile=4)
+        cfg_b = TingeConfig(n_permutations=10, tile=16)
+        a = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg_a)
+        b = reconstruct_network(small_dataset.expression, small_dataset.genes, cfg_b)
+        assert np.allclose(a.mi, b.mi)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            reconstruct_network(rng.normal(size=(1, 50)))
+        with pytest.raises(ValueError):
+            reconstruct_network(rng.normal(size=(3, 4)))  # too few samples
+        with pytest.raises(ValueError):
+            reconstruct_network(rng.normal(size=(3, 50)), genes=["a"])
+        with pytest.raises(ValueError):
+            reconstruct_network(rng.normal(size=(3, 2, 2)))
+
+    def test_network_weights_are_mi(self, small_dataset):
+        res = reconstruct_network(small_dataset.expression, small_dataset.genes,
+                                  TingeConfig(n_permutations=10))
+        assert np.array_equal(res.network.weights, res.mi)
+
+
+class TestTingePipeline:
+    def test_run_twice_fresh_timings(self, small_dataset):
+        pipe = TingePipeline(TingeConfig(n_permutations=5))
+        pipe.run(small_dataset.expression)
+        t1 = dict(pipe.timings)
+        pipe.run(small_dataset.expression)
+        assert set(t1) == set(pipe.timings)
+
+    def test_null_pairs_capped_at_pair_count(self, rng):
+        # 3 genes = 3 pairs but config asks for 200 null pairs: must not fail.
+        data = rng.normal(size=(3, 100))
+        res = reconstruct_network(data, config=TingeConfig(n_permutations=5, n_null_pairs=200))
+        assert res.null.n_pairs_sampled == 3
+
+
+class TestInputValidationExtras:
+    def test_nan_input_rejected_with_guidance(self, rng):
+        data = rng.normal(size=(4, 50))
+        data[1, 3] = float("nan")
+        with pytest.raises(ValueError, match="impute"):
+            reconstruct_network(data)
+
+    def test_inf_input_rejected(self, rng):
+        data = rng.normal(size=(4, 50))
+        data[0, 0] = float("inf")
+        with pytest.raises(ValueError, match="NaN/inf"):
+            reconstruct_network(data)
+
+    def test_imputed_microarray_data_accepted(self):
+        from repro.data import microarray_dataset
+
+        ds = microarray_dataset(n_genes=10, m_samples=60, dropout=0.05, seed=2)
+        res = reconstruct_network(ds.expression, ds.genes,
+                                  TingeConfig(n_permutations=5))
+        assert res.network.n_genes == 10

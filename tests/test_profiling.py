@@ -1,0 +1,54 @@
+"""Tests for repro.bench.profiling."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig
+from repro.bench.profiling import profile_callable, profile_pipeline
+
+
+class TestProfileCallable:
+    def test_result_passed_through(self):
+        report = profile_callable(lambda a, b: a + b, 2, 3)
+        assert report.result == 5
+
+    def test_hotspots_identify_heavy_function(self):
+        def heavy():
+            total = 0.0
+            for i in range(200_000):
+                total += i * 0.5
+            return total
+
+        def workload():
+            heavy()
+            return sum(range(10))
+
+        report = profile_callable(workload, top=10)
+        names = [name for name, _ in report.hotspots]
+        assert any("heavy" in name for name in names)
+
+    def test_text_table_present(self):
+        report = profile_callable(sorted, list(range(100)))
+        assert "cumulative" in report.text
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("profiled failure")
+
+        with pytest.raises(RuntimeError, match="profiled failure"):
+            profile_callable(boom)
+
+    def test_top_validation(self):
+        with pytest.raises(ValueError):
+            profile_callable(lambda: None, top=0)
+
+
+class TestProfilePipeline:
+    def test_profiles_reconstruction(self, rng):
+        data = rng.normal(size=(15, 100))
+        report = profile_pipeline(data, config=TingeConfig(n_permutations=5))
+        assert report.result.network.n_genes == 15
+        assert report.total_seconds > 0
+        # The MI/entropy machinery should appear among the hotspots.
+        joined = " ".join(name for name, _ in report.hotspots)
+        assert "repro" in joined or "einsum" in joined or "tensordot" in joined

@@ -1,0 +1,104 @@
+"""Tests for repro.core.provenance."""
+
+import numpy as np
+import pytest
+
+from repro import TingeConfig, reconstruct_network
+from repro.core.provenance import (
+    data_fingerprint,
+    load_run_record,
+    run_record,
+    save_run_record,
+    verify_run_record,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    rng = np.random.default_rng(60)
+    x = rng.normal(size=150)
+    data = np.vstack([x, x + 0.2 * rng.normal(size=150), rng.normal(size=(3, 150))])
+    result = reconstruct_network(data, config=TingeConfig(n_permutations=15, seed=4))
+    return data, result
+
+
+class TestDataFingerprint:
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(4, 10))
+        assert data_fingerprint(x) == data_fingerprint(x.copy())
+
+    def test_sensitive_to_values_and_shape(self, rng):
+        x = rng.normal(size=(4, 10))
+        y = x.copy()
+        y[0, 0] += 1e-9
+        assert data_fingerprint(x) != data_fingerprint(y)
+        assert data_fingerprint(x) != data_fingerprint(x.reshape(2, 20))
+
+
+class TestRunRecord:
+    def test_contents(self, run):
+        data, result = run
+        record = run_record(result, data)
+        assert record["config"]["n_permutations"] == 15
+        assert record["data"]["n_genes"] == 5
+        assert record["result"]["n_edges"] == result.network.n_edges
+        assert record["result"]["threshold"] == pytest.approx(result.network.threshold)
+        assert set(record["result"]["timings"]) == set(result.timings)
+
+    def test_json_roundtrip(self, run, tmp_path):
+        data, result = run
+        record = run_record(result, data)
+        path = tmp_path / "run.json"
+        save_run_record(record, path)
+        back = load_run_record(path)
+        assert back == record
+
+    def test_version_guard(self, run, tmp_path):
+        data, result = run
+        record = run_record(result, data)
+        record["record_version"] = 999
+        path = tmp_path / "run.json"
+        save_run_record(record, path)
+        with pytest.raises(ValueError, match="version"):
+            load_run_record(path)
+
+
+class TestVerifyRunRecord:
+    def test_clean_reproduction(self, run):
+        data, result = run
+        record = run_record(result, data)
+        # Re-run with the identical config must verify cleanly.
+        rerun = reconstruct_network(data, config=result.config)
+        assert verify_run_record(record, data, rerun) == []
+
+    def test_detects_changed_data(self, run, rng):
+        data, result = run
+        record = run_record(result, data)
+        tampered = data.copy()
+        tampered[0, 0] += 1.0
+        problems = verify_run_record(record, tampered)
+        assert any("fingerprint" in p for p in problems)
+
+    def test_detects_wrong_shape(self, run, rng):
+        data, result = run
+        record = run_record(result, data)
+        problems = verify_run_record(record, rng.normal(size=(3, 10)))
+        assert any("shape" in p for p in problems)
+
+    def test_detects_different_result(self, run):
+        data, result = run
+        record = run_record(result, data)
+        other = reconstruct_network(
+            data, config=TingeConfig(n_permutations=15, seed=4, alpha=0.3)
+        )
+        problems = verify_run_record(record, data, other)
+        assert problems  # different alpha -> different threshold/edges
+
+    def test_nan_threshold_roundtrip(self, run, tmp_path):
+        data, _ = run
+        res = reconstruct_network(
+            data, config=TingeConfig(correction="bh", n_permutations=50, seed=0)
+        )
+        record = run_record(res, data)
+        assert record["result"]["threshold"] is None
+        assert verify_run_record(record, data, res) == []

@@ -1,0 +1,47 @@
+"""Tests for repro.bench.reporting."""
+
+import pytest
+
+from repro.bench.reporting import format_seconds, format_series, format_table
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(0.0005) == "0.5 ms"
+        assert format_seconds(2.5) == "2.5 s"
+        assert format_seconds(1320) == "22 min"
+        assert format_seconds(7200) == "2 h"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"machine": "phi", "minutes": 22}, {"machine": "xeon", "minutes": 44}]
+        out = format_table(rows, title="E8")
+        lines = out.splitlines()
+        assert lines[0] == "E8"
+        assert "machine" in lines[1] and "minutes" in lines[1]
+        assert len(lines) == 5
+        # All rows have equal width.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_missing_keys_rendered_empty(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in out
+
+    def test_new_keys_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        out = format_series([1, 2], [10.0, 20.0], "threads", "speedup")
+        assert "threads" in out and "speedup" in out
+        assert "20.0" in out

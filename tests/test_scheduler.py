@@ -1,0 +1,146 @@
+"""Tests for repro.parallel.scheduler: policies and schedule simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import (
+    CyclicScheduler,
+    DynamicScheduler,
+    GuidedScheduler,
+    LptScheduler,
+    StaticScheduler,
+    make_scheduler,
+)
+
+POLICIES = [
+    StaticScheduler(),
+    CyclicScheduler(),
+    DynamicScheduler(chunk=1),
+    DynamicScheduler(chunk=4),
+    GuidedScheduler(),
+    LptScheduler(),
+]
+
+
+class TestSimulateInvariants:
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: f"{p.name}")
+    def test_work_conservation(self, policy, rng):
+        costs = rng.uniform(0.1, 2.0, size=40)
+        a = policy.simulate(costs, 5)
+        assert a.worker_loads.sum() == pytest.approx(costs.sum())
+        executed = sorted(i for items in a.worker_items for i in items)
+        assert executed == list(range(40))
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: f"{p.name}")
+    def test_makespan_bounds(self, policy, rng):
+        costs = rng.uniform(0.1, 2.0, size=30)
+        p = 4
+        a = policy.simulate(costs, p)
+        assert a.makespan >= costs.sum() / p - 1e-12  # can't beat perfect split
+        assert a.makespan >= costs.max() - 1e-12
+        assert a.makespan <= costs.sum() + 1e-12
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: f"{p.name}")
+    def test_single_worker_is_serial(self, policy, rng):
+        costs = rng.uniform(0.1, 1.0, size=20)
+        a = policy.simulate(costs, 1)
+        assert a.makespan == pytest.approx(costs.sum())
+        assert a.utilization == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: f"{p.name}")
+    def test_finish_after_start(self, policy, rng):
+        costs = rng.uniform(0.1, 1.0, size=25)
+        a = policy.simulate(costs, 3)
+        assert np.all(a.finish_times >= a.start_times)
+        assert a.finish_times.max() == pytest.approx(a.makespan)
+
+    def test_empty_workload(self):
+        a = DynamicScheduler().simulate(np.array([]), 4)
+        assert a.makespan == 0.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            StaticScheduler().simulate(np.array([-1.0]), 2)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            StaticScheduler().simulate(np.array([1.0]), 0)
+
+
+class TestPolicyBehaviour:
+    def test_dynamic_beats_static_on_triangular_costs(self):
+        # Decreasing per-item costs (the block-row structure of the pair
+        # triangle): static contiguous assignment overloads early workers.
+        costs = np.arange(200, 0, -1, dtype=float)
+        p = 8
+        static = StaticScheduler().simulate(costs, p)
+        dynamic = DynamicScheduler(chunk=1).simulate(costs, p)
+        assert dynamic.makespan < static.makespan * 0.8
+        assert dynamic.imbalance < static.imbalance
+
+    def test_cyclic_beats_static_on_trend(self):
+        costs = np.linspace(10, 1, 120)
+        p = 6
+        static = StaticScheduler().simulate(costs, p)
+        cyclic = CyclicScheduler().simulate(costs, p)
+        assert cyclic.makespan <= static.makespan
+
+    def test_lpt_near_optimal(self, rng):
+        costs = rng.uniform(0.5, 5.0, size=64)
+        p = 7
+        lpt = LptScheduler().simulate(costs, p)
+        lower_bound = max(costs.sum() / p, costs.max())
+        assert lpt.makespan <= lower_bound * 4 / 3 + costs.max() / 3 + 1e-9
+
+    def test_dynamic_chunk1_close_to_lpt(self, rng):
+        costs = rng.uniform(0.5, 2.0, size=100)
+        p = 10
+        dyn = DynamicScheduler(chunk=1).simulate(costs, p)
+        lpt = LptScheduler().simulate(costs, p)
+        assert dyn.makespan <= lpt.makespan * 1.25
+
+    def test_guided_chunks_shrink(self):
+        chunks = GuidedScheduler().chunk_sequence(100, 4)
+        sizes = [c.size for c in chunks]
+        assert sizes[0] == 25
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sum(sizes) == 100
+
+    def test_dynamic_chunk_groups(self):
+        chunks = DynamicScheduler(chunk=3).chunk_sequence(10, 4)
+        assert [c.size for c in chunks] == [3, 3, 3, 1]
+
+    def test_lpt_requires_costs(self):
+        with pytest.raises(ValueError):
+            LptScheduler().static_assignment(10, 2, costs=None)
+
+    @given(seed=st.integers(0, 100), p=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_dynamic_never_idles_while_work_remains(self, seed, p):
+        # Greedy list scheduling: makespan <= 2 * optimal lower bound.
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.1, 3.0, size=50)
+        a = DynamicScheduler(chunk=1).simulate(costs, p)
+        lb = max(costs.sum() / p, costs.max())
+        assert a.makespan <= 2 * lb + 1e-9
+
+
+class TestMakeScheduler:
+    def test_all_names(self):
+        for name in ("static", "cyclic", "dynamic", "guided", "lpt"):
+            assert make_scheduler(name).name == name
+
+    def test_kwargs_forwarded(self):
+        assert make_scheduler("dynamic", chunk=7).chunk == 7
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_scheduler("random")
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            DynamicScheduler(chunk=0)
+        with pytest.raises(ValueError):
+            GuidedScheduler(min_chunk=0)

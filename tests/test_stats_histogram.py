@@ -1,0 +1,100 @@
+"""Tests for repro.stats.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.histogram import bin_indices, histogram1d, histogram2d, joint_counts
+
+
+class TestBinIndices:
+    def test_uniform_assignment(self):
+        x = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        idx = bin_indices(x, 4, lo=0.0, hi=1.0)
+        assert idx.tolist() == [0, 1, 2, 3, 3]
+
+    def test_max_in_last_bin(self):
+        x = np.linspace(0, 1, 11)
+        assert bin_indices(x, 10)[-1] == 9
+
+    def test_constant_vector(self):
+        assert np.all(bin_indices(np.full(5, 3.0), 8) == 0)
+
+    def test_matches_numpy_histogram(self, rng):
+        x = rng.normal(size=500)
+        counts, _ = np.histogram(x, bins=12)
+        mine = np.bincount(bin_indices(x, 12), minlength=12)
+        assert np.array_equal(counts, mine)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            bin_indices(np.array([1.0]), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bin_indices(np.zeros((2, 2)), 4)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            bin_indices(np.array([1.0]), 4, lo=2.0, hi=1.0)
+
+
+class TestHistogram1d:
+    def test_density_sums_to_one(self, rng):
+        h = histogram1d(rng.normal(size=300), 10)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_counts_mode(self, rng):
+        h = histogram1d(rng.normal(size=300), 10, density=False)
+        assert h.sum() == 300
+
+    @given(
+        x=hnp.arrays(np.float64, st.integers(2, 100),
+                     elements=st.floats(-100, 100)),
+        bins=st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_property(self, x, bins):
+        h = histogram1d(x, bins)
+        assert h.sum() == pytest.approx(1.0)
+        assert (h >= 0).all()
+
+
+class TestJointCounts:
+    def test_simple(self):
+        ix = np.array([0, 0, 1, 1])
+        iy = np.array([0, 1, 0, 1])
+        j = joint_counts(ix, iy, 2, 2)
+        assert np.array_equal(j, np.ones((2, 2)))
+
+    def test_marginals_match_bincounts(self, rng):
+        ix = rng.integers(0, 5, size=200)
+        iy = rng.integers(0, 7, size=200)
+        j = joint_counts(ix, iy, 5, 7)
+        assert np.array_equal(j.sum(axis=1), np.bincount(ix, minlength=5))
+        assert np.array_equal(j.sum(axis=0), np.bincount(iy, minlength=7))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            joint_counts(np.array([0]), np.array([0, 1]), 2, 2)
+
+
+class TestHistogram2d:
+    def test_density(self, rng):
+        j = histogram2d(rng.normal(size=400), rng.normal(size=400), 8)
+        assert j.sum() == pytest.approx(1.0)
+        assert j.shape == (8, 8)
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        mine = histogram2d(x, y, 6, density=False)
+        ref, _, _ = np.histogram2d(x, y, bins=6)
+        assert np.array_equal(mine, ref)
+
+    def test_identical_vectors_diagonal(self, rng):
+        x = rng.normal(size=100)
+        j = histogram2d(x, x, 5, density=False)
+        assert j.sum() == np.trace(j)  # all mass on the diagonal

@@ -1,0 +1,150 @@
+"""Tests for repro.stats.pvalues and repro.stats.fdr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.fdr import benjamini_hochberg, bh_qvalues, bonferroni, holm_bonferroni
+from repro.stats.pvalues import empirical_pvalue, empirical_pvalues
+
+
+class TestEmpiricalPvalue:
+    def test_add_one_formula(self):
+        null = np.arange(10, dtype=float)  # 0..9
+        # observed 9.5 beats all: p = 1/11
+        assert empirical_pvalue(9.5, null) == pytest.approx(1 / 11)
+        # observed -1 beats none: p = 11/11
+        assert empirical_pvalue(-1.0, null) == pytest.approx(1.0)
+
+    def test_never_zero(self, rng):
+        null = rng.normal(size=100)
+        assert empirical_pvalue(1e9, null) > 0.0
+
+    def test_ties_count_as_exceedance(self):
+        null = np.array([1.0, 1.0, 2.0])
+        # null >= 1.0 is all three -> (1+3)/4
+        assert empirical_pvalue(1.0, null) == pytest.approx(1.0)
+
+    def test_empty_null_raises(self):
+        with pytest.raises(ValueError):
+            empirical_pvalue(0.0, np.array([]))
+
+
+class TestEmpiricalPvalues:
+    def test_matches_scalar(self, rng):
+        null = rng.normal(size=200)
+        obs = rng.normal(size=17)
+        vec = empirical_pvalues(obs, null)
+        ref = np.array([empirical_pvalue(o, null) for o in obs])
+        assert np.allclose(vec, ref)
+
+    def test_shape_preserved(self, rng):
+        obs = rng.normal(size=(3, 4))
+        assert empirical_pvalues(obs, rng.normal(size=50)).shape == (3, 4)
+
+    def test_monotone_in_observed(self, rng):
+        null = rng.normal(size=100)
+        obs = np.sort(rng.normal(size=20))
+        p = empirical_pvalues(obs, null)
+        assert np.all(np.diff(p) <= 0)  # larger stat -> smaller p
+
+    @given(q=st.integers(1, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_property(self, q):
+        rng = np.random.default_rng(q)
+        null = rng.normal(size=q)
+        p = empirical_pvalues(rng.normal(size=10), null)
+        assert np.all(p >= 1.0 / (q + 1)) and np.all(p <= 1.0)
+
+
+class TestBonferroni:
+    def test_divides_alpha(self):
+        p = np.array([0.004, 0.006, 0.2, 0.9, 0.5])
+        rej = bonferroni(p, alpha=0.025)  # alpha/5 = 0.005
+        assert rej.tolist() == [True, False, False, False, False]
+
+    def test_empty(self):
+        assert bonferroni(np.array([])).size == 0
+
+    def test_rejects_bad_pvalues(self):
+        with pytest.raises(ValueError):
+            bonferroni(np.array([1.5]))
+        with pytest.raises(ValueError):
+            bonferroni(np.array([0.5]), alpha=0.0)
+
+    def test_shape_preserved(self):
+        assert bonferroni(np.full((2, 3), 0.5)).shape == (2, 3)
+
+
+class TestHolm:
+    def test_at_least_as_powerful_as_bonferroni(self, rng):
+        p = rng.uniform(size=50) ** 3  # skew small
+        assert holm_bonferroni(p).sum() >= bonferroni(p).sum()
+
+    def test_step_down_stops(self):
+        p = np.array([0.01, 0.04, 0.03])
+        # sorted: .01 <= .05/3 ok; .03 > .05/2 -> stop; only the first rejected
+        assert holm_bonferroni(p, alpha=0.05).tolist() == [True, False, False]
+
+    def test_all_rejected_when_all_pass(self):
+        p = np.array([0.01, 0.02, 0.04])
+        # sorted: .01 <= .0167, .02 <= .025, .04 <= .05 -> all rejected
+        assert holm_bonferroni(p, alpha=0.05).all()
+
+    def test_none_rejected(self):
+        assert not holm_bonferroni(np.array([0.9, 0.8]), alpha=0.05).any()
+
+    def test_first_fails_blocks_all(self):
+        p = np.array([0.5, 0.001 + 0.5])  # sorted first fails alpha/2
+        assert not holm_bonferroni(p, alpha=0.05).any()
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        # Classic worked example: t = 5.
+        p = np.array([0.01, 0.02, 0.03, 0.5, 0.9])
+        rej = benjamini_hochberg(p, alpha=0.05)
+        # thresholds: .01, .02, .03, .04, .05 -> k = 3
+        assert rej.tolist() == [True, True, True, False, False]
+
+    def test_rejects_superset_of_bonferroni(self, rng):
+        p = rng.uniform(size=100) ** 2
+        bh = benjamini_hochberg(p)
+        bf = bonferroni(p)
+        assert np.all(bh | ~bf)  # every bonferroni rejection is a BH rejection
+
+    def test_all_large_none_rejected(self):
+        assert not benjamini_hochberg(np.array([0.5, 0.7, 0.99])).any()
+
+    def test_fdr_control_simulation(self):
+        # Under the global null, BH should rarely reject anything.
+        rng = np.random.default_rng(0)
+        false_rejections = 0
+        for _ in range(50):
+            p = rng.uniform(size=100)
+            false_rejections += benjamini_hochberg(p, alpha=0.05).sum()
+        assert false_rejections / 50 < 1.0  # far below uncorrected 5/run
+
+    def test_shape_preserved(self):
+        assert benjamini_hochberg(np.full((4, 4), 0.5)).shape == (4, 4)
+
+
+class TestBhQvalues:
+    def test_monotone_in_p(self, rng):
+        p = np.sort(rng.uniform(size=30))
+        q = bh_qvalues(p)
+        assert np.all(np.diff(q) >= -1e-12)
+
+    def test_bounded(self, rng):
+        q = bh_qvalues(rng.uniform(size=40))
+        assert np.all((q >= 0) & (q <= 1))
+
+    def test_consistent_with_rejection(self, rng):
+        p = rng.uniform(size=60) ** 2
+        alpha = 0.1
+        assert np.array_equal(bh_qvalues(p) <= alpha, benjamini_hochberg(p, alpha=alpha))
+
+    def test_largest_p_q_equals_p(self):
+        p = np.array([0.2, 0.5, 1.0])
+        assert bh_qvalues(p)[2] == pytest.approx(1.0)

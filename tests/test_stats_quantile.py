@@ -1,0 +1,61 @@
+"""Tests for repro.stats.quantile."""
+
+import numpy as np
+import pytest
+
+from repro.stats.quantile import empirical_quantile, upper_tail_threshold
+
+
+class TestEmpiricalQuantile:
+    def test_median_of_odd(self):
+        assert empirical_quantile(np.array([1.0, 2.0, 3.0]), 0.5) == 2.0
+
+    def test_higher_interpolation_conservative(self):
+        s = np.array([0.0, 1.0])
+        assert empirical_quantile(s, 0.5) == 1.0  # 'higher', not 0.5
+
+    def test_extremes(self):
+        s = np.arange(10, dtype=float)
+        assert empirical_quantile(s, 0.0) == 0.0
+        assert empirical_quantile(s, 1.0) == 9.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([1.0]), 1.5)
+
+
+class TestUpperTailThreshold:
+    def test_tail_probability_respected(self, rng):
+        null = rng.normal(size=10_000)
+        thr = upper_tail_threshold(null, alpha=0.05, n_tests=1, correction="none")
+        assert (null >= thr).mean() <= 0.05
+
+    def test_bonferroni_tightens(self, rng):
+        null = rng.normal(size=10_000)
+        t1 = upper_tail_threshold(null, 0.05, n_tests=1, correction="none")
+        t2 = upper_tail_threshold(null, 0.05, n_tests=10, correction="bonferroni")
+        assert t2 >= t1
+
+    def test_saturates_at_max_when_under_resolved(self, rng):
+        null = rng.normal(size=100)
+        thr = upper_tail_threshold(null, 0.05, n_tests=10**6)
+        assert thr == null.max()
+
+    def test_no_correction_ignores_n_tests(self, rng):
+        null = rng.normal(size=1000)
+        a = upper_tail_threshold(null, 0.05, n_tests=1, correction="none")
+        b = upper_tail_threshold(null, 0.05, n_tests=999, correction="none")
+        assert a == b
+
+    def test_invalid_args(self, rng):
+        null = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            upper_tail_threshold(null, 0.0, 1)
+        with pytest.raises(ValueError):
+            upper_tail_threshold(null, 0.05, 0)
+        with pytest.raises(ValueError):
+            upper_tail_threshold(null, 0.05, 1, correction="fdr")
+        with pytest.raises(ValueError):
+            upper_tail_threshold(np.array([]), 0.05, 1)

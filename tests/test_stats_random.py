@@ -1,0 +1,149 @@
+"""Tests for repro.stats.random: seeding, permutations, pair indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.random import (
+    as_rng,
+    derangement,
+    flat_index_from_pair,
+    pair_from_flat_index,
+    permutation_matrix,
+    sample_pairs,
+    spawn_rngs,
+)
+
+
+class TestAsRng:
+    def test_int_seed_reproducible(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9)
+        b = as_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_independent_streams(self):
+        g1, g2 = spawn_rngs(0, 2)
+        assert g1.integers(0, 10**9) != g2.integers(0, 10**9)
+
+    def test_reproducible(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestPermutationMatrix:
+    def test_shape(self):
+        p = permutation_matrix(5, 30, seed=0)
+        assert p.shape == (5, 30)
+
+    def test_rows_are_permutations(self):
+        p = permutation_matrix(10, 25, seed=1)
+        for row in p:
+            assert sorted(row.tolist()) == list(range(25))
+
+    def test_rows_differ(self):
+        p = permutation_matrix(4, 100, seed=2)
+        assert not np.array_equal(p[0], p[1])
+
+    def test_reproducible(self):
+        assert np.array_equal(permutation_matrix(3, 10, 5), permutation_matrix(3, 10, 5))
+
+    def test_zero_permutations(self):
+        assert permutation_matrix(0, 10, seed=0).shape == (0, 10)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            permutation_matrix(-1, 10)
+        with pytest.raises(ValueError):
+            permutation_matrix(1, 0)
+
+
+class TestDerangement:
+    def test_no_fixed_points(self):
+        for seed in range(5):
+            d = derangement(20, seed=seed)
+            assert not np.any(d == np.arange(20))
+
+    def test_is_permutation(self):
+        d = derangement(15, seed=0)
+        assert sorted(d.tolist()) == list(range(15))
+
+    def test_n1_raises(self):
+        with pytest.raises(ValueError):
+            derangement(1)
+
+
+class TestPairIndexing:
+    def test_roundtrip_small(self):
+        n = 7
+        total = n * (n - 1) // 2
+        pairs = pair_from_flat_index(np.arange(total), n)
+        # All pairs distinct and i < j.
+        assert len({tuple(p) for p in pairs.tolist()}) == total
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        back = flat_index_from_pair(pairs[:, 0], pairs[:, 1], n)
+        assert np.array_equal(back, np.arange(total))
+
+    def test_enumeration_order(self):
+        pairs = pair_from_flat_index(np.arange(3), 3)
+        assert pairs.tolist() == [[0, 1], [0, 2], [1, 2]]
+
+    @given(n=st.integers(2, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n):
+        total = n * (n - 1) // 2
+        flat = np.linspace(0, total - 1, min(total, 50)).astype(np.int64)
+        pairs = pair_from_flat_index(flat, n)
+        assert np.all((0 <= pairs[:, 0]) & (pairs[:, 0] < pairs[:, 1]) & (pairs[:, 1] < n))
+        assert np.array_equal(flat_index_from_pair(pairs[:, 0], pairs[:, 1], n), flat)
+
+    def test_flat_index_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            flat_index_from_pair(np.array([2]), np.array([1]), 5)
+        with pytest.raises(ValueError):
+            flat_index_from_pair(np.array([0]), np.array([5]), 5)
+
+
+class TestSamplePairs:
+    def test_shape_and_validity(self):
+        pairs = sample_pairs(20, 50, seed=0)
+        assert pairs.shape == (50, 2)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert pairs.max() < 20
+
+    def test_without_replacement_when_possible(self):
+        pairs = sample_pairs(10, 45, seed=0)  # exactly all pairs
+        assert len({tuple(p) for p in pairs.tolist()}) == 45
+
+    def test_with_replacement_when_oversampled(self):
+        pairs = sample_pairs(4, 20, seed=0)  # only 6 distinct pairs exist
+        assert pairs.shape == (20, 2)
+
+    def test_too_few_items(self):
+        with pytest.raises(ValueError):
+            sample_pairs(1, 5)

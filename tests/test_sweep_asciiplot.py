@@ -1,0 +1,121 @@
+"""Tests for repro.machine.sweep and repro.bench.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import ascii_hist, ascii_series
+from repro.machine.costmodel import KernelProfile
+from repro.machine.spec import XEON_E5_2670_DUAL, XEON_PHI_5110P
+from repro.machine.sweep import scale_machine, sweep
+from repro.parallel.scheduler import DynamicScheduler, StaticScheduler
+
+PROFILE = KernelProfile(m_samples=512, n_permutations_fused=10)
+
+
+class TestSweep:
+    def test_sorted_fastest_first(self):
+        points = sweep([XEON_PHI_5110P, XEON_E5_2670_DUAL], PROFILE, 400)
+        assert len(points) == 2
+        assert points[0].seconds <= points[1].seconds
+
+    def test_full_matrix_size(self):
+        points = sweep(
+            [XEON_PHI_5110P], PROFILE, 300,
+            thread_counts={XEON_PHI_5110P.name: [60, 240]},
+            policies=[DynamicScheduler(chunk=1), StaticScheduler()],
+            placements=["balanced", "compact"],
+        )
+        assert len(points) == 2 * 2 * 2
+
+    def test_balanced_dominates_compact_at_partial_occupancy(self):
+        points = sweep(
+            [XEON_PHI_5110P], PROFILE, 300,
+            thread_counts={XEON_PHI_5110P.name: [60]},
+            placements=["balanced", "compact"],
+        )
+        by_placement = {p.placement: p.seconds for p in points}
+        assert by_placement["balanced"] < by_placement["compact"]
+
+    def test_as_row_keys(self):
+        p = sweep([XEON_PHI_5110P], PROFILE, 200)[0]
+        row = p.as_row()
+        assert {"machine", "threads", "policy", "placement", "time"} <= set(row)
+
+    def test_empty_machines_rejected(self):
+        with pytest.raises(ValueError):
+            sweep([], PROFILE, 100)
+
+
+class TestScaleMachine:
+    def test_overrides_applied(self):
+        knl = scale_machine(XEON_PHI_5110P, "hypothetical KNL",
+                            cores=72, freq_ghz=1.4, mem_bw_gbs=400.0)
+        assert knl.cores == 72
+        assert knl.freq_ghz == 1.4
+        assert knl.name == "hypothetical KNL"
+        # Inherited properties stay.
+        assert knl.threads_per_core == XEON_PHI_5110P.threads_per_core
+        assert knl.smt_efficiency == XEON_PHI_5110P.smt_efficiency
+
+    def test_hypothetical_machine_simulates(self):
+        knl = scale_machine(XEON_PHI_5110P, "KNL-ish", cores=72, freq_ghz=1.4)
+        points = sweep([XEON_PHI_5110P, knl], PROFILE, 400,
+                       thread_counts={XEON_PHI_5110P.name: [240],
+                                      "KNL-ish": [288]})
+        fastest = points[0]
+        assert fastest.machine == "KNL-ish"  # more cores, higher clock
+
+
+class TestAsciiSeries:
+    def test_contains_markers_and_labels(self):
+        out = ascii_series([1, 2, 4, 8], [1, 2, 4, 8],
+                           x_label="threads", y_label="speedup")
+        assert "*" in out
+        assert "threads" in out and "speedup" in out
+
+    def test_log_axes(self):
+        out = ascii_series([1, 10, 100], [1, 100, 10000],
+                           log_x=True, log_y=True)
+        assert "(log)" in out
+        assert "1e+04" in out or "10000" in out or "1e+4" in out
+
+    def test_monotone_series_monotone_grid(self):
+        out = ascii_series([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=8)
+        rows = [line for line in out.splitlines() if "*" in line]
+        cols = [line.index("*") for line in rows]
+        # Rising line: the top row (largest y) holds the rightmost x, so
+        # marker columns decrease from top to bottom.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_constant_series_ok(self):
+        out = ascii_series([1, 2, 3], [5, 5, 5])
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+        with pytest.raises(ValueError):
+            ascii_series([1], [1, 2])
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1, 2], width=3)
+        with pytest.raises(ValueError):
+            ascii_series([0, 1], [1, 2], log_x=True)
+
+
+class TestAsciiHist:
+    def test_counts_rendered(self, rng):
+        out = ascii_hist(rng.normal(size=500), bins=10)
+        assert "n=500" in out
+        assert "#" in out
+        assert len(out.splitlines()) == 11
+
+    def test_peak_bar_full_width(self, rng):
+        out = ascii_hist(rng.normal(size=1000), bins=5, width=30)
+        max_bar = max(line.count("#") for line in out.splitlines())
+        assert max_bar == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_hist([])
+        with pytest.raises(ValueError):
+            ascii_hist([1.0], bins=0)

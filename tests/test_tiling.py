@@ -1,0 +1,114 @@
+"""Tests for repro.core.tiling: coverage, counts, tile geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+
+
+class TestTile:
+    def test_off_diagonal_counts(self):
+        t = Tile(0, 4, 8, 12)
+        assert t.n_pairs == 16
+        assert t.n_elements == 16
+        assert not t.is_diagonal
+
+    def test_diagonal_counts(self):
+        t = Tile(4, 8, 4, 8)
+        assert t.is_diagonal
+        assert t.n_pairs == 6  # 4*3/2
+        assert t.n_elements == 16
+
+    def test_pair_mask_diagonal(self):
+        t = Tile(0, 3, 0, 3)
+        mask = t.pair_mask()
+        assert mask.tolist() == [
+            [False, True, True],
+            [False, False, True],
+            [False, False, False],
+        ]
+
+    def test_pair_mask_off_diagonal_full(self):
+        t = Tile(0, 2, 5, 7)
+        assert t.pair_mask().all()
+
+    def test_rejects_below_diagonal(self):
+        with pytest.raises(ValueError):
+            Tile(5, 8, 0, 3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Tile(3, 3, 4, 5)
+
+
+class TestTileGrid:
+    @pytest.mark.parametrize("n,tile", [(10, 3), (16, 4), (17, 4), (5, 10), (100, 7)])
+    def test_covers_every_pair_once(self, n, tile):
+        seen = np.zeros((n, n), dtype=int)
+        for t in tile_grid(n, tile):
+            mask = t.pair_mask()
+            seen[t.i0 : t.i1, t.j0 : t.j1] += mask
+        iu = np.triu_indices(n, k=1)
+        assert np.all(seen[iu] == 1)
+        assert seen.sum() == pair_count(n)
+
+    def test_pair_totals(self):
+        tiles = tile_grid(50, 8)
+        assert sum(t.n_pairs for t in tiles) == pair_count(50)
+
+    def test_no_empty_tiles(self):
+        for t in tile_grid(33, 5):
+            assert t.n_pairs > 0
+
+    def test_tile_one(self):
+        tiles = tile_grid(4, 1)
+        assert len(tiles) == pair_count(4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            tile_grid(1, 4)
+        with pytest.raises(ValueError):
+            tile_grid(10, 0)
+
+    @given(n=st.integers(2, 60), tile=st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_property(self, n, tile):
+        total = sum(t.n_pairs for t in tile_grid(n, tile))
+        assert total == pair_count(n)
+
+
+class TestPairCount:
+    def test_values(self):
+        assert pair_count(2) == 1
+        assert pair_count(15575) == 15575 * 15574 // 2
+
+    def test_zero_genes(self):
+        assert pair_count(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pair_count(-1)
+
+
+class TestDefaultTileSize:
+    def test_power_of_two_in_bounds(self):
+        t = default_tile_size(3137, 10)
+        assert t in (8, 16, 32, 64, 128, 256)
+
+    def test_smaller_samples_bigger_tiles(self):
+        assert default_tile_size(100, 10) >= default_tile_size(5000, 10)
+
+    def test_minimum_is_8(self):
+        assert default_tile_size(10**6, 10) == 8
+
+    def test_cache_budget_respected(self):
+        cache = 1 << 20
+        t = default_tile_size(500, 10, itemsize=8, cache_bytes=cache)
+        working = 2 * t * 500 * 10 * 8 + t * t * 100 * 8
+        assert working <= cache or t == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_tile_size(0, 10)

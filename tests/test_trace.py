@@ -1,0 +1,117 @@
+"""Tests for repro.machine.trace."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_PHI_5110P
+from repro.machine.trace import (
+    active_threads_timeline,
+    render_gantt,
+    tail_start,
+    trace_utilization,
+)
+from repro.parallel.scheduler import StaticScheduler
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=512))
+    return sim.run(200, 8, record_trace=True)
+
+
+class TestTraceRecording:
+    def test_trace_present_when_requested(self, traced_result):
+        assert traced_result.trace is not None
+        assert len(traced_result.trace) > 0
+
+    def test_trace_absent_by_default(self):
+        sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=512))
+        assert sim.run(100, 4).trace is None
+
+    def test_intervals_within_makespan(self, traced_result):
+        for thread, start, end, n in traced_result.trace:
+            assert 0 <= thread < traced_result.n_threads
+            assert 0.0 <= start <= end <= traced_result.makespan + 1e-12
+            assert n >= 1
+
+    def test_intervals_cover_all_tiles(self, traced_result):
+        total = sum(n for _w, _s, _e, n in traced_result.trace)
+        assert total == traced_result.n_tiles
+
+    def test_per_thread_intervals_disjoint(self, traced_result):
+        by_thread = {}
+        for w, s, e, _n in traced_result.trace:
+            by_thread.setdefault(w, []).append((s, e))
+        for intervals in by_thread.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12
+
+    def test_static_policy_traced(self):
+        sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=512))
+        res = sim.run(100, 4, policy=StaticScheduler(), record_trace=True)
+        assert res.trace is not None
+        assert all(start == 0.0 for _w, start, _e, _n in res.trace)
+
+
+class TestRenderGantt:
+    def test_shape_and_markers(self, traced_result):
+        out = render_gantt(traced_result, width=40, max_threads=4)
+        lines = out.splitlines()
+        assert len(lines) == 5  # header + 4 threads
+        assert "#" in out
+        for line in lines[1:]:
+            assert line.startswith("t") and line.endswith("|")
+
+    def test_requires_trace(self):
+        sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=512))
+        res = sim.run(50, 2)
+        with pytest.raises(ValueError, match="record_trace"):
+            render_gantt(res)
+
+    def test_width_validation(self, traced_result):
+        with pytest.raises(ValueError):
+            render_gantt(traced_result, width=5)
+
+
+class TestTimeline:
+    def test_occupancy_bounds(self, traced_result):
+        times, active = active_threads_timeline(traced_result, bins=30)
+        assert times.shape == active.shape == (30,)
+        assert (active >= -1e-9).all()
+        assert (active <= traced_result.n_threads + 1e-9).all()
+
+    def test_area_matches_busy_time(self, traced_result):
+        times, active = active_threads_timeline(traced_result, bins=400)
+        dt = traced_result.makespan / 400
+        area = active.sum() * dt
+        assert area == pytest.approx(traced_result.busy.sum(), rel=0.02)
+
+    def test_full_occupancy_early(self, traced_result):
+        _times, active = active_threads_timeline(traced_result, bins=50)
+        assert active[1] == pytest.approx(traced_result.n_threads, rel=0.1)
+
+    def test_bins_validation(self, traced_result):
+        with pytest.raises(ValueError):
+            active_threads_timeline(traced_result, bins=0)
+
+
+class TestTailAndUtilization:
+    def test_tail_start_in_range(self, traced_result):
+        t = tail_start(traced_result)
+        assert 0.0 <= t <= traced_result.makespan
+
+    def test_balanced_run_has_late_tail(self, traced_result):
+        # A dynamic chunk=1 schedule keeps all threads busy until the end.
+        assert tail_start(traced_result) > 0.8 * traced_result.makespan
+
+    def test_threshold_validation(self, traced_result):
+        with pytest.raises(ValueError):
+            tail_start(traced_result, threshold=0.0)
+
+    def test_trace_utilization_matches_result(self, traced_result):
+        assert trace_utilization(traced_result) == pytest.approx(
+            traced_result.utilization, rel=0.01
+        )

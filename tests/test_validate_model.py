@@ -1,0 +1,83 @@
+"""Tests for repro.machine.validate — and the actual model-vs-host check."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bspline import weight_tensor
+from repro.core.discretize import rank_transform
+from repro.core.mi_matrix import mi_matrix
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_PHI_5110P
+from repro.machine.validate import ShapeValidation, loglog_exponent, validate_shape
+
+
+class TestLogLogExponent:
+    def test_quadratic(self):
+        x = np.array([1, 2, 4, 8], dtype=float)
+        assert loglog_exponent(x, x**2) == pytest.approx(2.0)
+
+    def test_linear(self):
+        x = np.array([1, 3, 9], dtype=float)
+        assert loglog_exponent(x, 5 * x) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_exponent([1], [1])
+        with pytest.raises(ValueError):
+            loglog_exponent([1, 2], [0, 1])
+
+
+class TestValidateShape:
+    def test_identical_shapes_zero_error(self):
+        x = [1, 2, 4]
+        a = [10, 40, 160]
+        b = [1, 4, 16]  # same shape, different units
+        v = validate_shape(x, a, b)
+        assert v.max_ratio_error == pytest.approx(0.0)
+        assert v.exponent_gap == pytest.approx(0.0)
+        assert v.acceptable()
+
+    def test_different_exponents_fail(self):
+        x = [1, 2, 4, 8]
+        measured = [1, 2, 4, 8]        # linear
+        modelled = [1, 4, 16, 64]      # quadratic
+        v = validate_shape(x, measured, modelled)
+        assert v.exponent_gap == pytest.approx(1.0)
+        assert not v.acceptable()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            validate_shape([1, 2], [1], [1, 2])
+        with pytest.raises(ValueError):
+            validate_shape([1, 2], [1, -2], [1, 2])
+
+
+class TestModelAgainstHostMeasurement:
+    def test_gene_scaling_shape_agrees(self):
+        """The substitution argument, executed: measured host gene-scaling
+        and the Phi model's prediction must share the quadratic shape."""
+        rng = np.random.default_rng(17)
+        m = 200
+        data = rank_transform(rng.normal(size=(256, m)))
+        w = weight_tensor(data, dtype=np.float32)
+        sizes = [64, 128, 256]
+
+        mi_matrix(w[:64], tile=32)  # warm-up
+        measured = []
+        for n in sizes:
+            best = float("inf")
+            for _ in range(2):  # min-of-2: shield against host load spikes
+                t0 = time.perf_counter()
+                mi_matrix(w[:n], tile=32)
+                best = min(best, time.perf_counter() - t0)
+            measured.append(best)
+
+        sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=m))
+        modelled = [sim.predict_seconds(n, 240) for n in sizes]
+
+        v = validate_shape(sizes, measured, modelled)
+        assert v.exponent_modelled == pytest.approx(2.0, abs=0.1)
+        assert v.acceptable(ratio_tol=1.0, exponent_tol=0.5)

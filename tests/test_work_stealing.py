@@ -1,0 +1,107 @@
+"""Tests for the work-stealing scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import KernelProfile
+from repro.machine.simulator import MachineSimulator
+from repro.machine.spec import XEON_PHI_5110P
+from repro.parallel.scheduler import (
+    DynamicScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+
+
+class TestWorkStealingSimulate:
+    def test_work_conservation(self, rng):
+        costs = rng.uniform(0.1, 2.0, size=60)
+        a = WorkStealingScheduler().simulate(costs, 6)
+        assert a.worker_loads.sum() == pytest.approx(costs.sum())
+        executed = sorted(i for items in a.worker_items for i in items)
+        assert executed == list(range(60))
+
+    def test_makespan_bounds(self, rng):
+        costs = rng.uniform(0.1, 2.0, size=40)
+        p = 5
+        a = WorkStealingScheduler().simulate(costs, p)
+        assert a.makespan >= max(costs.sum() / p, costs.max()) - 1e-12
+        assert a.makespan <= costs.sum() + 1e-12
+
+    def test_single_worker_serial(self, rng):
+        costs = rng.uniform(0.1, 1.0, size=20)
+        a = WorkStealingScheduler().simulate(costs, 1)
+        assert a.makespan == pytest.approx(costs.sum())
+
+    def test_beats_static_on_triangular_costs(self):
+        costs = np.arange(200, 0, -1, dtype=float)
+        p = 8
+        ws = WorkStealingScheduler().simulate(costs, p)
+        static = StaticScheduler().simulate(costs, p)
+        assert ws.makespan < static.makespan * 0.75
+        assert ws.imbalance < static.imbalance
+
+    def test_competitive_with_dynamic(self, rng):
+        costs = rng.uniform(0.5, 2.0, size=150)
+        p = 10
+        ws = WorkStealingScheduler().simulate(costs, p)
+        dyn = DynamicScheduler(chunk=1).simulate(costs, p)
+        assert ws.makespan <= dyn.makespan * 1.2
+
+    def test_steal_cost_charged(self):
+        # All work starts on worker 0's block: workers 1..3 must steal.
+        costs = np.ones(16)
+        free = WorkStealingScheduler(steal_cost=0.0).simulate(costs, 4)
+        pricey = WorkStealingScheduler(steal_cost=0.5).simulate(costs, 4)
+        assert pricey.makespan >= free.makespan
+
+    def test_more_workers_than_items(self, rng):
+        costs = rng.uniform(0.1, 1.0, size=3)
+        a = WorkStealingScheduler().simulate(costs, 10)
+        assert a.worker_loads.sum() == pytest.approx(costs.sum())
+
+    def test_empty_workload(self):
+        a = WorkStealingScheduler().simulate(np.array([]), 4)
+        assert a.makespan == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(steal_cost=-1.0)
+        with pytest.raises(ValueError):
+            WorkStealingScheduler().simulate(np.array([-1.0]), 2)
+        with pytest.raises(ValueError):
+            WorkStealingScheduler().simulate(np.array([1.0]), 0)
+
+    def test_factory(self):
+        p = make_scheduler("work-stealing", steal_cost=0.1)
+        assert p.name == "work-stealing"
+        assert p.steal_cost == 0.1
+
+    @given(seed=st.integers(0, 100), n=st.integers(1, 100), p=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, seed, n, p):
+        g = np.random.default_rng(seed)
+        costs = g.uniform(0.01, 1.0, size=n)
+        a = WorkStealingScheduler().simulate(costs, p)
+        assert a.worker_loads.sum() == pytest.approx(costs.sum())
+        # Greedy bound: <= 2x the trivial lower bound.
+        lb = max(costs.sum() / p, costs.max())
+        assert a.makespan <= 2 * lb + 1e-9
+
+
+class TestWorkStealingOnMachineModel:
+    def test_simulator_accepts_work_stealing(self):
+        sim = MachineSimulator(XEON_PHI_5110P, KernelProfile(m_samples=512))
+        res = sim.run(300, 60, policy=WorkStealingScheduler())
+        assert res.makespan > 0
+        assert res.busy.sum() > 0
+
+    def test_close_to_dynamic_on_uniform_tiles(self):
+        sim = MachineSimulator(XEON_PHI_5110P,
+                               KernelProfile(m_samples=512, n_permutations_fused=10))
+        ws = sim.run(400, 240, policy=WorkStealingScheduler()).makespan
+        dyn = sim.run(400, 240, policy=DynamicScheduler(chunk=1)).makespan
+        assert ws == pytest.approx(dyn, rel=0.2)
