@@ -61,7 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--tile", type=int, default=None)
     rec.add_argument("--dpi", type=float, default=None, metavar="TOLERANCE",
                      help="apply ARACNE DPI pruning with this tolerance")
-    rec.add_argument("--engine", choices=["serial", "thread"], default="serial")
+    rec.add_argument("--engine", choices=["serial", "thread", "process", "sharedmem"],
+                     default="serial",
+                     help="execution engine for the all-pairs MI stage; "
+                          "'sharedmem' workers write the MI matrix in place "
+                          "(process/sharedmem need the fork start method)")
     rec.add_argument("--workers", type=int, default=None)
     rec.add_argument("--seed", type=int, default=0)
     rec.add_argument("--testing", choices=["pooled", "exact"], default="pooled",
@@ -174,8 +178,12 @@ def _cmd_reconstruct(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     engine = None
-    if args.engine == "thread":
-        engine = make_engine("thread", n_workers=args.workers)
+    if args.engine != "serial":
+        try:
+            engine = make_engine(args.engine, n_workers=args.workers)
+        except (RuntimeError, ValueError) as exc:  # no fork support / bad worker count
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     t0 = time.perf_counter()
     try:
         result = reconstruct_network(ds.expression, ds.genes, config, engine=engine)

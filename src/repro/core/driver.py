@@ -40,6 +40,16 @@ from repro.core.tiling import pair_count
 
 __all__ = ["AutoRunResult", "auto_reconstruct"]
 
+# The pooled-threshold strategies share one global null quantile, so only
+# corrections expressible as a single adjusted alpha are supported here.
+# ``"bh"`` needs per-edge p-values — use reconstruct_network for that path.
+_SUPPORTED_CORRECTIONS = ("bonferroni", "none")
+
+# Genes whose weights seed the out-of-core pooled null; beyond this the
+# driver samples a random subset (with the run's seed) instead of loading
+# every gene's weights into RAM.
+_NULL_GENE_CAP = 2048
+
 
 @dataclass
 class AutoRunResult:
@@ -67,6 +77,22 @@ def _weights_bytes(n: int, m: int, bins: int, dtype: str) -> float:
     return float(n) * m * bins * np.dtype(dtype).itemsize
 
 
+def _null_gene_subset(n: int, cap: int, seed) -> np.ndarray:
+    """Sorted gene indices whose weights seed the out-of-core pooled null.
+
+    All genes when ``n <= cap`` (matching the in-memory path exactly);
+    otherwise a uniform random subset drawn with the run's seed — a
+    contiguous prefix would be biased for genome-ordered inputs, where
+    neighbouring genes are correlated.  Sorted for memmap read locality.
+    """
+    if cap < 2:
+        raise ValueError(f"cap must be >= 2, got {cap}")
+    if n <= cap:
+        return np.arange(n)
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=cap, replace=False))
+
+
 def auto_reconstruct(
     data: np.ndarray,
     genes: "list[str] | None" = None,
@@ -75,6 +101,7 @@ def auto_reconstruct(
     mem_budget_gb: float = 4.0,
     checkpoint: "bool | None" = None,
     checkpoint_threshold: int = 4000,
+    engine=None,
 ) -> AutoRunResult:
     """Reconstruct with automatically chosen residency strategy.
 
@@ -84,6 +111,13 @@ def auto_reconstruct(
         As in :func:`repro.core.pipeline.reconstruct_network` (pooled
         testing only — the strategies differ in how the MI matrix is
         computed, which exact mode fuses differently).
+
+        Correction support: every strategy here thresholds against one
+        pooled null quantile, so only ``config.correction`` values of
+        ``"bonferroni"`` (family-wise, the TINGe default) and ``"none"``
+        (per-test alpha) are accepted.  ``"bh"`` requires per-edge
+        p-values and is rejected with a ValueError — run
+        :func:`repro.core.pipeline.reconstruct_network` for the FDR path.
     workdir:
         Directory for artifacts; required for the checkpointed and
         out-of-core strategies (a ValueError names the reason otherwise).
@@ -92,10 +126,23 @@ def auto_reconstruct(
     checkpoint:
         Force checkpointing on/off; default: on for runs with more than
         ``checkpoint_threshold`` genes.
+    engine:
+        Optional execution engine (:mod:`repro.parallel.engine`) for the
+        all-pairs MI stage of whichever strategy is chosen.  Engines with
+        ``map_into`` (serial, thread, shared-memory) write tile blocks
+        into the output in place; others fall back to pickle-return
+        ``map``.
     """
     config = config or TingeConfig()
     if config.testing != "pooled":
         raise ValueError("auto_reconstruct supports pooled testing only")
+    if config.correction not in _SUPPORTED_CORRECTIONS:
+        raise ValueError(
+            f"auto_reconstruct does not support correction={config.correction!r}: "
+            "the pooled-threshold strategies support only "
+            f"{_SUPPORTED_CORRECTIONS} (correction='bh' needs per-edge "
+            "p-values; use repro.core.pipeline.reconstruct_network instead)"
+        )
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
         raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
@@ -134,20 +181,29 @@ def auto_reconstruct(
             order=config.order, dtype=config.dtype,
         )
         artifacts["weight_store"] = wpath
-        # The null needs a weight subset only; build it from a slice
-        # small enough for the budget (sampled pairs re-read the store).
-        weights_view = np.load(wpath, mmap_mode="r")
-        mi_path = mi_matrix_outofcore(wpath, workdir / "mi", tile=config.tile)
+        mi_path = mi_matrix_outofcore(wpath, workdir / "mi", tile=config.tile,
+                                      engine=engine)
         artifacts["mi_store"] = mi_path
         mi = np.asarray(np.load(mi_path, mmap_mode="r"))
+        # The null needs a bounded weight subset only: every gene when
+        # small enough, otherwise a seeded random sample (a contiguous
+        # prefix would bias the null for genome-ordered data).
+        weights_view = np.load(wpath, mmap_mode="r")
+        try:
+            subset = _null_gene_subset(n, _NULL_GENE_CAP, config.seed)
+            null_weights = np.asarray(weights_view[subset], dtype=np.float64)
+        finally:
+            mmap_handle = getattr(weights_view, "_mmap", None)
+            del weights_view
+            if mmap_handle is not None:
+                mmap_handle.close()
         null = pooled_null(
-            np.asarray(weights_view, dtype=np.float64)
-            if _weights_bytes(n, m, config.bins, "float64") <= mem_budget_gb * 1e9
-            else np.asarray(weights_view[: max(2, min(n, 2048))], dtype=np.float64),
+            null_weights,
             config.n_permutations,
             min(config.n_null_pairs, pair_count(n)),
             config.seed, config.base,
         )
+        del null_weights
     else:
         weights = weight_tensor(transformed, config.bins, config.order,
                                 np.dtype(config.dtype))
@@ -158,14 +214,14 @@ def auto_reconstruct(
         if strategy == "checkpointed":
             ck = workdir / "checkpoint"
             mi = mi_matrix_checkpointed(weights, ck, tile=config.tile,
-                                        base=config.base)
+                                        base=config.base, engine=engine)
             artifacts["checkpoint_dir"] = ck
         else:
-            mi = mi_matrix(weights, tile=config.tile, base=config.base).mi
+            mi = mi_matrix(weights, tile=config.tile, base=config.base,
+                           engine=engine).mi
 
     threshold = null.threshold(config.alpha, n_tests=pair_count(n),
-                               correction="bonferroni" if config.correction == "bh"
-                               else config.correction)
+                               correction=config.correction)
     network = GeneNetwork(
         adjacency=threshold_adjacency(mi, threshold),
         weights=mi, genes=list(genes), threshold=threshold,

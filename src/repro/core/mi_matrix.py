@@ -8,9 +8,13 @@ are hoisted: computed once per gene, reused by every tile.
 
 Execution strategy is pluggable: any object with a ``map(fn, items)``
 method (see :mod:`repro.parallel.engine`) can run the tile loop — serial,
-thread pool, or shared-memory process pool — because tiles are independent
-and write disjoint output blocks.  This is exactly the decomposition the
-paper distributes over the Phi's 240 hardware threads.
+thread pool, or fork-based process pool — because tiles are independent
+and write disjoint output blocks.  Engines that additionally implement the
+sink protocol ``map_into(fn, items, out)`` (serial, thread, and the
+shared-memory pool) skip the parent-side reassembly loop entirely: each
+worker writes its tile block straight into the output matrix.  This is
+exactly the decomposition the paper distributes over the Phi's 240
+hardware threads, which write disjoint blocks of the MI matrix in place.
 """
 
 from __future__ import annotations
@@ -82,6 +86,7 @@ def mi_matrix(
     base: str = "nat",
     engine=None,
     progress=None,
+    out: "np.ndarray | None" = None,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -96,12 +101,19 @@ def mi_matrix(
     base:
         Entropy log base (``"nat"`` or ``"bit"``).
     engine:
-        Optional execution engine with ``map(fn, items) -> list``; defaults
-        to serial in-process execution.
+        Optional execution engine; defaults to serial in-process execution.
+        Engines exposing ``map_into(fn, items, out)`` (the sink protocol)
+        have their workers write tile blocks straight into the output
+        matrix; plain ``map(fn, items)`` engines return blocks for a
+        parent-side assembly loop.
     progress:
         Optional callback ``progress(done_tiles, total_tiles)`` invoked
         after every tile (serial path) or every engine batch — whole-genome
         runs take hours and deserve a progress line.
+    out:
+        Optional preallocated ``(n, n)`` float64 output (e.g. a memmap or a
+        :class:`repro.parallel.sharedmem.SharedArray` view) the matrix is
+        computed into; allocated fresh when omitted.
 
     Returns
     -------
@@ -118,23 +130,38 @@ def mi_matrix(
     tiles = tile_grid(n, tile)
     h = marginal_entropies(weights, base=base)
 
+    if out is None:
+        mi = np.zeros((n, n), dtype=np.float64)
+    else:
+        if out.shape != (n, n) or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be a ({n}, {n}) float64 array, "
+                f"got shape {out.shape} dtype {out.dtype}"
+            )
+        mi = out
+
     def run(t: Tile) -> np.ndarray:
         return compute_tile(weights, h, t, base)
 
+    def run_into(sink: np.ndarray, t: Tile) -> None:
+        sink[t.i0 : t.i1, t.j0 : t.j1] = compute_tile(weights, h, t, base)
+
     if engine is None:
-        blocks = []
         for done, t in enumerate(tiles, start=1):
-            blocks.append(run(t))
+            run_into(mi, t)
             if progress is not None:
                 progress(done, len(tiles))
+    elif hasattr(engine, "map_into"):
+        engine.map_into(run_into, tiles, mi)
+        if progress is not None:
+            progress(len(tiles), len(tiles))
     else:
         blocks = engine.map(run, tiles)
+        for t, block in zip(tiles, blocks):
+            mi[t.i0 : t.i1, t.j0 : t.j1] = block
         if progress is not None:
             progress(len(tiles), len(tiles))
 
-    mi = np.zeros((n, n), dtype=np.float64)
-    for t, block in zip(tiles, blocks):
-        mi[t.i0 : t.i1, t.j0 : t.j1] = block
     # Mirror the strict upper triangle into the lower one.
     iu = np.triu_indices(n, k=1)
     mi[(iu[1], iu[0])] = mi[iu]

@@ -69,12 +69,20 @@ def mi_matrix_outofcore(
     out_path: "str | Path",
     tile: "int | None" = None,
     base: str = "nat",
+    engine=None,
 ) -> Path:
     """Compute the full MI matrix with both operands on disk.
 
     The weight store is memory-mapped read-only; the symmetric ``(n, n)``
     float64 MI matrix is written into ``out_path`` (``.npy``).  RAM usage
-    is one block-row of weights plus one tile of output at a time.
+    is one block-row of weights plus one block-row of output at a time.
+
+    ``engine`` (optional, :mod:`repro.parallel.engine`) parallelizes the
+    tiles of each block-row: engines with ``map_into`` have workers write
+    tile blocks into a shared row buffer in place (forked workers read the
+    weight store through the inherited mapping), plain ``map`` engines
+    return blocks by pickling.  The parent alone writes the output memmap,
+    preserving the streaming memory profile.
 
     Returns the output path; load the result with
     ``numpy.load(out_path, mmap_mode="r")`` to keep it on disk too.
@@ -99,20 +107,45 @@ def mi_matrix_outofcore(
         for s in range(0, n, block):
             e = min(s + block, n)
             h[s:e] = marginal_entropies(np.asarray(weights[s:e], dtype=np.float64))
-        for t in tile_grid(n, tile):
+        def run(t):
             wi = np.asarray(weights[t.i0 : t.i1], dtype=np.float64)
             wj = np.asarray(weights[t.j0 : t.j1], dtype=np.float64)
             blockv = mi_tile(wi, wj, h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base)
             if t.is_diagonal:
-                # Masked upper triangle + its transpose fills the whole
-                # square symmetrically in one write (no overlap: mask
-                # zeroes the diagonal and below).
+                # Mask below-diagonal cells so the transpose write below
+                # fills the whole square symmetrically without overlap.
                 blockv = np.where(t.pair_mask(), blockv, 0.0)
+            return blockv
+
+        def write_out(t, blockv):
+            if t.is_diagonal:
                 mi[t.i0 : t.i1, t.j0 : t.j1] = blockv + blockv.T
             else:
                 mi[t.i0 : t.i1, t.j0 : t.j1] = blockv
                 # Mirror immediately so the output stays symmetric.
                 mi[t.j0 : t.j1, t.i0 : t.i1] = blockv.T
+
+        tiles = tile_grid(n, tile)
+        if engine is None:
+            for t in tiles:
+                write_out(t, run(t))
+        else:
+            rows: dict = {}
+            for t in tiles:
+                rows.setdefault(t.i0, []).append(t)
+            for i0, row_tiles in rows.items():
+                if hasattr(engine, "map_into"):
+                    buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
+
+                    def run_into(sink, t):
+                        sink[:, t.j0 : t.j1] = run(t)
+
+                    engine.map_into(run_into, row_tiles, buf)
+                    for t in row_tiles:
+                        write_out(t, buf[:, t.j0 : t.j1])
+                else:
+                    for t, blockv in zip(row_tiles, engine.map(run, row_tiles)):
+                        write_out(t, blockv)
         np.fill_diagonal(mi, 0.0)
         mi.flush()
     finally:

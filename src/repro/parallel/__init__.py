@@ -7,7 +7,13 @@ the machine simulator (:mod:`repro.machine`) replays the same policies on
 modelled hardware.
 """
 
-from repro.parallel.engine import ProcessEngine, SerialEngine, ThreadEngine, make_engine
+from repro.parallel.engine import (
+    ProcessEngine,
+    SerialEngine,
+    SharedMemoryEngine,
+    ThreadEngine,
+    make_engine,
+)
 from repro.parallel.partition import (
     block_partition,
     chunked_partition,
@@ -39,6 +45,7 @@ __all__ = [
     "SchedulerPolicy",
     "SerialEngine",
     "SharedArray",
+    "SharedMemoryEngine",
     "StaticScheduler",
     "ThreadEngine",
     "WorkStealingScheduler",

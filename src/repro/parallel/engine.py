@@ -10,25 +10,62 @@ engine-agnostic; picking an engine picks the host-level parallelism:
   GIL, the numpy analog of the paper's OpenMP threads.
 * :class:`ProcessEngine` — a ``fork``-based process pool for kernels that
   hold the GIL.  Task functions may be closures: the engine publishes the
-  function in a module global *before* forking, so children inherit it by
-  COW memory instead of pickling (the same zero-copy trick the paper plays
-  with the weight matrices resident on the coprocessor).
+  function in a module-level registry *before* forking, so children inherit
+  it by COW memory instead of pickling (the same zero-copy trick the paper
+  plays with the weight matrices resident on the coprocessor).  Results
+  still cross the pipe by pickling.
+* :class:`SharedMemoryEngine` — the write-in-place pool.  In addition to
+  ``map`` it implements the sink protocol ``map_into(fn, items, out)``:
+  workers attach ``out`` through named shared memory and write their
+  disjoint output blocks directly into it, so *nothing* but task indices
+  crosses the pipe — the process analog of the paper's 240 Phi threads
+  writing disjoint blocks of the MI matrix in coprocessor memory.
 
 Engines execute tasks in the order given by a
 :class:`repro.parallel.scheduler.SchedulerPolicy`; results are always
 returned in the original item order regardless of execution order.
+
+The sink protocol
+-----------------
+``map_into(fn, items, out)`` calls ``fn(out_view, item)`` exactly once per
+item, where ``out_view`` is a numpy array aliasing ``out``'s storage (in a
+worker process: a shared-memory view of it).  ``fn`` must write each item's
+result into a region of ``out_view`` disjoint from every other item's, and
+its return value is ignored.  Drivers probe for the protocol with
+``hasattr(engine, "map_into")`` and fall back to ``map`` plus a parent-side
+assembly loop for engines without it (:class:`ProcessEngine`, third-party
+engines).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.parallel.scheduler import DynamicScheduler, SchedulerPolicy
+import numpy as np
 
-__all__ = ["SerialEngine", "ThreadEngine", "ProcessEngine", "make_engine"]
+from repro.parallel.scheduler import DynamicScheduler, SchedulerPolicy
+from repro.parallel.sharedmem import SharedArray
+
+__all__ = [
+    "SerialEngine",
+    "ThreadEngine",
+    "ProcessEngine",
+    "SharedMemoryEngine",
+    "make_engine",
+]
+
+
+def _as_output_array(out) -> np.ndarray:
+    """Normalize a ``map_into`` sink to the ndarray workers should fill."""
+    arr = out.array if isinstance(out, SharedArray) else out
+    if not isinstance(arr, np.ndarray):
+        raise TypeError(f"map_into sink must be a numpy array or SharedArray, got {type(out)!r}")
+    return arr
 
 
 class SerialEngine:
@@ -39,6 +76,12 @@ class SerialEngine:
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item, returning results in order."""
         return [fn(item) for item in items]
+
+    def map_into(self, fn: Callable, items: Sequence, out) -> None:
+        """Run ``fn(out, item)`` for every item (in-process, same array)."""
+        arr = _as_output_array(out)
+        for item in items:
+            fn(arr, item)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialEngine()"
@@ -64,51 +107,77 @@ class ThreadEngine:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         self.policy = policy or DynamicScheduler(chunk=1)
 
+    def _chunks(self, n_items: int):
+        if self.policy.is_dynamic():
+            return self.policy.chunk_sequence(n_items, self.n_workers)
+        return self.policy.static_assignment(n_items, self.n_workers)
+
     def map(self, fn: Callable, items: Sequence) -> list:
         items = list(items)
         results: list = [None] * len(items)
         if not items:
             return results
 
-        if self.policy.is_dynamic():
-            chunks = self.policy.chunk_sequence(len(items), self.n_workers)
-        else:
-            chunks = self.policy.static_assignment(len(items), self.n_workers)
-
         def run_chunk(chunk) -> None:
             for idx in chunk:
                 results[int(idx)] = fn(items[int(idx)])
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            list(pool.map(run_chunk, chunks))
+            list(pool.map(run_chunk, self._chunks(len(items))))
         return results
+
+    def map_into(self, fn: Callable, items: Sequence, out) -> None:
+        """Run ``fn(out, item)`` on the pool; threads share the array."""
+        items = list(items)
+        if not items:
+            return
+        arr = _as_output_array(out)
+
+        def run_chunk(chunk) -> None:
+            for idx in chunk:
+                fn(arr, items[int(idx)])
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            list(pool.map(run_chunk, self._chunks(len(items))))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadEngine(n_workers={self.n_workers}, policy={self.policy.name})"
 
 
 # ---------------------------------------------------------------------------
-# Fork-based process pool
+# Fork-based process pools
 # ---------------------------------------------------------------------------
-# Children inherit this registry through fork; only integer indices cross the
-# pipe, never the function or the (large, read-only) arrays it closes over.
-_FORK_TASK: dict = {}
+# Task registry inherited by children through fork; only (token, index)
+# pairs cross the pipe, never the function or the (large, read-only) arrays
+# it closes over.  Keyed by a unique token per map call so concurrent or
+# nested calls never clobber each other's tasks (itertools.count.__next__
+# is atomic under the GIL, so tokens are unique across threads too).
+_FORK_TASKS: dict = {}
+_TOKENS = itertools.count()
 
 
-def _fork_worker(idx: int):
-    fn = _FORK_TASK["fn"]
-    items = _FORK_TASK["items"]
+def _publish(payload) -> int:
+    token = next(_TOKENS)
+    _FORK_TASKS[token] = payload
+    return token
+
+
+def _fork_worker(args):
+    token, idx = args
+    fn, items = _FORK_TASKS[token]
     return idx, fn(items[idx])
 
 
 class ProcessEngine:
     """Fork-based process pool for GIL-bound task functions.
 
-    Only usable where ``fork`` is available (Linux; the benchmark hosts).
-    Falls back to serial execution with a single worker.  Results cross
+    Only usable where ``fork`` is available (Linux; the benchmark hosts) —
+    the constructor raises :class:`RuntimeError` elsewhere.  A nested
+    ``map`` issued from inside a worker runs inline (daemonic workers may
+    not fork grandchildren), as does ``n_workers=1``.  Results cross
     process boundaries by pickling — fine for tile-sized MI blocks, wrong
-    for whole-matrix outputs, which is why the drivers return per-tile
-    blocks.
+    for whole-matrix outputs; use :class:`SharedMemoryEngine` when workers
+    should write the output in place instead.
     """
 
     def __init__(self, n_workers: int | None = None):
@@ -118,20 +187,24 @@ class ProcessEngine:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError("ProcessEngine requires the fork start method")
 
+    def _inline(self) -> bool:
+        # Daemonic pool workers cannot fork children of their own, so a
+        # nested map degrades gracefully to the serial path.
+        return self.n_workers == 1 or multiprocessing.current_process().daemon
+
     def map(self, fn: Callable, items: Sequence) -> list:
         items = list(items)
         if not items:
             return []
-        if self.n_workers == 1:
+        if self._inline():
             return [fn(item) for item in items]
         ctx = multiprocessing.get_context("fork")
-        _FORK_TASK["fn"] = fn
-        _FORK_TASK["items"] = items
+        token = _publish((fn, items))
         try:
             with ctx.Pool(self.n_workers) as pool:
-                pairs = pool.map(_fork_worker, range(len(items)))
+                pairs = pool.map(_fork_worker, [(token, i) for i in range(len(items))])
         finally:
-            _FORK_TASK.clear()
+            del _FORK_TASKS[token]
         results: list = [None] * len(items)
         for idx, value in pairs:
             results[idx] = value
@@ -141,12 +214,122 @@ class ProcessEngine:
         return f"ProcessEngine(n_workers={self.n_workers})"
 
 
+def _shm_worker(token: int, task_q, done_q) -> None:
+    """Worker loop: pull task indices, write results into shared memory."""
+    fn, items, handle = _FORK_TASKS[token]
+    view = SharedArray.attach(*handle)
+    try:
+        while True:
+            idx = task_q.get()
+            if idx is None:
+                done_q.put(("ok", None))
+                return
+            fn(view.array, items[idx])
+    except BaseException:
+        done_q.put(("error", traceback.format_exc()))
+    finally:
+        view.close()
+
+
+class SharedMemoryEngine(ProcessEngine):
+    """Fork pool whose workers write outputs in place via shared memory.
+
+    ``map`` is inherited from :class:`ProcessEngine` (pickle-return, for
+    tasks that genuinely produce small values); ``map_into`` is the
+    zero-copy path.  Per call, the engine publishes ``(fn, items,
+    out-handle)`` in the fork registry, forks a pool of workers that
+    persists for the whole call, and feeds them task *indices* through a
+    queue (dynamic self-scheduling, the policy that wins on the paper's
+    imbalanced diagonal tiles).  Each worker attaches the output matrix
+    with :meth:`repro.parallel.sharedmem.SharedArray.attach` and runs
+    ``fn(out_view, item)``, so results never touch a pipe and the parent
+    never runs a reassembly loop.
+
+    The pool is forked *after* task publication — copy-on-write is how
+    closures over multi-GB weight tensors reach the workers without
+    pickling — which is also why one pool cannot outlive its call: a
+    worker forked earlier could never see a later task's memory.
+
+    Sinks: pass a plain ndarray (the engine stages it through a temporary
+    shared block and copies back once — one memcpy, still no per-item
+    pickling) or a :class:`SharedArray` you allocated up front for the
+    fully zero-copy path.
+    """
+
+    def map_into(self, fn: Callable, items: Sequence, out) -> None:
+        items = list(items)
+        if not items:
+            return
+        arr = _as_output_array(out)
+        if self._inline():
+            for item in items:
+                fn(arr, item)
+            return
+        if isinstance(out, SharedArray):
+            shared, staged = out, None
+        else:
+            staged = SharedArray.from_array(arr)
+            shared = staged
+        try:
+            self._run_pool(fn, items, shared)
+            if staged is not None:
+                arr[...] = staged.array
+        finally:
+            if staged is not None:
+                staged.close()
+                staged.unlink()
+
+    def _run_pool(self, fn: Callable, items: list, shared: SharedArray) -> None:
+        ctx = multiprocessing.get_context("fork")
+        n_proc = min(self.n_workers, len(items))
+        task_q = ctx.Queue()
+        done_q = ctx.SimpleQueue()
+        token = _publish((fn, items, shared.handle()))
+        workers = []
+        try:
+            # Publish-then-fork: children inherit fn/items by COW.
+            workers = [
+                ctx.Process(target=_shm_worker, args=(token, task_q, done_q))
+                for _ in range(n_proc)
+            ]
+            for w in workers:
+                w.start()
+            for idx in range(len(items)):
+                task_q.put(idx)
+            for _ in workers:
+                task_q.put(None)
+            errors = []
+            for _ in workers:
+                status, detail = done_q.get()
+                if status == "error":
+                    errors.append(detail)
+            for w in workers:
+                w.join()
+            if errors:
+                raise RuntimeError(
+                    "shared-memory worker failed:\n" + "\n".join(errors)
+                )
+        finally:
+            del _FORK_TASKS[token]
+            for w in workers:
+                if w.is_alive():  # pragma: no cover - error-path cleanup
+                    w.terminate()
+                    w.join()
+            task_q.cancel_join_thread()
+            task_q.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedMemoryEngine(n_workers={self.n_workers})"
+
+
 def make_engine(kind: str = "serial", n_workers: int | None = None, **kwargs):
-    """Factory: ``serial``, ``thread``, or ``process``."""
+    """Factory: ``serial``, ``thread``, ``process``, or ``sharedmem``."""
     if kind == "serial":
         return SerialEngine()
     if kind == "thread":
         return ThreadEngine(n_workers=n_workers, **kwargs)
     if kind == "process":
         return ProcessEngine(n_workers=n_workers)
+    if kind == "sharedmem":
+        return SharedMemoryEngine(n_workers=n_workers)
     raise ValueError(f"unknown engine kind {kind!r}")

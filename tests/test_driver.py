@@ -91,6 +91,82 @@ class TestArtifacts:
         assert np.array_equal(out.network.adjacency, ref.network.adjacency)
 
 
+class TestCorrectionSupport:
+    def test_bh_rejected_not_silently_downgraded(self, dataset):
+        # Regression: correction="bh" used to be silently swapped for
+        # Bonferroni — a different statistical procedure.
+        cfg = TingeConfig(n_permutations=12, seed=3, correction="bh")
+        with pytest.raises(ValueError, match="bh"):
+            auto_reconstruct(dataset.expression, dataset.genes, cfg)
+
+    def test_supported_corrections_run(self, dataset):
+        for correction in ("bonferroni", "none"):
+            cfg = TingeConfig(n_permutations=12, seed=3, correction=correction)
+            out = auto_reconstruct(dataset.expression, dataset.genes, cfg)
+            assert out.strategy == "in-memory"
+
+
+class TestNullGeneSubset:
+    def test_small_n_uses_every_gene(self):
+        from repro.core.driver import _null_gene_subset
+
+        assert np.array_equal(_null_gene_subset(30, 2048, seed=3), np.arange(30))
+        assert np.array_equal(_null_gene_subset(2048, 2048, seed=3), np.arange(2048))
+
+    def test_large_n_samples_randomly(self):
+        # Regression: the null used to be built from the *first* 2048
+        # genes — a contiguous, potentially biased slice.
+        from repro.core.driver import _null_gene_subset
+
+        subset = _null_gene_subset(10000, 2048, seed=3)
+        assert subset.size == 2048
+        assert np.unique(subset).size == 2048
+        assert np.array_equal(subset, np.sort(subset))
+        assert not np.array_equal(subset, np.arange(2048)), \
+            "subset must not be the contiguous prefix"
+        # Deterministic in the run's seed, different across seeds.
+        assert np.array_equal(subset, _null_gene_subset(10000, 2048, seed=3))
+        assert not np.array_equal(subset, _null_gene_subset(10000, 2048, seed=4))
+
+    def test_degenerate_cap_rejected(self):
+        from repro.core.driver import _null_gene_subset
+
+        with pytest.raises(ValueError):
+            _null_gene_subset(10, 1, seed=0)
+
+    def test_out_of_core_runs_deterministic(self, dataset, tmp_path):
+        cfg = TingeConfig(n_permutations=12, seed=3, dtype="float64")
+        a = auto_reconstruct(dataset.expression, dataset.genes, cfg,
+                             workdir=tmp_path / "a", mem_budget_gb=1e-6)
+        b = auto_reconstruct(dataset.expression, dataset.genes, cfg,
+                             workdir=tmp_path / "b", mem_budget_gb=1e-6)
+        assert a.strategy == b.strategy == "out-of-core"
+        assert np.array_equal(a.network.adjacency, b.network.adjacency)
+        assert a.network.threshold == b.network.threshold
+
+
+class TestEngineWiring:
+    @pytest.mark.parametrize("strategy_kwargs", [
+        {},
+        {"checkpoint": True},
+        {"mem_budget_gb": 1e-6},
+    ], ids=["in-memory", "checkpointed", "out-of-core"])
+    def test_sharedmem_engine_matches_serial(self, dataset, tmp_path, strategy_kwargs):
+        from repro.parallel import SharedMemoryEngine
+
+        cfg = TingeConfig(n_permutations=12, seed=3, dtype="float64")
+        kwargs = dict(strategy_kwargs)
+        if kwargs:
+            kwargs["workdir"] = tmp_path / "eng"
+        ref_kwargs = {k: (tmp_path / "ref" if k == "workdir" else v)
+                      for k, v in kwargs.items()}
+        ref = auto_reconstruct(dataset.expression, dataset.genes, cfg, **ref_kwargs)
+        out = auto_reconstruct(dataset.expression, dataset.genes, cfg,
+                               engine=SharedMemoryEngine(n_workers=2), **kwargs)
+        assert np.array_equal(out.network.adjacency, ref.network.adjacency)
+        assert out.network.threshold == ref.network.threshold
+
+
 class TestValidation:
     def test_exact_mode_rejected(self, dataset):
         cfg = TingeConfig(testing="exact", correction="none", alpha=0.05)

@@ -1,0 +1,89 @@
+"""Cross-engine equivalence: every engine yields bit-identical results.
+
+Tiles are pure functions of the weight tensor, so serial, thread, process
+(pickle-return) and shared-memory (write-in-place) execution must produce
+*exactly* the same MI matrix — not merely close.  The same holds for the
+checkpointed and out-of-core drivers, which reuse the engines per
+block-row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import mi_matrix_checkpointed
+from repro.core.mi_matrix import mi_matrix
+from repro.core.outofcore import build_weight_store, mi_matrix_outofcore
+from repro.parallel.engine import (
+    ProcessEngine,
+    SerialEngine,
+    SharedMemoryEngine,
+    ThreadEngine,
+)
+
+
+def engines():
+    return [
+        ("serial", SerialEngine()),
+        ("thread", ThreadEngine(n_workers=3)),
+        ("process", ProcessEngine(n_workers=3)),
+        ("sharedmem", SharedMemoryEngine(n_workers=3)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(small_weights):
+    return mi_matrix(small_weights, tile=8).mi
+
+
+class TestMiMatrixEquivalence:
+    @pytest.mark.parametrize("kind,engine", engines(), ids=[k for k, _ in engines()])
+    def test_bit_identical_to_serial(self, kind, engine, small_weights, reference):
+        out = mi_matrix(small_weights, tile=8, engine=engine).mi
+        assert np.array_equal(out, reference), f"{kind} diverged from serial"
+
+    def test_sharedmem_preallocated_out(self, small_weights, reference):
+        out = np.zeros_like(reference)
+        result = mi_matrix(small_weights, tile=8,
+                           engine=SharedMemoryEngine(n_workers=3), out=out)
+        assert result.mi is out
+        assert np.array_equal(out, reference)
+
+    def test_out_shape_validated(self, small_weights):
+        with pytest.raises(ValueError, match="out"):
+            mi_matrix(small_weights, tile=8, out=np.zeros((3, 3)))
+
+
+class TestCheckpointedEquivalence:
+    @pytest.mark.parametrize("kind,engine", engines(), ids=[k for k, _ in engines()])
+    def test_bit_identical(self, kind, engine, small_weights, reference, tmp_path):
+        out = mi_matrix_checkpointed(small_weights, tmp_path / kind, tile=8,
+                                     engine=engine)
+        assert np.array_equal(out, reference), f"{kind} diverged from serial"
+
+    def test_resume_with_engine(self, small_weights, reference, tmp_path):
+        ck = tmp_path / "resume"
+        assert mi_matrix_checkpointed(small_weights, ck, tile=8,
+                                      interrupt_after_rows=1) is None
+        out = mi_matrix_checkpointed(small_weights, ck, tile=8,
+                                     engine=SharedMemoryEngine(n_workers=2))
+        assert np.array_equal(out, reference)
+
+
+class TestOutOfCoreEquivalence:
+    @pytest.fixture(scope="class")
+    def store(self, small_dataset, tmp_path_factory):
+        from repro.core.discretize import rank_transform
+
+        path = tmp_path_factory.mktemp("ooc") / "weights"
+        return build_weight_store(rank_transform(small_dataset.expression), path,
+                                  bins=10, order=3, dtype="float64")
+
+    @pytest.fixture(scope="class")
+    def ooc_reference(self, store, tmp_path_factory):
+        out = mi_matrix_outofcore(store, tmp_path_factory.mktemp("ref") / "mi", tile=8)
+        return np.load(out)
+
+    @pytest.mark.parametrize("kind,engine", engines(), ids=[k for k, _ in engines()])
+    def test_bit_identical(self, kind, engine, store, ooc_reference, tmp_path):
+        out = mi_matrix_outofcore(store, tmp_path / "mi", tile=8, engine=engine)
+        assert np.array_equal(np.load(out), ooc_reference), f"{kind} diverged"
