@@ -1,0 +1,78 @@
+"""E27 — phase breakdown reconstructed from a machine-readable trace.
+
+The observability claim: a single traced run (``repro reconstruct --trace``)
+carries enough structure to rebuild the paper's evaluation signals offline —
+per-phase wall time, total pairs/second, and per-worker task counts — from
+the trace file alone, with no access to the live ``TingeResult``.  The
+reproduced numbers must agree with the pipeline's own ``timings`` dict,
+which is the cross-check this benchmark asserts.
+"""
+
+import pytest
+
+from repro import TingeConfig, TingePipeline
+from repro.bench.reporting import format_seconds
+from repro.data import yeast_subset
+from repro.obs import (
+    Tracer,
+    load_events,
+    pairs_per_second,
+    phase_breakdown,
+    phase_fractions,
+    worker_task_counts,
+    write_jsonl,
+)
+from repro.parallel.engine import ThreadEngine
+
+
+def run_traced(tmp_path, n_genes: int = 200, m_samples: int = 300):
+    ds = yeast_subset(n_genes=n_genes, m_samples=m_samples, seed=1)
+    tracer = Tracer(meta={"bench": "E27"})
+    pipe = TingePipeline(
+        TingeConfig(n_permutations=20, dtype="float32", tile=64),
+        engine=ThreadEngine(n_workers=2),
+        tracer=tracer,
+    )
+    result = pipe.run(ds.expression, ds.genes)
+    trace_path = tmp_path / "run.jsonl"
+    write_jsonl(tracer, trace_path)
+    return result, trace_path
+
+
+def test_trace_reproduces_phase_breakdown(benchmark, report, tmp_path):
+    result, trace_path = run_traced(tmp_path)
+    events = load_events(trace_path)
+
+    breakdown = phase_breakdown(events)
+    fractions = phase_fractions(events)
+    pps = pairs_per_second(events)
+    workers = worker_task_counts(events)
+
+    # The trace-derived breakdown is the pipeline's own timings dict.
+    assert set(breakdown) == set(result.timings)
+    for phase, seconds in result.timings.items():
+        assert breakdown[phase] == pytest.approx(seconds, abs=1e-3)
+    assert pps > 0
+    assert sum(workers.values()) > 0
+
+    benchmark(lambda: phase_breakdown(load_events(trace_path)))
+
+    rows = [
+        {
+            "phase": phase,
+            "trace": format_seconds(breakdown[phase]),
+            "pipeline": format_seconds(result.timings[phase]),
+            "share": f"{fractions[phase] * 100:.1f}%",
+        }
+        for phase in result.timings
+    ]
+    report(
+        "E27",
+        "phase breakdown reconstructed from a trace file",
+        rows,
+        metrics={
+            "pairs_per_second": pps,
+            "n_workers": len(workers),
+            "tasks_total": float(sum(workers.values())),
+        },
+    )

@@ -20,16 +20,23 @@ REPORT_DIR = Path(os.environ.get("REPRO_BENCH_REPORT_DIR", Path(__file__).parent
 
 @pytest.fixture(scope="session")
 def report():
-    """Callable fixture: ``report(experiment_id, title, rows)``.
+    """Callable fixture: ``report(experiment_id, title, rows, metrics=None)``.
 
-    Prints the paper-style table and persists it under ``bench_reports/``.
+    Prints the paper-style table and persists it twice under
+    ``bench_reports/``: the human-readable ``<Exp>.txt`` and a
+    machine-readable ``BENCH_<Exp>.json`` (:mod:`repro.obs.bench`).
+    ``metrics`` optionally carries scalar headline numbers for the JSON.
     """
+    from repro.obs.bench import write_bench_json
+
     REPORT_DIR.mkdir(parents=True, exist_ok=True)
 
-    def emit(experiment: str, title: str, rows):
+    def emit(experiment: str, title: str, rows, metrics=None):
+        rows = list(rows)
         text = format_table(rows, title=f"[{experiment}] {title}")
         print("\n" + text + "\n")
         (REPORT_DIR / f"{experiment}.txt").write_text(text + "\n")
+        write_bench_json(REPORT_DIR, experiment, title, rows=rows, metrics=metrics)
         return text
 
     return emit

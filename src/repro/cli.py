@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="pooled global null (fast) or exact per-pair p-values")
     rec.add_argument("--record", type=Path, default=None,
                      help="write a provenance JSON record of the run")
+    rec.add_argument("--trace", type=Path, default=None,
+                     help="write a JSONL trace (spans, counters, worker "
+                          "metrics) of the run")
+    rec.add_argument("--chrome-trace", type=Path, default=None,
+                     help="write a Chrome trace_event JSON (open in "
+                          "chrome://tracing or Perfetto)")
+    rec.add_argument("--progress", action="store_true",
+                     help="render a live per-tile progress line on stderr")
 
     ana = sub.add_parser("analyze", help="summarize a reconstructed network")
     ana.add_argument("network", type=Path, help="GeneNetwork .npz (from reconstruct)")
@@ -184,13 +192,37 @@ def _cmd_reconstruct(args) -> int:
         except (RuntimeError, ValueError) as exc:  # no fork support / bad worker count
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    tracer = None
+    if args.trace is not None or args.chrome_trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(meta={
+            "command": "reconstruct", "input": str(args.input),
+            "engine": args.engine, "testing": args.testing,
+        })
+    progress = None
+    if args.progress:
+        from repro.obs import ProgressPrinter
+
+        progress = ProgressPrinter(label="mi tiles")
     t0 = time.perf_counter()
     try:
-        result = reconstruct_network(ds.expression, ds.genes, config, engine=engine)
+        result = reconstruct_network(ds.expression, ds.genes, config,
+                                     engine=engine, tracer=tracer,
+                                     progress=progress)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.trace is not None:
+            write_jsonl(tracer, args.trace)
+            print(f"trace: {args.trace}")
+        if args.chrome_trace is not None:
+            write_chrome_trace(tracer, args.chrome_trace)
+            print(f"chrome trace: {args.chrome_trace}")
 
     network = result.network
     if args.dpi is not None:

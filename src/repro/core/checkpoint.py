@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.entropy import marginal_entropies
 from repro.core.mi_matrix import compute_tile
 from repro.core.tiling import default_tile_size, pair_count, tile_grid
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["mi_matrix_checkpointed", "checkpoint_status"]
 
@@ -79,6 +80,8 @@ def mi_matrix_checkpointed(
     base: str = "nat",
     interrupt_after_rows: "int | None" = None,
     engine=None,
+    progress=None,
+    tracer=None,
 ) -> "np.ndarray | None":
     """All-pairs MI with block-row-granular checkpointing.
 
@@ -101,6 +104,14 @@ def mi_matrix_checkpointed(
         each block-row's tiles; engines with ``map_into`` write tile blocks
         directly into the row buffer, others return blocks through ``map``.
         Checkpoint granularity (and the on-disk format) is unchanged.
+    progress:
+        Optional ``progress(done_rows, total_rows)`` callback, fired after
+        each block-row's checkpoint lands (resumed rows count as done, so
+        a resume starts partway along rather than from zero).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`; each computed block-row
+        runs under a ``checkpoint_row`` span and ticks the ``rows_done`` /
+        ``tiles_done`` / ``pairs_done`` counters.
 
     Returns
     -------
@@ -143,31 +154,40 @@ def mi_matrix_checkpointed(
         _store_ledger(directory, ledger)
 
     h = marginal_entropies(weights, base=base)
+    tracer = tracer or NULL_TRACER
     done = set(ledger["done"])
+    if progress is not None and done:
+        progress(len(done), len(rows))  # resumed rows are already complete
     new_rows = 0
     for i0 in rows:
         if i0 in done:
             continue
         row_tiles = [t for t in tiles if t.i0 == i0]
-        if engine is None:
-            blocks = {f"j{t.j0}": compute_tile(weights, h, t, base) for t in row_tiles}
-        elif hasattr(engine, "map_into"):
-            # Workers fill one (rows, n) buffer in place; the row file is
-            # then sliced out of it, keeping the on-disk format identical.
-            buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
+        with tracer.span("checkpoint_row", i0=i0, n_tiles=len(row_tiles)):
+            if engine is None:
+                blocks = {f"j{t.j0}": compute_tile(weights, h, t, base) for t in row_tiles}
+            elif hasattr(engine, "map_into"):
+                # Workers fill one (rows, n) buffer in place; the row file is
+                # then sliced out of it, keeping the on-disk format identical.
+                buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
 
-            def run_into(sink, t):
-                sink[:, t.j0 : t.j1] = compute_tile(weights, h, t, base)
+                def run_into(sink, t):
+                    sink[:, t.j0 : t.j1] = compute_tile(weights, h, t, base)
 
-            engine.map_into(run_into, row_tiles, buf)
-            blocks = {f"j{t.j0}": buf[:, t.j0 : t.j1] for t in row_tiles}
-        else:
-            computed = engine.map(lambda t: compute_tile(weights, h, t, base), row_tiles)
-            blocks = {f"j{t.j0}": blk for t, blk in zip(row_tiles, computed)}
-        np.savez(directory / f"row_{i0:07d}.npz", **blocks)
+                engine.map_into(run_into, row_tiles, buf)
+                blocks = {f"j{t.j0}": buf[:, t.j0 : t.j1] for t in row_tiles}
+            else:
+                computed = engine.map(lambda t: compute_tile(weights, h, t, base), row_tiles)
+                blocks = {f"j{t.j0}": blk for t, blk in zip(row_tiles, computed)}
+            np.savez(directory / f"row_{i0:07d}.npz", **blocks)
         done.add(i0)
         ledger["done"] = sorted(done)
         _store_ledger(directory, ledger)
+        tracer.add("rows_done")
+        tracer.add("tiles_done", len(row_tiles))
+        tracer.add("pairs_done", sum(t.n_pairs for t in row_tiles))
+        if progress is not None:
+            progress(len(done), len(rows))
         new_rows += 1
         if interrupt_after_rows is not None and new_rows >= interrupt_after_rows:
             if len(done) < len(rows):

@@ -102,6 +102,8 @@ def auto_reconstruct(
     checkpoint: "bool | None" = None,
     checkpoint_threshold: int = 4000,
     engine=None,
+    tracer=None,
+    progress=None,
 ) -> AutoRunResult:
     """Reconstruct with automatically chosen residency strategy.
 
@@ -132,6 +134,15 @@ def auto_reconstruct(
         ``map_into`` (serial, thread, shared-memory) write tile blocks
         into the output in place; others fall back to pickle-return
         ``map``.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` forwarded to whichever
+        MI driver the strategy selects (and, via the engine, to the worker
+        metrics); the null phase dispatches through the engine as well, so
+        a traced run records every phase regardless of strategy.
+    progress:
+        Optional ``progress(done, total)`` callback — tile-granular for
+        the in-memory and out-of-core strategies, row-granular for the
+        checkpointed one.
     """
     config = config or TingeConfig()
     if config.testing != "pooled":
@@ -182,7 +193,8 @@ def auto_reconstruct(
         )
         artifacts["weight_store"] = wpath
         mi_path = mi_matrix_outofcore(wpath, workdir / "mi", tile=config.tile,
-                                      engine=engine)
+                                      engine=engine, progress=progress,
+                                      tracer=tracer)
         artifacts["mi_store"] = mi_path
         mi = np.asarray(np.load(mi_path, mmap_mode="r"))
         # The null needs a bounded weight subset only: every gene when
@@ -201,7 +213,7 @@ def auto_reconstruct(
             null_weights,
             config.n_permutations,
             min(config.n_null_pairs, pair_count(n)),
-            config.seed, config.base,
+            config.seed, config.base, engine,
         )
         del null_weights
     else:
@@ -210,15 +222,17 @@ def auto_reconstruct(
         null = pooled_null(
             weights, config.n_permutations,
             min(config.n_null_pairs, pair_count(n)), config.seed, config.base,
+            engine,
         )
         if strategy == "checkpointed":
             ck = workdir / "checkpoint"
             mi = mi_matrix_checkpointed(weights, ck, tile=config.tile,
-                                        base=config.base, engine=engine)
+                                        base=config.base, engine=engine,
+                                        progress=progress, tracer=tracer)
             artifacts["checkpoint_dir"] = ck
         else:
             mi = mi_matrix(weights, tile=config.tile, base=config.base,
-                           engine=engine).mi
+                           engine=engine, progress=progress, tracer=tracer).mi
 
     threshold = null.threshold(config.alpha, n_tests=pair_count(n),
                                correction=config.correction)

@@ -117,10 +117,13 @@ def james_stein_shrinkage(p: np.ndarray, m_samples: int) -> np.ndarray:
     refinement the MI-network literature adopted after TINGe; offered here
     as the estimator-ablation option (bench E16).
 
-    Works on any trailing probability axis layout: the shrinkage is applied
-    over the *flattened trailing axes* of each leading entry when ``p`` has
-    more than one dimension (so a ``(b, b)`` joint shrinks as one
-    distribution of ``b^2`` cells).
+    Shape semantics: a 1-D input is one distribution; a 2-D ``(b, b)``
+    input is one *joint* distribution of ``b^2`` cells; inputs with three
+    or more dimensions are *batches* of joints — the trailing two axes are
+    the distribution cells (flattened) and every leading entry is shrunk
+    independently with its own ``lam*``.  A batched ``(n, b, b)`` call is
+    therefore identical to ``n`` separate ``(b, b)`` calls, never one
+    pooled ``n*b^2``-cell distribution.
     """
     p = np.asarray(p, dtype=np.float64)
     if m_samples < 2:
@@ -129,17 +132,19 @@ def james_stein_shrinkage(p: np.ndarray, m_samples: int) -> np.ndarray:
         raise ValueError("empty probability array")
     if p.min() < -1e-12:
         raise ValueError("negative probabilities")
-    flat = p.reshape(-1)
-    cells = flat.size
-    target = 1.0 / cells
-    sum_sq = float(np.sum(flat**2))
-    denom = (m_samples - 1) * float(np.sum((target - flat) ** 2))
-    if denom <= 0:
-        lam = 1.0  # p_hat already uniform: shrinking is a no-op
+    if p.ndim <= 2:
+        flat = p.reshape(1, -1)
     else:
-        lam = (1.0 - sum_sq) / denom
-    lam = min(max(lam, 0.0), 1.0)
-    return (lam * target + (1.0 - lam) * p).reshape(p.shape)
+        flat = p.reshape(-1, p.shape[-2] * p.shape[-1])
+    cells = flat.shape[1]
+    target = 1.0 / cells
+    sum_sq = np.sum(flat**2, axis=1)
+    denom = (m_samples - 1) * np.sum((target - flat) ** 2, axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        lam = np.where(denom > 0, (1.0 - sum_sq) / np.where(denom > 0, denom, 1.0),
+                       1.0)  # p_hat already uniform: shrinking is a no-op
+    lam = np.clip(lam, 0.0, 1.0)[:, None]
+    return (lam * target + (1.0 - lam) * flat).reshape(p.shape)
 
 
 def miller_madow_correction(n_nonzero_bins: np.ndarray, m_samples: int, base: str = "nat") -> np.ndarray:

@@ -16,6 +16,7 @@ is required; tests cross-validate the two paths.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
 from repro.core.mi import mi_tile
 from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.obs.tracer import NULL_TRACER
 from repro.stats.random import as_rng, permutation_matrix
 
 __all__ = ["ExactTestResult", "mi_tile_fused", "exact_mi_pvalues"]
@@ -105,6 +107,8 @@ def exact_mi_pvalues(
     seed=None,
     base: str = "nat",
     engine=None,
+    progress=None,
+    tracer=None,
 ) -> ExactTestResult:
     """All-pairs observed MI + exact per-pair permutation p-values.
 
@@ -120,8 +124,12 @@ def exact_mi_pvalues(
         ``(n, m, b)`` weight tensor of rank-transformed genes.
     n_permutations:
         ``q``; the add-one p-value resolution is ``1/(q+1)``.
-    tile, engine, base:
-        As in :func:`repro.core.mi_matrix.mi_matrix`.
+    tile, engine, base, progress, tracer:
+        As in :func:`repro.core.mi_matrix.mi_matrix` (the fused kernel does
+        ``(1 + q)x`` the work per tile, so a progress line matters even
+        more here).  Completion ticks the same ``tiles_done`` /
+        ``pairs_done`` counters; per-tile for serial and in-process
+        engines, per-batch for fork-based ones.
     """
     weights = np.asarray(weights)
     if weights.ndim != 3:
@@ -136,6 +144,7 @@ def exact_mi_pvalues(
         tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
     tiles = tile_grid(n, tile)
     h = marginal_entropies(weights, base=base)
+    tracer = tracer or NULL_TRACER
 
     def run(t: Tile):
         return mi_tile_fused(
@@ -147,7 +156,41 @@ def exact_mi_pvalues(
             base=base,
         )
 
-    blocks = engine.map(run, tiles) if engine is not None else [run(t) for t in tiles]
+    total = len(tiles)
+    counter_lock = threading.Lock()
+    done_count = [0]
+
+    def tick(n_tiles: int, n_pairs: int) -> None:
+        with counter_lock:
+            done_count[0] += n_tiles
+            done = done_count[0]
+        tracer.add("tiles_done", n_tiles)
+        tracer.add("pairs_done", n_pairs)
+        if progress is not None:
+            progress(done, total)
+
+    with tracer.span("exact_mi", n_genes=n, n_tiles=total,
+                     n_pairs=pair_count(n), n_permutations=n_permutations):
+        if engine is None:
+            blocks = []
+            for t in tiles:
+                blocks.append(run(t))
+                tick(1, t.n_pairs)
+        elif getattr(engine, "in_process", False):
+            def run_ticked(t: Tile):
+                block = run(t)
+                tick(1, t.n_pairs)
+                return block
+
+            blocks = engine.map(run_ticked, tiles)
+        else:
+            observing = progress is not None or tracer is not NULL_TRACER
+            chunk = max(1, 4 * getattr(engine, "n_workers", 1)) if observing else total
+            blocks = []
+            for s in range(0, total, chunk):
+                batch = tiles[s : s + chunk]
+                blocks.extend(engine.map(run, batch))
+                tick(len(batch), sum(t.n_pairs for t in batch))
 
     mi = np.zeros((n, n), dtype=np.float64)
     pvals = np.ones((n, n), dtype=np.float64)

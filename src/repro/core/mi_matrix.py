@@ -19,6 +19,7 @@ hardware threads, which write disjoint blocks of the MI matrix in place.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -27,6 +28,7 @@ import numpy as np
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
 from repro.core.mi import mi_tile
 from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["MiMatrixResult", "compute_tile", "mi_matrix", "mi_pairs", "mi_row"]
 
@@ -87,6 +89,7 @@ def mi_matrix(
     engine=None,
     progress=None,
     out: "np.ndarray | None" = None,
+    tracer=None,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -107,13 +110,21 @@ def mi_matrix(
         matrix; plain ``map(fn, items)`` engines return blocks for a
         parent-side assembly loop.
     progress:
-        Optional callback ``progress(done_tiles, total_tiles)`` invoked
-        after every tile (serial path) or every engine batch — whole-genome
-        runs take hours and deserve a progress line.
+        Optional callback ``progress(done_tiles, total_tiles)``.  The
+        serial path and in-process engines (``engine.in_process``) call it
+        after *every* tile; fork-based engines split the grid into batches
+        of a few tiles per worker and call it per batch — whole-genome runs
+        take hours and deserve a live progress line, not one callback after
+        the final tile.
     out:
         Optional preallocated ``(n, n)`` float64 output (e.g. a memmap or a
         :class:`repro.parallel.sharedmem.SharedArray` view) the matrix is
         computed into; allocated fresh when omitted.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`.  The whole computation
+        runs under an ``mi_matrix`` span; each tile (in-process paths) or
+        tile batch (fork paths) ticks the ``tiles_done`` / ``pairs_done``
+        counters, so throughput over time is recoverable from the trace.
 
     Returns
     -------
@@ -129,6 +140,7 @@ def mi_matrix(
         tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
     tiles = tile_grid(n, tile)
     h = marginal_entropies(weights, base=base)
+    tracer = tracer or NULL_TRACER
 
     if out is None:
         mi = np.zeros((n, n), dtype=np.float64)
@@ -146,21 +158,83 @@ def mi_matrix(
     def run_into(sink: np.ndarray, t: Tile) -> None:
         sink[t.i0 : t.i1, t.j0 : t.j1] = compute_tile(weights, h, t, base)
 
-    if engine is None:
-        for done, t in enumerate(tiles, start=1):
-            run_into(mi, t)
-            if progress is not None:
-                progress(done, len(tiles))
-    elif hasattr(engine, "map_into"):
-        engine.map_into(run_into, tiles, mi)
+    total = len(tiles)
+    counter_lock = threading.Lock()
+    done_count = [0]
+
+    def tick(n_tiles: int, n_pairs: int) -> None:
+        """Record completed work: counters first, then the progress line."""
+        with counter_lock:
+            done_count[0] += n_tiles
+            done = done_count[0]
+        tracer.add("tiles_done", n_tiles)
+        tracer.add("pairs_done", n_pairs)
         if progress is not None:
-            progress(len(tiles), len(tiles))
-    else:
-        blocks = engine.map(run, tiles)
-        for t, block in zip(tiles, blocks):
-            mi[t.i0 : t.i1, t.j0 : t.j1] = block
-        if progress is not None:
-            progress(len(tiles), len(tiles))
+            progress(done, total)
+
+    with tracer.span("mi_matrix", n_genes=n, n_tiles=total,
+                     n_pairs=pair_count(n), tile=tile):
+        if engine is None:
+            for t in tiles:
+                run_into(mi, t)
+                tick(1, t.n_pairs)
+        elif getattr(engine, "in_process", False):
+            # Workers share this address space, so per-tile completion can
+            # be reported live from inside the mapped function itself.
+            if hasattr(engine, "map_into"):
+                def run_into_ticked(sink: np.ndarray, t: Tile) -> None:
+                    run_into(sink, t)
+                    tick(1, t.n_pairs)
+
+                engine.map_into(run_into_ticked, tiles, mi)
+            else:
+                def run_ticked(t: Tile) -> np.ndarray:
+                    block = run(t)
+                    tick(1, t.n_pairs)
+                    return block
+
+                blocks = engine.map(run_ticked, tiles)
+                for t, block in zip(tiles, blocks):
+                    mi[t.i0 : t.i1, t.j0 : t.j1] = block
+        else:
+            # Fork-based engines: tile completion happens in child
+            # processes, invisible to a parent-side callback.  When someone
+            # is watching, split the grid into batches (a few tiles per
+            # worker keeps the pools saturated) and report per batch; when
+            # nobody is, keep the original single dispatch.
+            observing = progress is not None or tracer is not NULL_TRACER
+            if observing:
+                chunk = max(1, 4 * getattr(engine, "n_workers", 1))
+            else:
+                chunk = total
+            sink: object = mi
+            staged = None
+            if chunk < total and hasattr(engine, "map_into"):
+                # Shared-memory engines stage a plain-ndarray sink per
+                # map_into call; stage once here so batching costs one
+                # memcpy total, not one per batch.
+                from repro.parallel.engine import SharedMemoryEngine
+                from repro.parallel.sharedmem import SharedArray
+
+                if isinstance(engine, SharedMemoryEngine):
+                    staged = SharedArray.from_array(mi)
+                    sink = staged
+            try:
+                for s in range(0, total, chunk):
+                    batch = tiles[s : s + chunk]
+                    if hasattr(engine, "map_into"):
+                        engine.map_into(run_into, batch, sink)
+                    else:
+                        blocks = engine.map(run, batch)
+                        for t, block in zip(batch, blocks):
+                            mi[t.i0 : t.i1, t.j0 : t.j1] = block
+                    tick(len(batch), sum(t.n_pairs for t in batch))
+                if staged is not None:
+                    mi[...] = staged.array
+            finally:
+                if staged is not None:
+                    staged.close()
+                    staged.unlink()
 
     # Mirror the strict upper triangle into the lower one.
     iu = np.triu_indices(n, k=1)

@@ -19,6 +19,7 @@ from repro.core.bspline import weight_tensor
 from repro.core.entropy import marginal_entropies
 from repro.core.mi import mi_tile
 from repro.core.tiling import default_tile_size, tile_grid
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["build_weight_store", "open_weight_store", "mi_matrix_outofcore"]
 
@@ -70,8 +71,16 @@ def mi_matrix_outofcore(
     tile: "int | None" = None,
     base: str = "nat",
     engine=None,
+    progress=None,
+    tracer=None,
 ) -> Path:
     """Compute the full MI matrix with both operands on disk.
+
+    ``progress`` (optional ``progress(done_tiles, total_tiles)``) fires per
+    tile on the serial path and per block-row with an engine; ``tracer``
+    (optional :class:`repro.obs.tracer.Tracer`) wraps the run in an
+    ``mi_outofcore`` span and ticks the ``tiles_done`` / ``pairs_done``
+    counters at the same granularity.
 
     The weight store is memory-mapped read-only; the symmetric ``(n, n)``
     float64 MI matrix is written into ``out_path`` (``.npy``).  RAM usage
@@ -126,26 +135,41 @@ def mi_matrix_outofcore(
                 mi[t.j0 : t.j1, t.i0 : t.i1] = blockv.T
 
         tiles = tile_grid(n, tile)
-        if engine is None:
-            for t in tiles:
-                write_out(t, run(t))
-        else:
-            rows: dict = {}
-            for t in tiles:
-                rows.setdefault(t.i0, []).append(t)
-            for i0, row_tiles in rows.items():
-                if hasattr(engine, "map_into"):
-                    buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
+        tracer = tracer or NULL_TRACER
+        total = len(tiles)
+        done = 0
 
-                    def run_into(sink, t):
-                        sink[:, t.j0 : t.j1] = run(t)
+        def tick(n_tiles: int, n_pairs: int) -> None:
+            nonlocal done
+            done += n_tiles
+            tracer.add("tiles_done", n_tiles)
+            tracer.add("pairs_done", n_pairs)
+            if progress is not None:
+                progress(done, total)
 
-                    engine.map_into(run_into, row_tiles, buf)
-                    for t in row_tiles:
-                        write_out(t, buf[:, t.j0 : t.j1])
-                else:
-                    for t, blockv in zip(row_tiles, engine.map(run, row_tiles)):
-                        write_out(t, blockv)
+        with tracer.span("mi_outofcore", n_genes=n, n_tiles=total, tile=tile):
+            if engine is None:
+                for t in tiles:
+                    write_out(t, run(t))
+                    tick(1, t.n_pairs)
+            else:
+                rows: dict = {}
+                for t in tiles:
+                    rows.setdefault(t.i0, []).append(t)
+                for i0, row_tiles in rows.items():
+                    if hasattr(engine, "map_into"):
+                        buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
+
+                        def run_into(sink, t):
+                            sink[:, t.j0 : t.j1] = run(t)
+
+                        engine.map_into(run_into, row_tiles, buf)
+                        for t in row_tiles:
+                            write_out(t, buf[:, t.j0 : t.j1])
+                    else:
+                        for t, blockv in zip(row_tiles, engine.map(run, row_tiles)):
+                            write_out(t, blockv)
+                    tick(len(row_tiles), sum(t.n_pairs for t in row_tiles))
         np.fill_diagonal(mi, 0.0)
         mi.flush()
     finally:

@@ -16,7 +16,6 @@ The phases correspond one-to-one to the stages the paper times on the Phi:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +28,7 @@ from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution, pooled_null
 from repro.core.threshold import fdr_adjacency, threshold_adjacency
 from repro.core.tiling import pair_count
+from repro.obs.tracer import Tracer
 
 __all__ = ["TingeConfig", "TingeResult", "reconstruct_network", "TingePipeline"]
 
@@ -154,17 +154,35 @@ class TingePipeline:
     Use :func:`reconstruct_network` for the one-call API; instantiate the
     pipeline directly when you need intermediate artifacts (e.g. the weight
     tensor for a custom analysis) or a non-default execution engine.
+
+    Every run is traced: each phase executes under a span on ``tracer``
+    (:class:`repro.obs.tracer.Tracer`; one is created per pipeline when not
+    supplied) and ``timings`` is derived *from* those spans, so the legacy
+    phase → seconds dict and a trace export of the same run always agree.
+    Pass ``progress`` (a ``progress(done, total)`` callable, e.g.
+    :class:`repro.obs.progress.ProgressPrinter`) to get live per-tile
+    completion from the MI phase.
     """
 
-    def __init__(self, config: TingeConfig | None = None, engine=None):
+    def __init__(self, config: TingeConfig | None = None, engine=None,
+                 tracer=None, progress=None):
         self.config = config or TingeConfig()
         self.engine = engine
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.progress = progress
         self.timings: dict = {}
+        # An engine without its own tracer reports worker metrics into the
+        # pipeline's trace (engine_map spans nest under the phase spans).
+        if engine is not None and getattr(engine, "tracer", None) is None:
+            try:
+                engine.tracer = self.tracer
+            except AttributeError:  # third-party engine with __slots__
+                pass
 
     def _timed(self, phase: str, fn, *args, **kwargs):
-        t0 = time.perf_counter()
-        out = fn(*args, **kwargs)
-        self.timings[phase] = time.perf_counter() - t0
+        with self.tracer.span(phase) as sp:
+            out = fn(*args, **kwargs)
+        self.timings[phase] = sp.wall
         return out
 
     def run(self, data: np.ndarray, genes: "list[str] | None" = None) -> TingeResult:
@@ -195,37 +213,41 @@ class TingePipeline:
             raise ValueError(f"{len(genes)} gene names for {n} genes")
         self.timings = {}
 
-        transformed = self._timed("preprocess", preprocess, data, cfg.transform)
-        weights = self._timed(
-            "weights", weight_tensor, transformed, cfg.bins, cfg.order, np.dtype(cfg.dtype)
-        )
-        if cfg.testing == "exact":
-            return self._run_exact(weights, genes, n)
-        null = self._timed(
-            "null",
-            pooled_null,
-            weights,
-            cfg.n_permutations,
-            min(cfg.n_null_pairs, pair_count(n)),
-            cfg.seed,
-            cfg.base,
-        )
-        result = self._timed(
-            "mi", mi_matrix, weights, cfg.tile, cfg.base, self.engine
-        )
+        with self.tracer.span("reconstruct", n_genes=n, m_samples=m,
+                              testing=cfg.testing):
+            transformed = self._timed("preprocess", preprocess, data, cfg.transform)
+            weights = self._timed(
+                "weights", weight_tensor, transformed, cfg.bins, cfg.order, np.dtype(cfg.dtype)
+            )
+            if cfg.testing == "exact":
+                return self._run_exact(weights, genes, n)
+            null = self._timed(
+                "null",
+                pooled_null,
+                weights,
+                cfg.n_permutations,
+                min(cfg.n_null_pairs, pair_count(n)),
+                cfg.seed,
+                cfg.base,
+                self.engine,
+            )
+            result = self._timed(
+                "mi", mi_matrix, weights, cfg.tile, cfg.base, self.engine,
+                self.progress, None, self.tracer,
+            )
 
-        def build():
-            if cfg.correction == "bh":
-                adj, _p = fdr_adjacency(result.mi, null, alpha=cfg.alpha)
-                thr = float("nan")
-            else:
-                thr = null.threshold(cfg.alpha, n_tests=pair_count(n), correction=cfg.correction)
-                adj = threshold_adjacency(result.mi, thr)
-            return GeneNetwork(adjacency=adj, weights=result.mi, genes=list(genes), threshold=thr)
+            def build():
+                if cfg.correction == "bh":
+                    adj, _p = fdr_adjacency(result.mi, null, alpha=cfg.alpha)
+                    thr = float("nan")
+                else:
+                    thr = null.threshold(cfg.alpha, n_tests=pair_count(n), correction=cfg.correction)
+                    adj = threshold_adjacency(result.mi, thr)
+                return GeneNetwork(adjacency=adj, weights=result.mi, genes=list(genes), threshold=thr)
 
-        network = self._timed("threshold", build)
-        if cfg.exact_retest and network.n_edges:
-            network = self._timed("retest", self._exact_retest, network, weights)
+            network = self._timed("threshold", build)
+            if cfg.exact_retest and network.n_edges:
+                network = self._timed("retest", self._exact_retest, network, weights)
         return TingeResult(
             network=network,
             mi=result.mi,
@@ -249,7 +271,7 @@ class TingePipeline:
             )
         exact = self._timed(
             "mi", exact_mi_pvalues, weights, cfg.n_permutations, cfg.tile,
-            cfg.seed, cfg.base, self.engine,
+            cfg.seed, cfg.base, self.engine, self.progress, self.tracer,
         )
 
         def build():
@@ -306,6 +328,8 @@ def reconstruct_network(
     genes: "list[str] | None" = None,
     config: TingeConfig | None = None,
     engine=None,
+    tracer=None,
+    progress=None,
 ) -> TingeResult:
     """One-call TINGe network reconstruction.
 
@@ -320,6 +344,11 @@ def reconstruct_network(
         for interactive use.
     engine:
         Optional parallel execution engine (:mod:`repro.parallel.engine`).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` the run records spans and
+        counters into (export with :func:`repro.obs.export.write_jsonl`).
+    progress:
+        Optional ``progress(done, total)`` callback for the MI tile loop.
 
     Returns
     -------
@@ -336,4 +365,5 @@ def reconstruct_network(
     >>> ("a", "b") in res.network.edge_set()
     True
     """
-    return TingePipeline(config=config, engine=engine).run(data, genes)
+    return TingePipeline(config=config, engine=engine, tracer=tracer,
+                         progress=progress).run(data, genes)

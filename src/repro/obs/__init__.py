@@ -1,0 +1,58 @@
+"""Observability: spans, metrics, and machine-readable traces.
+
+The measurement layer every performance claim in this repo rests on.  A
+:class:`~repro.obs.tracer.Tracer` records hierarchical spans (per pipeline
+phase, per tile batch, per engine map call), counters (tiles/pairs done,
+bytes transported) and gauges; :mod:`repro.obs.export` serializes a run to
+JSONL or Chrome ``trace_event`` format and reconstructs the paper's
+evaluation signals — phase breakdown, pairs/sec, per-worker task counts —
+from the trace alone.  :mod:`repro.obs.progress` renders live progress;
+:mod:`repro.obs.metrics` defines the per-worker timing the engines report.
+
+Quick use::
+
+    from repro.obs import Tracer, write_jsonl
+    from repro.core.pipeline import TingePipeline
+
+    tracer = Tracer()
+    result = TingePipeline(tracer=tracer).run(data)
+    write_jsonl(tracer, "run.jsonl")
+"""
+
+from repro.obs.bench import load_bench_json, write_bench_json
+from repro.obs.export import (
+    counter_total,
+    load_events,
+    pairs_per_second,
+    phase_breakdown,
+    phase_fractions,
+    span_events,
+    worker_task_counts,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MapStats, WorkerStats, merge_worker_stats
+from repro.obs.progress import ProgressPrinter
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "MapStats",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProgressPrinter",
+    "SpanRecord",
+    "Tracer",
+    "WorkerStats",
+    "counter_total",
+    "load_bench_json",
+    "load_events",
+    "merge_worker_stats",
+    "pairs_per_second",
+    "phase_breakdown",
+    "phase_fractions",
+    "span_events",
+    "worker_task_counts",
+    "write_bench_json",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,61 @@
+"""BENCH-compatible JSON output for the benchmark harness.
+
+Every benchmark report that goes into ``bench_reports/<Exp>.txt`` for
+humans also lands in ``BENCH_<Exp>.json`` for machines, so the repo's
+performance trajectory accumulates run over run and regressions are a
+``json.load`` away.  The schema is deliberately flat:
+
+.. code-block:: json
+
+    {"bench": "E27", "title": "...", "created_unix": 1700000000.0,
+     "metrics": {"pairs_per_second": 123456.0},
+     "rows": [{"phase": "mi", "fraction": 0.71}]}
+
+``metrics`` holds scalar headline numbers (what a trend plot tracks);
+``rows`` preserves the full table the text report shows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["write_bench_json", "load_bench_json"]
+
+_SCHEMA_VERSION = 1
+
+
+def write_bench_json(
+    directory: "str | Path",
+    bench: str,
+    title: str,
+    rows: "list | None" = None,
+    metrics: "dict | None" = None,
+) -> Path:
+    """Write ``BENCH_<bench>.json`` under ``directory``; returns the path.
+
+    ``metrics`` values must be JSON-representable scalars; ``rows`` is the
+    table the text report renders (list of dicts).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema_version": _SCHEMA_VERSION,
+        "bench": bench,
+        "title": title,
+        "created_unix": time.time(),
+        "metrics": dict(metrics or {}),
+        "rows": [dict(r) for r in (rows or [])],
+    }
+    path = directory / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(doc, indent=2, default=str) + "\n")
+    return path
+
+
+def load_bench_json(path: "str | Path") -> dict:
+    """Load one BENCH json file (schema-checked)."""
+    doc = json.loads(Path(path).read_text())
+    if "bench" not in doc or "metrics" not in doc:
+        raise ValueError(f"{path} is not a BENCH json file")
+    return doc

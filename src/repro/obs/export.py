@@ -1,0 +1,192 @@
+"""Trace exporters and the inverse: reconstructing signals from a trace.
+
+Two machine-readable formats cover the two consumers:
+
+* **JSONL** (:func:`write_jsonl` / :func:`load_events`) — one JSON object
+  per line, self-describing via a ``type`` field (``trace``/``span``/
+  ``counter``/``gauge``).  This is the archival format: append-friendly,
+  greppable, and diffable, and the analysis helpers below reconstruct the
+  paper's evaluation signals (phase breakdown, pairs/sec, per-worker task
+  counts) from it alone.
+* **Chrome trace_event** (:func:`write_chrome_trace`) — the ``traceEvents``
+  JSON that ``chrome://tracing`` and Perfetto render as a flame chart, with
+  spans as complete (``"X"``) events and counters as ``"C"`` series.
+
+Times in both formats are seconds (JSONL) / microseconds (Chrome) since
+the tracer's origin; the origin's wall-clock epoch is stored in the trace
+header for correlation across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "write_jsonl",
+    "write_chrome_trace",
+    "load_events",
+    "span_events",
+    "phase_breakdown",
+    "phase_fractions",
+    "counter_total",
+    "pairs_per_second",
+    "worker_task_counts",
+]
+
+#: Pipeline phase names in execution order (the E9 breakdown rows).
+PIPELINE_PHASES = ("preprocess", "weights", "null", "mi", "threshold", "retest")
+
+_JSONL_VERSION = 1
+
+
+def _span_event(s) -> dict:
+    return {
+        "type": "span",
+        "name": s.name,
+        "id": s.span_id,
+        "parent": s.parent_id,
+        "start": s.start,
+        "end": s.end,
+        "wall": s.wall,
+        "cpu": s.cpu,
+        "thread": s.thread,
+        "meta": s.metadata,
+    }
+
+
+def _iter_events(tracer: Tracer):
+    yield {"type": "trace", "version": _JSONL_VERSION, "epoch": tracer.epoch,
+           "meta": tracer.meta}
+    for s in sorted(tracer.spans, key=lambda s: s.start):
+        yield _span_event(s)
+    for c in tracer.counter_events:
+        yield {"type": "counter", "name": c.name, "ts": c.ts,
+               "delta": c.delta, "total": c.total}
+    for g in tracer.gauge_events:
+        yield {"type": "gauge", "name": g.name, "ts": g.ts, "value": g.value}
+
+
+def write_jsonl(tracer: Tracer, path: "str | Path") -> Path:
+    """Write the tracer's events as JSON Lines; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in _iter_events(tracer):
+            fh.write(json.dumps(event, default=str) + "\n")
+    return path
+
+
+def write_chrome_trace(tracer: Tracer, path: "str | Path") -> Path:
+    """Write a Chrome ``trace_event`` JSON file; returns the path.
+
+    Open in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans from
+    different threads land on different rows (``tid`` = thread name);
+    counters become counter tracks.
+    """
+    path = Path(path)
+    tids: dict = {}
+
+    def tid(thread: str) -> int:
+        return tids.setdefault(thread, len(tids))
+
+    events = []
+    for s in sorted(tracer.spans, key=lambda s: s.start):
+        events.append({
+            "name": s.name,
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": s.wall * 1e6,
+            "pid": 0,
+            "tid": tid(s.thread or "main"),
+            "args": {k: str(v) if not isinstance(v, (int, float, str, bool, type(None), dict, list)) else v
+                     for k, v in s.metadata.items()},
+        })
+    for c in tracer.counter_events:
+        events.append({
+            "name": c.name,
+            "ph": "C",
+            "ts": c.ts * 1e6,
+            "pid": 0,
+            "args": {c.name: c.total},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"epoch": tracer.epoch, **{k: str(v) for k, v in tracer.meta.items()}},
+    }
+    path.write_text(json.dumps(doc))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Trace analysis: invert a JSONL trace back into evaluation signals
+# ---------------------------------------------------------------------------
+
+def load_events(path: "str | Path") -> list:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def span_events(events: list, name: "str | None" = None) -> list:
+    """The span events of a loaded trace, optionally filtered by name."""
+    spans = [e for e in events if e.get("type") == "span"]
+    if name is not None:
+        spans = [s for s in spans if s["name"] == name]
+    return spans
+
+
+def phase_breakdown(events: list) -> dict:
+    """``{phase: wall_seconds}`` of the pipeline phases present in a trace.
+
+    Phases are identified by name (:data:`PIPELINE_PHASES`); when a phase
+    ran more than once (e.g. consensus rounds) its walls sum.
+    """
+    out: dict = {}
+    for s in span_events(events):
+        if s["name"] in PIPELINE_PHASES:
+            out[s["name"]] = out.get(s["name"], 0.0) + float(s["wall"])
+    return out
+
+
+def phase_fractions(events: list) -> dict:
+    """Phase → fraction of summed phase time (the E9/E27 breakdown rows)."""
+    breakdown = phase_breakdown(events)
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {k: 0.0 for k in breakdown}
+    return {k: v / total for k, v in breakdown.items()}
+
+
+def counter_total(events: list, name: str) -> float:
+    """Final total of counter ``name`` (0.0 when it never fired)."""
+    total = 0.0
+    for e in events:
+        if e.get("type") == "counter" and e["name"] == name:
+            total = float(e["total"])
+    return total
+
+
+def pairs_per_second(events: list) -> float:
+    """Overall MI throughput: pairs_done / wall of the ``mi`` phase span."""
+    pairs = counter_total(events, "pairs_done")
+    mi_wall = sum(float(s["wall"]) for s in span_events(events, "mi"))
+    if mi_wall <= 0:
+        return 0.0
+    return pairs / mi_wall
+
+
+def worker_task_counts(events: list) -> dict:
+    """``{worker: tasks}`` summed over every engine map span in the trace."""
+    out: dict = {}
+    for s in span_events(events):
+        for worker, tasks in (s.get("meta") or {}).get("worker_tasks", {}).items():
+            out[worker] = out.get(worker, 0) + int(tasks)
+    return out

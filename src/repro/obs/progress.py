@@ -1,0 +1,59 @@
+"""Terminal progress reporting for hours-long reconstructions.
+
+A :class:`ProgressPrinter` is a plain ``progress(done, total)`` callable —
+the contract every driver in :mod:`repro.core` accepts — that renders a
+throttled single-line status with percentage, rate and ETA to a stream.
+Thread-safe, because in-process engines invoke the callback from worker
+threads.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = ["ProgressPrinter"]
+
+
+class ProgressPrinter:
+    """Throttled ``(done, total)`` progress line.
+
+    Parameters
+    ----------
+    label:
+        Prefix for the line (e.g. ``"mi tiles"``).
+    stream:
+        Output stream; defaults to stderr so piped stdout stays clean.
+    min_interval:
+        Minimum seconds between repaints (the final ``done == total``
+        update always paints).
+    """
+
+    def __init__(self, label: str = "progress", stream=None, min_interval: float = 0.2):
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._last_paint = -float("inf")
+        self.n_updates = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self.n_updates += 1
+            final = total > 0 and done >= total
+            if not final and now - self._last_paint < self.min_interval:
+                return
+            self._last_paint = now
+            elapsed = max(now - self._t0, 1e-9)
+            rate = done / elapsed
+            pct = 100.0 * done / total if total else 0.0
+            eta = (total - done) / rate if rate > 0 and total else 0.0
+            line = (f"\r{self.label}: {done}/{total} ({pct:5.1f}%) "
+                    f"{rate:8.1f}/s eta {eta:6.1f}s")
+            self.stream.write(line + ("\n" if final else ""))
+            self.stream.flush()

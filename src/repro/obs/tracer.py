@@ -1,0 +1,254 @@
+"""Hierarchical span tracer: the package's clock and event log.
+
+A :class:`Tracer` records what a run *did*, with enough structure to
+reconstruct the paper's evaluation signals afterwards:
+
+* **spans** — nested, named intervals (``with tracer.span("mi"):``) carrying
+  wall time, CPU time, the owning thread, and free-form metadata (tile
+  coordinates, pair counts, worker ids).  Nesting is tracked per thread, so
+  spans opened inside engine worker threads parent correctly.
+* **counters** — monotonically accumulated totals (``tiles_done``,
+  ``pairs_done``, ``bytes_transported``); every increment is also recorded
+  as a timestamped event, so throughput over time is recoverable.
+* **gauges** — timestamped point-in-time values (queue depth, busy
+  fraction); the last write wins in the summary.
+
+Everything is in-memory and cheap: one lock-guarded list append per event.
+Hot loops that may run untraced should accept a tracer argument defaulting
+to :data:`NULL_TRACER`, a no-op with the same interface.
+
+Export to JSONL or Chrome ``trace_event`` format lives in
+:mod:`repro.obs.export`; the analysis helpers that invert a trace back into
+phase fractions and throughput live there too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "CounterEvent", "GaugeEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    Times are seconds relative to the tracer's origin (``start``/``end``),
+    so they are directly comparable across spans of the same tracer and
+    convert to Chrome-trace microseconds by scaling.  ``cpu`` is process
+    CPU time consumed between enter and exit — for spans that fan work out
+    to other *processes*, wall captures the cost while ``cpu`` stays small.
+    """
+
+    name: str
+    span_id: int
+    parent_id: "int | None"
+    start: float
+    end: "float | None" = None
+    cpu: "float | None" = None
+    thread: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def wall(self) -> float:
+        """Wall-clock duration in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **metadata) -> "SpanRecord":
+        """Attach metadata to the span (chainable)."""
+        self.metadata.update(metadata)
+        return self
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One counter increment: ``total`` is the running sum after it."""
+
+    name: str
+    ts: float
+    delta: float
+    total: float
+
+
+@dataclass(frozen=True)
+class GaugeEvent:
+    """One gauge observation."""
+
+    name: str
+    ts: float
+    value: float
+
+
+class Tracer:
+    """Collects spans, counters and gauges for one run.
+
+    Thread-safe: spans nest per thread (a span opened in a worker thread
+    parents to that thread's innermost open span, or to nothing), counter
+    and gauge updates serialize on an internal lock.  Not *process*-safe —
+    engines aggregate worker-process timing themselves and report it into
+    the parent's tracer (see :mod:`repro.parallel.engine`).
+    """
+
+    def __init__(self, meta: "dict | None" = None):
+        self.meta = dict(meta or {})
+        self.epoch = time.time()  # wall-clock anchor of t=0, for exports
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self.spans: list[SpanRecord] = []
+        self.counter_events: list[CounterEvent] = []
+        self.gauge_events: list[GaugeEvent] = []
+        self.counters: dict = {}
+        self.gauges: dict = {}
+
+    # -- internals ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer was created."""
+        return time.perf_counter() - self._t0
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **metadata):
+        """Context manager for one nested span; yields the record.
+
+        The record's timing fields are filled on exit, so read ``wall``
+        only after the ``with`` block (or from the tracer's span list).
+        Metadata added inside via :meth:`SpanRecord.annotate` is kept.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = SpanRecord(
+            name=name,
+            span_id=span_id,
+            parent_id=parent,
+            start=self.now(),
+            thread=threading.current_thread().name,
+            metadata=dict(metadata),
+        )
+        cpu0 = time.process_time()
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.end = self.now()
+            record.cpu = time.process_time() - cpu0
+            with self._lock:
+                self.spans.append(record)
+
+    def current_span(self) -> "SpanRecord | None":
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def annotate(self, **metadata) -> None:
+        """Attach metadata to the innermost open span (no-op outside one)."""
+        span = self.current_span()
+        if span is not None:
+            span.annotate(**metadata)
+
+    # -- counters / gauges -------------------------------------------------
+
+    def add(self, name: str, delta: float = 1.0) -> float:
+        """Increment counter ``name`` and return the new total."""
+        ts = self.now()
+        with self._lock:
+            total = self.counters.get(name, 0.0) + delta
+            self.counters[name] = total
+            self.counter_events.append(CounterEvent(name, ts, float(delta), float(total)))
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time observation of gauge ``name``."""
+        ts = self.now()
+        with self._lock:
+            self.gauges[name] = float(value)
+            self.gauge_events.append(GaugeEvent(name, ts, float(value)))
+
+    # -- summaries ---------------------------------------------------------
+
+    def find_spans(self, name: str) -> list:
+        """All completed spans called ``name``, in completion order."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def span_seconds(self, name: str) -> float:
+        """Total wall seconds across all spans called ``name``."""
+        return float(sum(s.wall for s in self.find_spans(name)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer(spans={len(self.spans)}, counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)})")
+
+
+class _NullSpan(SpanRecord):
+    """Shared no-op span; annotations are discarded, not accumulated."""
+
+    def annotate(self, **metadata) -> "SpanRecord":
+        return self
+
+
+class NullTracer:
+    """No-op tracer with the :class:`Tracer` interface, for untraced runs.
+
+    Hot paths write ``tracer = tracer or NULL_TRACER`` once and never
+    branch again; every method is O(1) and allocation-free.
+    """
+
+    meta: dict = {}
+    epoch = 0.0
+    spans: list = []
+    counter_events: list = []
+    gauge_events: list = []
+    counters: dict = {}
+    gauges: dict = {}
+
+    _SPAN = _NullSpan(name="null", span_id=-1, parent_id=None, start=0.0, end=0.0, cpu=0.0)
+
+    @contextmanager
+    def span(self, name: str, **metadata):
+        yield self._SPAN
+
+    def now(self) -> float:
+        return 0.0
+
+    def current_span(self):
+        return None
+
+    def annotate(self, **metadata) -> None:
+        pass
+
+    def add(self, name: str, delta: float = 1.0) -> float:
+        return 0.0
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def find_spans(self, name: str) -> list:
+        return []
+
+    def span_seconds(self, name: str) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()

@@ -42,12 +42,16 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import MapStats, WorkerStats, merge_worker_stats
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.scheduler import DynamicScheduler, SchedulerPolicy
 from repro.parallel.sharedmem import SharedArray
 
@@ -68,26 +72,91 @@ def _as_output_array(out) -> np.ndarray:
     return arr
 
 
-class SerialEngine:
+def _result_nbytes(value) -> int:
+    """Bytes a pickle-returned result ships through the pipe (arrays only).
+
+    Counts ndarray payloads (including inside tuples/lists, the fused
+    kernel's ``(observed, exceed)`` case); scalars and small objects are
+    noise next to tile blocks and are ignored.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_result_nbytes(v) for v in value)
+    return 0
+
+
+class _EngineObsMixin:
+    """Shared observability plumbing for all engines.
+
+    Every ``map``/``map_into`` call times each task and aggregates the
+    timings per worker into a :class:`repro.obs.metrics.MapStats`, stored
+    on ``last_map_stats`` and — when a tracer is attached (constructor
+    argument or ``engine.tracer = ...``) — recorded as an ``engine_map``
+    span whose metadata carries per-worker task counts and busy seconds.
+    """
+
+    tracer = None
+    last_map_stats: "MapStats | None" = None
+
+    def _obs_tracer(self):
+        return self.tracer if self.tracer is not None else NULL_TRACER
+
+    def _record_map(self, span, kind: str, n_tasks: int, wall: float, workers: list) -> MapStats:
+        stats = MapStats(n_tasks=n_tasks, wall_seconds=wall, workers=workers)
+        self.last_map_stats = stats
+        span.annotate(kind=kind, **stats.as_metadata())
+        tracer = self._obs_tracer()
+        tracer.add("engine_tasks", n_tasks)
+        tracer.add("engine_busy_seconds", stats.busy_seconds)
+        return stats
+
+
+class SerialEngine(_EngineObsMixin):
     """Run tasks one after another in the calling thread."""
 
     n_workers = 1
+    in_process = True
+
+    def __init__(self, tracer=None):
+        self.tracer = tracer
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item, returning results in order."""
-        return [fn(item) for item in items]
+        items = list(items)
+        results: list = []
+        with self._obs_tracer().span("engine_map", engine="SerialEngine") as sp:
+            t0 = time.perf_counter()
+            busy = 0.0
+            for item in items:
+                s = time.perf_counter()
+                results.append(fn(item))
+                busy += time.perf_counter() - s
+            wall = time.perf_counter() - t0
+            self._record_map(sp, "map", len(items), wall,
+                             [WorkerStats("w0", len(items), busy)] if items else [])
+        return results
 
     def map_into(self, fn: Callable, items: Sequence, out) -> None:
         """Run ``fn(out, item)`` for every item (in-process, same array)."""
         arr = _as_output_array(out)
-        for item in items:
-            fn(arr, item)
+        items = list(items)
+        with self._obs_tracer().span("engine_map", engine="SerialEngine") as sp:
+            t0 = time.perf_counter()
+            busy = 0.0
+            for item in items:
+                s = time.perf_counter()
+                fn(arr, item)
+                busy += time.perf_counter() - s
+            wall = time.perf_counter() - t0
+            self._record_map(sp, "map_into", len(items), wall,
+                             [WorkerStats("w0", len(items), busy)] if items else [])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialEngine()"
 
 
-class ThreadEngine:
+class ThreadEngine(_EngineObsMixin):
     """Thread-pool engine honouring a scheduling policy.
 
     Parameters
@@ -99,31 +168,62 @@ class ThreadEngine:
         dynamic policy the pool's own work queue provides the pull
         behaviour; with a static policy each worker thread runs its fixed
         slice.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` receiving one
+        ``engine_map`` span (with per-worker metrics) per map call.
     """
 
-    def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None):
+    in_process = True
+
+    def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None,
+                 tracer=None):
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         self.policy = policy or DynamicScheduler(chunk=1)
+        self.tracer = tracer
 
     def _chunks(self, n_items: int):
         if self.policy.is_dynamic():
             return self.policy.chunk_sequence(n_items, self.n_workers)
         return self.policy.static_assignment(n_items, self.n_workers)
 
+    def _run_chunks(self, task, n_items: int) -> list:
+        """Run ``task(idx)`` for every index on the pool, timing per thread.
+
+        Returns the per-worker ``(tasks, busy_seconds)`` aggregation, keyed
+        by thread ident.
+        """
+        raw: dict = {}
+        lock = threading.Lock()
+
+        def run_chunk(chunk) -> None:
+            tasks = 0
+            busy = 0.0
+            for idx in chunk:
+                s = time.perf_counter()
+                task(int(idx))
+                busy += time.perf_counter() - s
+                tasks += 1
+            key = threading.get_ident()
+            with lock:
+                t, b = raw.get(key, (0, 0.0))
+                raw[key] = (t + tasks, b + busy)
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            list(pool.map(run_chunk, self._chunks(n_items)))
+        return merge_worker_stats(raw)
+
     def map(self, fn: Callable, items: Sequence) -> list:
         items = list(items)
         results: list = [None] * len(items)
         if not items:
             return results
-
-        def run_chunk(chunk) -> None:
-            for idx in chunk:
-                results[int(idx)] = fn(items[int(idx)])
-
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            list(pool.map(run_chunk, self._chunks(len(items))))
+        with self._obs_tracer().span("engine_map", engine="ThreadEngine") as sp:
+            t0 = time.perf_counter()
+            workers = self._run_chunks(lambda idx: results.__setitem__(idx, fn(items[idx])),
+                                       len(items))
+            self._record_map(sp, "map", len(items), time.perf_counter() - t0, workers)
         return results
 
     def map_into(self, fn: Callable, items: Sequence, out) -> None:
@@ -132,13 +232,10 @@ class ThreadEngine:
         if not items:
             return
         arr = _as_output_array(out)
-
-        def run_chunk(chunk) -> None:
-            for idx in chunk:
-                fn(arr, items[int(idx)])
-
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            list(pool.map(run_chunk, self._chunks(len(items))))
+        with self._obs_tracer().span("engine_map", engine="ThreadEngine") as sp:
+            t0 = time.perf_counter()
+            workers = self._run_chunks(lambda idx: fn(arr, items[idx]), len(items))
+            self._record_map(sp, "map_into", len(items), time.perf_counter() - t0, workers)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadEngine(n_workers={self.n_workers}, policy={self.policy.name})"
@@ -165,10 +262,14 @@ def _publish(payload) -> int:
 def _fork_worker(args):
     token, idx = args
     fn, items = _FORK_TASKS[token]
-    return idx, fn(items[idx])
+    t0 = time.perf_counter()
+    value = fn(items[idx])
+    # The elapsed seconds and pid ride back with the result so the parent
+    # can aggregate per-worker busy time without any extra IPC.
+    return idx, value, time.perf_counter() - t0, os.getpid()
 
 
-class ProcessEngine:
+class ProcessEngine(_EngineObsMixin):
     """Fork-based process pool for GIL-bound task functions.
 
     Only usable where ``fork`` is available (Linux; the benchmark hosts) —
@@ -180,34 +281,60 @@ class ProcessEngine:
     should write the output in place instead.
     """
 
-    def __init__(self, n_workers: int | None = None):
+    in_process = False
+
+    def __init__(self, n_workers: int | None = None, tracer=None):
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError("ProcessEngine requires the fork start method")
+        self.tracer = tracer
 
     def _inline(self) -> bool:
         # Daemonic pool workers cannot fork children of their own, so a
         # nested map degrades gracefully to the serial path.
         return self.n_workers == 1 or multiprocessing.current_process().daemon
 
+    def _map_inline(self, fn: Callable, items: list, sp) -> list:
+        results: list = []
+        t0 = time.perf_counter()
+        busy = 0.0
+        for item in items:
+            s = time.perf_counter()
+            results.append(fn(item))
+            busy += time.perf_counter() - s
+        self._record_map(sp, "map", len(items), time.perf_counter() - t0,
+                         [WorkerStats("w0", len(items), busy)])
+        return results
+
     def map(self, fn: Callable, items: Sequence) -> list:
         items = list(items)
         if not items:
             return []
-        if self._inline():
-            return [fn(item) for item in items]
-        ctx = multiprocessing.get_context("fork")
-        token = _publish((fn, items))
-        try:
-            with ctx.Pool(self.n_workers) as pool:
-                pairs = pool.map(_fork_worker, [(token, i) for i in range(len(items))])
-        finally:
-            del _FORK_TASKS[token]
-        results: list = [None] * len(items)
-        for idx, value in pairs:
-            results[idx] = value
+        with self._obs_tracer().span("engine_map", engine=type(self).__name__) as sp:
+            if self._inline():
+                return self._map_inline(fn, items, sp)
+            t0 = time.perf_counter()
+            ctx = multiprocessing.get_context("fork")
+            token = _publish((fn, items))
+            try:
+                with ctx.Pool(self.n_workers) as pool:
+                    quads = pool.map(_fork_worker, [(token, i) for i in range(len(items))])
+            finally:
+                del _FORK_TASKS[token]
+            results: list = [None] * len(items)
+            raw: dict = {}
+            nbytes = 0
+            for idx, value, dt, pid in quads:
+                results[idx] = value
+                tasks, b = raw.get(pid, (0, 0.0))
+                raw[pid] = (tasks + 1, b + dt)
+                nbytes += _result_nbytes(value)
+            wall = time.perf_counter() - t0
+            self._record_map(sp, "map", len(items), wall, merge_worker_stats(raw))
+            sp.annotate(result_bytes=nbytes)
+            self._obs_tracer().add("bytes_transported", nbytes)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -215,16 +342,26 @@ class ProcessEngine:
 
 
 def _shm_worker(token: int, task_q, done_q) -> None:
-    """Worker loop: pull task indices, write results into shared memory."""
+    """Worker loop: pull task indices, write results into shared memory.
+
+    On clean shutdown the worker reports ``(tasks, busy_seconds)`` through
+    the done queue — the per-worker timing the parent aggregates into its
+    :class:`~repro.obs.metrics.MapStats`.
+    """
     fn, items, handle = _FORK_TASKS[token]
     view = SharedArray.attach(*handle)
+    tasks = 0
+    busy = 0.0
     try:
         while True:
             idx = task_q.get()
             if idx is None:
-                done_q.put(("ok", None))
+                done_q.put(("ok", (os.getpid(), tasks, busy)))
                 return
+            t0 = time.perf_counter()
             fn(view.array, items[idx])
+            busy += time.perf_counter() - t0
+            tasks += 1
     except BaseException:
         done_q.put(("error", traceback.format_exc()))
     finally:
@@ -261,31 +398,45 @@ class SharedMemoryEngine(ProcessEngine):
         if not items:
             return
         arr = _as_output_array(out)
-        if self._inline():
-            for item in items:
-                fn(arr, item)
-            return
-        if isinstance(out, SharedArray):
-            shared, staged = out, None
-        else:
-            staged = SharedArray.from_array(arr)
-            shared = staged
-        try:
-            self._run_pool(fn, items, shared)
-            if staged is not None:
-                arr[...] = staged.array
-        finally:
-            if staged is not None:
-                staged.close()
-                staged.unlink()
+        with self._obs_tracer().span("engine_map", engine="SharedMemoryEngine") as sp:
+            t0 = time.perf_counter()
+            if self._inline():
+                busy = 0.0
+                for item in items:
+                    s = time.perf_counter()
+                    fn(arr, item)
+                    busy += time.perf_counter() - s
+                self._record_map(sp, "map_into", len(items), time.perf_counter() - t0,
+                                 [WorkerStats("w0", len(items), busy)])
+                return
+            if isinstance(out, SharedArray):
+                shared, staged = out, None
+            else:
+                staged = SharedArray.from_array(arr)
+                shared = staged
+            try:
+                raw = self._run_pool(fn, items, shared)
+                if staged is not None:
+                    arr[...] = staged.array
+            finally:
+                if staged is not None:
+                    staged.close()
+                    staged.unlink()
+            self._record_map(sp, "map_into", len(items), time.perf_counter() - t0,
+                             merge_worker_stats(raw))
+            # Results never cross the pipe; the only transport is the
+            # optional one-shot staging memcpy back into a plain ndarray.
+            sp.annotate(result_bytes=0,
+                        staged_bytes=int(arr.nbytes) if staged is not None else 0)
 
-    def _run_pool(self, fn: Callable, items: list, shared: SharedArray) -> None:
+    def _run_pool(self, fn: Callable, items: list, shared: SharedArray) -> dict:
         ctx = multiprocessing.get_context("fork")
         n_proc = min(self.n_workers, len(items))
         task_q = ctx.Queue()
         done_q = ctx.SimpleQueue()
         token = _publish((fn, items, shared.handle()))
         workers = []
+        raw: dict = {}
         try:
             # Publish-then-fork: children inherit fn/items by COW.
             workers = [
@@ -303,6 +454,9 @@ class SharedMemoryEngine(ProcessEngine):
                 status, detail = done_q.get()
                 if status == "error":
                     errors.append(detail)
+                else:
+                    pid, tasks, busy = detail
+                    raw[pid] = (tasks, busy)
             for w in workers:
                 w.join()
             if errors:
@@ -317,19 +471,24 @@ class SharedMemoryEngine(ProcessEngine):
                     w.join()
             task_q.cancel_join_thread()
             task_q.close()
+        return raw
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SharedMemoryEngine(n_workers={self.n_workers})"
 
 
-def make_engine(kind: str = "serial", n_workers: int | None = None, **kwargs):
-    """Factory: ``serial``, ``thread``, ``process``, or ``sharedmem``."""
+def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None, **kwargs):
+    """Factory: ``serial``, ``thread``, ``process``, or ``sharedmem``.
+
+    ``tracer`` (optional) attaches a :class:`repro.obs.tracer.Tracer` so
+    every map call records an ``engine_map`` span with worker metrics.
+    """
     if kind == "serial":
-        return SerialEngine()
+        return SerialEngine(tracer=tracer)
     if kind == "thread":
-        return ThreadEngine(n_workers=n_workers, **kwargs)
+        return ThreadEngine(n_workers=n_workers, tracer=tracer, **kwargs)
     if kind == "process":
-        return ProcessEngine(n_workers=n_workers)
+        return ProcessEngine(n_workers=n_workers, tracer=tracer)
     if kind == "sharedmem":
-        return SharedMemoryEngine(n_workers=n_workers)
+        return SharedMemoryEngine(n_workers=n_workers, tracer=tracer)
     raise ValueError(f"unknown engine kind {kind!r}")

@@ -139,3 +139,67 @@ class TestMillerMadow:
     def test_invalid_m(self):
         with pytest.raises(ValueError):
             miller_madow_correction(np.array([5]), 0)
+
+
+class TestJamesSteinShrinkage:
+    def test_single_distribution_shrinks_toward_uniform(self):
+        from repro.core.entropy import james_stein_shrinkage
+
+        p = np.array([0.7, 0.2, 0.1, 0.0])
+        out = james_stein_shrinkage(p, m_samples=20)
+        assert out.shape == p.shape
+        assert out.sum() == pytest.approx(1.0)
+        # Shrinkage pulls extremes toward 1/B.
+        assert out[0] < p[0] and out[3] > p[3]
+
+    def test_joint_matrix_is_one_distribution(self):
+        from repro.core.entropy import james_stein_shrinkage
+
+        rng = np.random.default_rng(3)
+        joint = rng.dirichlet(np.ones(25)).reshape(5, 5)
+        out = james_stein_shrinkage(joint, m_samples=30)
+        # A (b, b) joint is a single b^2-cell distribution: identical to
+        # shrinking its flattened form.
+        flat = james_stein_shrinkage(joint.ravel(), m_samples=30)
+        assert np.array_equal(out.ravel(), flat)
+
+    def test_batched_equals_per_entry_loop(self):
+        # Regression: a batched (n, b, b) call used to pool all n*b*b cells
+        # into one distribution, sharing a single shrinkage intensity.
+        from repro.core.entropy import james_stein_shrinkage
+
+        rng = np.random.default_rng(7)
+        batch = np.stack([rng.dirichlet(np.ones(16)).reshape(4, 4)
+                          for _ in range(6)])
+        out = james_stein_shrinkage(batch, m_samples=25)
+        assert out.shape == batch.shape
+        for k in range(6):
+            assert np.array_equal(out[k],
+                                  james_stein_shrinkage(batch[k], m_samples=25))
+
+    def test_batched_intensities_differ_per_entry(self):
+        from repro.core.entropy import james_stein_shrinkage
+
+        skewed = np.full((3, 3), 0.2 / 8)
+        skewed[0, 0] = 0.8
+        uniform = np.full((3, 3), 1 / 9)
+        out = james_stein_shrinkage(np.stack([skewed, uniform]), m_samples=10)
+        # The uniform entry is a fixed point; the skewed one moves.
+        assert np.allclose(out[1], uniform)
+        assert not np.allclose(out[0], skewed)
+
+    def test_uniform_input_with_zero_denominator(self):
+        from repro.core.entropy import james_stein_shrinkage
+
+        uniform = np.full(8, 1 / 8)
+        assert np.allclose(james_stein_shrinkage(uniform, 10), uniform)
+
+    def test_rejects_bad_inputs(self):
+        from repro.core.entropy import james_stein_shrinkage
+
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.full(4, 0.25), m_samples=1)
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.array([]), m_samples=5)
+        with pytest.raises(ValueError):
+            james_stein_shrinkage(np.array([-0.2, 1.2]), m_samples=5)

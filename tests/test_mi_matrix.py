@@ -119,11 +119,23 @@ class TestProgressCallback:
         assert calls[-1] == (len(calls), len(calls))
         assert [d for d, _ in calls] == list(range(1, len(calls) + 1))
 
-    def test_engine_progress_called_once(self, weights12):
+    def test_in_process_engine_progress_called_per_tile(self, weights12):
+        # Regression: engine paths used to fire progress once, at the end.
+        for engine in (SerialEngine(), ThreadEngine(n_workers=2)):
+            calls = []
+            mi_matrix(weights12, tile=4, engine=engine,
+                      progress=lambda d, t: calls.append((d, t)))
+            assert calls[-1] == (6, 6)
+            assert sorted(d for d, _ in calls) == list(range(1, 7))
+
+    def test_fork_engine_progress_called_per_batch(self, weights12):
+        from repro.parallel.engine import ProcessEngine
+
         calls = []
-        mi_matrix(weights12, tile=4, engine=SerialEngine(),
+        mi_matrix(weights12, tile=4, engine=ProcessEngine(n_workers=2),
                   progress=lambda d, t: calls.append((d, t)))
-        assert calls == [(6, 6)]
+        assert calls[-1] == (6, 6)
+        assert all(calls[i][0] < calls[i + 1][0] for i in range(len(calls) - 1))
 
     def test_no_progress_by_default(self, weights12):
         mi_matrix(weights12, tile=4)  # must not raise

@@ -1,0 +1,267 @@
+"""Tests for repro.obs: tracer, metrics, exporters, progress, bench JSON."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MapStats,
+    NullTracer,
+    ProgressPrinter,
+    Tracer,
+    WorkerStats,
+    counter_total,
+    load_bench_json,
+    load_events,
+    merge_worker_stats,
+    pairs_per_second,
+    phase_breakdown,
+    phase_fractions,
+    span_events,
+    worker_task_counts,
+    write_bench_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestSpans:
+    def test_nesting_parents(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner completes (and is appended) first.
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+    def test_wall_and_cpu_filled_on_exit(self):
+        tr = Tracer()
+        with tr.span("work") as sp:
+            time.sleep(0.02)
+        assert sp.end is not None and sp.cpu is not None
+        assert sp.wall >= 0.02
+        assert sp.wall < 1.0  # sanity: relative clock, not epoch
+
+    def test_span_timing_brackets_sleep(self):
+        tr = Tracer()
+        t0 = tr.now()
+        with tr.span("golden") as sp:
+            time.sleep(0.05)
+        t1 = tr.now()
+        assert t0 <= sp.start <= sp.end <= t1
+        assert sp.wall == pytest.approx(0.05, abs=0.04)
+
+    def test_metadata_and_annotate(self):
+        tr = Tracer()
+        with tr.span("tile", i0=0, j0=4) as sp:
+            tr.annotate(n_pairs=10)
+            sp.annotate(extra=True)
+        assert sp.metadata == {"i0": 0, "j0": 4, "n_pairs": 10, "extra": True}
+
+    def test_annotate_outside_span_is_noop(self):
+        tr = Tracer()
+        tr.annotate(ignored=1)  # must not raise
+        assert tr.current_span() is None
+
+    def test_sibling_threads_do_not_nest(self):
+        tr = Tracer()
+        seen = {}
+
+        def worker():
+            with tr.span("child") as sp:
+                seen["parent"] = sp.parent_id
+
+        with tr.span("main_side"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread has its own stack: no parent from the main thread.
+        assert seen["parent"] is None
+
+    def test_find_spans_and_span_seconds(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("mi"):
+                pass
+        with tr.span("null"):
+            pass
+        assert len(tr.find_spans("mi")) == 3
+        assert tr.span_seconds("mi") == pytest.approx(
+            sum(s.wall for s in tr.find_spans("mi"))
+        )
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        tr = Tracer()
+        assert tr.add("tiles_done") == 1.0
+        assert tr.add("tiles_done", 4) == 5.0
+        assert tr.counters["tiles_done"] == 5.0
+        assert [e.total for e in tr.counter_events] == [1.0, 5.0]
+
+    def test_gauge_last_wins(self):
+        tr = Tracer()
+        tr.gauge("depth", 3)
+        tr.gauge("depth", 1)
+        assert tr.gauges["depth"] == 1.0
+        assert len(tr.gauge_events) == 2
+
+
+class TestNullTracer:
+    def test_interface_is_noop(self):
+        nt = NullTracer()
+        with nt.span("x", a=1) as sp:
+            nt.annotate(b=2)
+            sp.annotate(c=3)
+        assert nt.add("c", 5) == 0.0
+        nt.gauge("g", 1.0)
+        assert nt.spans == [] and nt.counters == {} and nt.gauges == {}
+        assert nt.find_spans("x") == []
+
+    def test_shared_span_never_accumulates_metadata(self):
+        # Regression: annotating the shared no-op span must not leak state.
+        with NULL_TRACER.span("a") as sp:
+            sp.annotate(leak=True)
+        assert sp.metadata == {}
+
+
+class TestMetrics:
+    def test_map_stats_aggregates(self):
+        stats = MapStats(n_tasks=5, wall_seconds=2.0, workers=[
+            WorkerStats("w0", 3, 1.0), WorkerStats("w1", 2, 0.5),
+        ])
+        assert stats.n_workers == 2
+        assert stats.busy_seconds == pytest.approx(1.5)
+        assert stats.utilization == pytest.approx(1.5 / 4.0)
+        assert stats.task_counts() == {"w0": 3, "w1": 2}
+        meta = stats.as_metadata()
+        assert meta["worker_tasks"] == {"w0": 3, "w1": 2}
+        assert meta["n_tasks"] == 5
+
+    def test_busy_fraction(self):
+        w = WorkerStats("w0", 2, 0.5)
+        assert w.busy_fraction(2.0) == pytest.approx(0.25)
+        assert w.busy_fraction(0.0) == 0.0
+
+    def test_merge_worker_stats_stable_naming(self):
+        merged = merge_worker_stats({140223: (3, 0.1), 9: (1, 0.2)})
+        # Sorted by stringified key: "140223" < "9".
+        assert [w.worker for w in merged] == ["w0", "w1"]
+        assert merged[0].tasks == 3 and merged[1].tasks == 1
+
+
+class TestProgressPrinter:
+    def test_renders_final_line(self):
+        buf = io.StringIO()
+        p = ProgressPrinter(label="tiles", stream=buf, min_interval=0.0)
+        for done in range(1, 4):
+            p(done, 3)
+        out = buf.getvalue()
+        assert p.n_updates == 3
+        assert "tiles: 3/3 (100.0%)" in out
+        assert out.endswith("\n")
+
+    def test_throttles_intermediate_updates(self):
+        buf = io.StringIO()
+        p = ProgressPrinter(stream=buf, min_interval=3600.0)
+        p(1, 10)  # first paint
+        p(2, 10)  # throttled
+        p(10, 10)  # final always paints
+        assert buf.getvalue().count("\r") == 2
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            ProgressPrinter(min_interval=-1)
+
+
+@pytest.fixture
+def traced():
+    tr = Tracer(meta={"run": "unit"})
+    with tr.span("preprocess"):
+        pass
+    with tr.span("mi") as sp:
+        with tr.span("engine_map", engine="FakeEngine") as em:
+            em.annotate(worker_tasks={"w0": 4, "w1": 2})
+        tr.add("pairs_done", 450)
+        tr.add("tiles_done", 6)
+    sp.end = sp.start + 0.5  # pin the wall for deterministic throughput
+    tr.gauge("queue_depth", 2)
+    return tr
+
+
+class TestJsonlRoundTrip:
+    def test_schema(self, traced, tmp_path):
+        path = write_jsonl(traced, tmp_path / "t.jsonl")
+        events = load_events(path)
+        assert events[0]["type"] == "trace"
+        assert events[0]["version"] == 1
+        assert events[0]["meta"] == {"run": "unit"}
+        types = {e["type"] for e in events}
+        assert types == {"trace", "span", "counter", "gauge"}
+        for s in span_events(events):
+            assert {"name", "id", "parent", "start", "end", "wall",
+                    "cpu", "thread", "meta"} <= set(s)
+
+    def test_analysis_helpers(self, traced, tmp_path):
+        events = load_events(write_jsonl(traced, tmp_path / "t.jsonl"))
+        breakdown = phase_breakdown(events)
+        assert set(breakdown) == {"preprocess", "mi"}
+        assert breakdown["mi"] == pytest.approx(0.5)
+        assert sum(phase_fractions(events).values()) == pytest.approx(1.0)
+        assert counter_total(events, "pairs_done") == 450.0
+        assert counter_total(events, "absent") == 0.0
+        assert pairs_per_second(events) == pytest.approx(900.0)
+        assert worker_task_counts(events) == {"w0": 4, "w1": 2}
+
+    def test_nesting_survives_round_trip(self, traced, tmp_path):
+        events = load_events(write_jsonl(traced, tmp_path / "t.jsonl"))
+        spans = {s["name"]: s for s in span_events(events)}
+        assert spans["engine_map"]["parent"] == spans["mi"]["id"]
+
+
+class TestChromeTrace:
+    def test_schema(self, traced, tmp_path):
+        path = write_chrome_trace(traced, tmp_path / "chrome.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "C"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(traced.spans)
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] >= 0  # microseconds
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert any(e["args"].get("pairs_done") == 450.0 for e in counters)
+
+    def test_args_json_serializable(self, traced, tmp_path):
+        with traced.span("odd") as sp:
+            sp.annotate(obj=object())  # stringified, not crashed
+        path = write_chrome_trace(traced, tmp_path / "chrome.json")
+        json.loads(path.read_text())
+
+
+class TestBenchJson:
+    def test_round_trip(self, tmp_path):
+        path = write_bench_json(
+            tmp_path, "E27", "trace breakdown",
+            rows=[{"phase": "mi", "share": 0.7}],
+            metrics={"pairs_per_second": 1234.5},
+        )
+        assert path.name == "BENCH_E27.json"
+        doc = load_bench_json(path)
+        assert doc["schema_version"] == 1
+        assert doc["metrics"]["pairs_per_second"] == 1234.5
+        assert doc["rows"] == [{"phase": "mi", "share": 0.7}]
+        assert doc["created_unix"] > 0
+
+    def test_rejects_non_bench_file(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError):
+            load_bench_json(bad)
