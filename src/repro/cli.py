@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "'sharedmem' workers write the MI matrix in place "
                           "(process/sharedmem need the fork start method)")
     rec.add_argument("--workers", type=int, default=None)
+    rec.add_argument("--schedule", choices=["static", "cyclic", "dynamic", "cost"],
+                     default="dynamic",
+                     help="tile scheduling policy for the MI stage: dynamic "
+                          "chunk-1 self-scheduling (the paper's default), "
+                          "static block / cyclic round-robin assignment, or "
+                          "cost-ordered LPT dispatch")
     rec.add_argument("--seed", type=int, default=0)
     rec.add_argument("--testing", choices=["pooled", "exact"], default="pooled",
                      help="pooled global null (fast) or exact per-pair p-values")
@@ -180,15 +186,22 @@ def _cmd_reconstruct(args) -> int:
             n_permutations=args.permutations, n_null_pairs=args.null_pairs,
             alpha=args.alpha, correction=args.correction,
             dtype=args.dtype, tile=args.tile, seed=args.seed,
-            testing=args.testing,
+            testing=args.testing, schedule=args.schedule,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     engine = None
     if args.engine != "serial":
+        from repro.parallel import make_scheduler
+
+        # Static policies shape the engines' own submission order too;
+        # "dynamic" and "cost" keep the engines' chunk-1 pull (the plan
+        # already orders cost-mode dispatch heaviest-first).
+        policy = (make_scheduler(args.schedule)
+                  if args.schedule in ("static", "cyclic") else None)
         try:
-            engine = make_engine(args.engine, n_workers=args.workers)
+            engine = make_engine(args.engine, n_workers=args.workers, policy=policy)
         except (RuntimeError, ValueError) as exc:  # no fork support / bad worker count
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -33,17 +33,43 @@ import numpy as np
 from repro.cluster.comm import LockstepComm
 from repro.core.bspline import weight_tensor
 from repro.core.discretize import rank_transform
-from repro.core.entropy import marginal_entropies
+from repro.core.exec import MatrixSink, TensorSource, plan_tiles, run_tile_plan
 from repro.core.mi import mi_from_joint
-from repro.core.mi_matrix import compute_tile
 from repro.core.network import GeneNetwork
 from repro.core.threshold import threshold_adjacency
-from repro.core.tiling import default_tile_size, pair_count, tile_grid
+from repro.core.tiling import Tile, pair_count
 from repro.parallel.partition import block_partition
 from repro.stats.quantile import upper_tail_threshold
 from repro.stats.random import as_rng, permutation_matrix, sample_pairs
 
-__all__ = ["DistributedRunInfo", "distributed_reconstruct"]
+__all__ = ["DistributedRunInfo", "RankPartitionSink", "distributed_reconstruct"]
+
+
+class RankPartitionSink(MatrixSink):
+    """Per-rank partial MI matrices (the distributed TINGe layout).
+
+    Each tile block lands in the partial matrix of the rank the plan's
+    cyclic policy assigned it to; cells are disjoint across ranks, so an
+    element-wise allreduce later assembles the full matrix.  ``finalize``
+    returns the partials — the allreduce is the caller's (collective)
+    concern, not the sink's.
+    """
+
+    grain = "matrix"
+    span_name = None
+
+    def __init__(self, n: int, n_ranks: int, rank_of: np.ndarray):
+        self.partials = [np.zeros((n, n), dtype=np.float64) for _ in range(n_ranks)]
+        self.tiles_per_rank = [0] * n_ranks
+        self.rank_of = rank_of
+
+    def put(self, idx: int, t: Tile, block: np.ndarray) -> None:
+        r = int(self.rank_of[idx])
+        self.tiles_per_rank[r] += 1
+        self.partials[r][t.i0 : t.i1, t.j0 : t.j1] = block
+
+    def finalize(self, completed: bool = True) -> list:
+        return self.partials
 
 
 @dataclass
@@ -130,18 +156,20 @@ def distributed_reconstruct(
     weights_full = [np.concatenate(slabs, axis=0) for slabs in gathered]
 
     # ------------------------------------------------------------------
-    # Superstep 3: each rank computes its cyclic share of the tiles.
-    if tile is None:
-        tile = default_tile_size(m, bins, itemsize=np_dtype.itemsize)
-    tiles = tile_grid(n, tile)
-    tiles_per_rank = [0] * n_ranks
-    h_per_rank = [marginal_entropies(w) for w in weights_full]
-    partial_mi = [np.zeros((n, n), dtype=np.float64) for _ in range(n_ranks)]
-    for t_idx, t in enumerate(tiles):
-        r = t_idx % n_ranks
-        tiles_per_rank[r] += 1
-        block = compute_tile(weights_full[r], h_per_rank[r], t)
-        partial_mi[r][t.i0 : t.i1, t.j0 : t.j1] = block
+    # Superstep 3: each rank computes its cyclic share of the tiles,
+    # expressed as one executor run.  The weight replicas are identical
+    # (that's what the allgather bought), so the plan draws slabs and
+    # hoisted entropies from a single source; the cyclic policy's static
+    # assignment decides which rank's partial matrix each tile lands in —
+    # the static-cyclic distribution the original TINGe uses.
+    source = TensorSource(weights_full[0])
+    plan = plan_tiles(source, tile=tile, schedule="cyclic")
+    rank_of = np.empty(plan.n_tiles, dtype=np.intp)
+    for r, idxs in enumerate(plan.policy.static_assignment(plan.n_tiles, n_ranks)):
+        rank_of[np.asarray(idxs, dtype=np.intp)] = r
+    sink = RankPartitionSink(n, n_ranks, rank_of)
+    partial_mi = run_tile_plan(plan, source, sink)
+    tiles_per_rank = sink.tiles_per_rank
 
     # Assemble the full MI matrix: element-wise allreduce of the disjoint
     # partial matrices (each cell written by exactly one rank).

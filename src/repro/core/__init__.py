@@ -7,6 +7,7 @@ Module map (bottom-up):
 * :mod:`repro.core.entropy` — plug-in entropies over weighted bins.
 * :mod:`repro.core.mi` — pair and tile MI kernels (GEMM formulation).
 * :mod:`repro.core.tiling` — upper-triangular tile decomposition.
+* :mod:`repro.core.exec` — the unified tile executor (sources, sinks, plans).
 * :mod:`repro.core.mi_matrix` — the tiled all-pairs driver.
 * :mod:`repro.core.permutation` — shared-permutation significance testing.
 * :mod:`repro.core.threshold` — thresholding policies.
@@ -16,11 +17,24 @@ Module map (bottom-up):
 
 from repro.core.adaptive import mi_adaptive
 from repro.core.bspline import BsplineBasis, weight_matrix, weight_tensor
-from repro.core.checkpoint import checkpoint_status, mi_matrix_checkpointed
+from repro.core.checkpoint import CheckpointSink, checkpoint_status, mi_matrix_checkpointed
 from repro.core.consensus import ConsensusResult, bootstrap_networks, consensus_network
 from repro.core.discretize import preprocess, rank_transform, zscore
 from repro.core.driver import AutoRunResult, auto_reconstruct
 from repro.core.exact import ExactTestResult, exact_mi_pvalues, mi_tile_fused
+from repro.core.exec import (
+    SCHEDULE_NAMES,
+    DenseSink,
+    MatrixSink,
+    MmapSource,
+    TensorSource,
+    TilePlan,
+    WeightSource,
+    plan_tiles,
+    run_tile_plan,
+    schedule_policy,
+    weights_fingerprint,
+)
 from repro.core.filtering import FilterReport, filter_genes
 from repro.core.incremental import NetworkUpdater
 from repro.core.entropy import entropy_from_probs, james_stein_shrinkage, marginal_entropies
@@ -34,7 +48,13 @@ from repro.core.mi import (
 )
 from repro.core.mi_matrix import MiMatrixResult, mi_matrix, mi_pairs, mi_row
 from repro.core.network import GeneNetwork
-from repro.core.outofcore import build_weight_store, mi_matrix_outofcore, open_weight_store
+from repro.core.outofcore import (
+    MmapMatrixSink,
+    build_weight_store,
+    mi_matrix_outofcore,
+    open_weight_store,
+    weight_store_fingerprint,
+)
 from repro.core.permutation import NullDistribution, pooled_null, per_pair_pvalues
 from repro.core.provenance import (
     data_fingerprint,
@@ -49,18 +69,27 @@ from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
 
 __all__ = [
     "BsplineBasis",
+    "CheckpointSink",
     "ConsensusResult",
+    "DenseSink",
     "ExactTestResult",
     "FilterReport",
     "GeneNetwork",
+    "MatrixSink",
     "MiMatrixResult",
+    "MmapMatrixSink",
+    "MmapSource",
     "NetworkUpdater",
     "NullDistribution",
     "AutoRunResult",
+    "SCHEDULE_NAMES",
+    "TensorSource",
     "Tile",
+    "TilePlan",
     "TingeConfig",
     "TingePipeline",
     "TingeResult",
+    "WeightSource",
     "default_tile_size",
     "entropy_from_probs",
     "auto_reconstruct",
@@ -91,12 +120,17 @@ __all__ = [
     "open_weight_store",
     "pair_count",
     "per_pair_pvalues",
+    "plan_tiles",
     "pooled_null",
     "preprocess",
     "rank_transform",
     "reconstruct_network",
     "run_record",
+    "run_tile_plan",
     "save_run_record",
+    "schedule_policy",
+    "weight_store_fingerprint",
+    "weights_fingerprint",
     "threshold_adjacency",
     "tile_grid",
     "verify_run_record",

@@ -11,36 +11,28 @@ refuses to resume against different data.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.entropy import marginal_entropies
+from repro.core.exec import (
+    MatrixSink,
+    TensorSource,
+    TilePlan,
+    plan_tiles,
+    run_tile_plan,
+    weights_fingerprint,
+)
 from repro.core.mi_matrix import compute_tile
-from repro.core.tiling import default_tile_size, pair_count, tile_grid
-from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["mi_matrix_checkpointed", "checkpoint_status"]
+__all__ = ["CheckpointSink", "mi_matrix_checkpointed", "checkpoint_status"]
 
 _LEDGER = "ledger.json"
 
-
-def _weights_fingerprint(weights: np.ndarray) -> str:
-    """Cheap, deterministic fingerprint of the weight tensor.
-
-    Hashes shape/dtype and a strided subsample (hashing 2 GB fully would
-    cost more than a tile); collisions across *different experiments* are
-    what matter, and shape+samples make those practically impossible.
-    """
-    h = hashlib.sha256()
-    h.update(str(weights.shape).encode())
-    h.update(str(weights.dtype).encode())
-    flat = weights.reshape(-1)
-    stride = max(flat.size // 65536, 1)
-    h.update(np.ascontiguousarray(flat[::stride]).tobytes())
-    return h.hexdigest()[:32]
+# Backwards-compatible alias: the fingerprint moved to repro.core.exec so
+# the out-of-core store header can share it.
+_weights_fingerprint = weights_fingerprint
 
 
 def _load_ledger(directory: Path) -> dict:
@@ -73,6 +65,98 @@ def checkpoint_status(checkpoint_dir: "str | Path") -> dict:
     }
 
 
+class CheckpointSink(MatrixSink):
+    """Row-grain sink persisting block-rows + a resume ledger on disk.
+
+    Each committed row is one ``row_{i0}.npz`` of its tile blocks plus an
+    atomic ledger update, so a preempted run resumes after the last
+    complete row.  The ledger stores the weight-tensor fingerprint and
+    tile size and refuses to resume against different data.
+    """
+
+    grain = "rows"
+    span_name = None  # historical contract: only per-row spans
+    row_span_name = "checkpoint_row"
+    progress_units = "rows"
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        plan: TilePlan,
+        fingerprint: str,
+        interrupt_after_rows: "int | None" = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n = plan.n_genes
+        self.rows = plan.rows
+        self.interrupt_after_rows = interrupt_after_rows
+        ledger = _load_ledger(self.directory)
+        if ledger:
+            if ledger.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"checkpoint at {self.directory} belongs to different data "
+                    f"(fingerprint {ledger.get('fingerprint')!r} != {fingerprint!r})"
+                )
+            if ledger.get("tile") != plan.tile:
+                raise ValueError(
+                    f"checkpoint used tile={ledger.get('tile')}, requested {plan.tile}"
+                )
+        else:
+            ledger = {
+                "fingerprint": fingerprint,
+                "tile": plan.tile,
+                "n_genes": plan.n_genes,
+                "total_rows": len(plan.rows),
+                "done": [],
+            }
+            _store_ledger(self.directory, ledger)
+        self.ledger = ledger
+        self.done = set(ledger["done"])
+        self.new_rows = 0
+
+    def skip_row(self, i0: int) -> bool:
+        return i0 in self.done
+
+    def store_row(self, i0: int, items: list) -> None:
+        np.savez(self.directory / f"row_{i0:07d}.npz",
+                 **{f"j{t.j0}": block for t, block in items})
+
+    def commit_row(self, i0: int) -> bool:
+        self.done.add(i0)
+        self.ledger["done"] = sorted(self.done)
+        _store_ledger(self.directory, self.ledger)
+        self.new_rows += 1
+        if (
+            self.interrupt_after_rows is not None
+            and self.new_rows >= self.interrupt_after_rows
+            and len(self.done) < len(self.rows)
+        ):
+            return False
+        return True
+
+    def finalize(self, completed: bool = True) -> "np.ndarray | None":
+        if not completed:
+            return None
+        # Assemble from the row files.
+        mi = np.zeros((self.n, self.n), dtype=np.float64)
+        for i0 in self.rows:
+            with np.load(self.directory / f"row_{i0:07d}.npz") as z:
+                for key in z.files:
+                    j0 = int(key[1:])
+                    block = z[key]
+                    mi[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
+        iu = np.triu_indices(self.n, k=1)
+        mi[(iu[1], iu[0])] = mi[iu]
+        np.fill_diagonal(mi, 0.0)
+        return mi
+
+
+def _checkpoint_kernel(source, h, t, base):
+    """Late-bound so tests can patch this module's ``compute_tile``."""
+    return compute_tile(source.weights, h, t, base)
+
+
 def mi_matrix_checkpointed(
     weights: np.ndarray,
     checkpoint_dir: "str | Path",
@@ -82,6 +166,7 @@ def mi_matrix_checkpointed(
     engine=None,
     progress=None,
     tracer=None,
+    schedule=None,
 ) -> "np.ndarray | None":
     """All-pairs MI with block-row-granular checkpointing.
 
@@ -112,96 +197,30 @@ def mi_matrix_checkpointed(
         Optional :class:`repro.obs.tracer.Tracer`; each computed block-row
         runs under a ``checkpoint_row`` span and ticks the ``rows_done`` /
         ``tiles_done`` / ``pairs_done`` counters.
+    schedule:
+        Optional tile-order policy (see :data:`repro.core.exec.SCHEDULE_NAMES`);
+        ordering applies within each block-row, checkpoint granularity is
+        unchanged.
 
     Returns
     -------
     numpy.ndarray or None
         The full symmetric MI matrix, or ``None`` if interrupted.
     """
-    weights = np.asarray(weights)
-    if weights.ndim != 3:
-        raise ValueError(f"expected (n, m, b) weight tensor, got shape {weights.shape}")
-    n, m, b = weights.shape
-    if n < 2:
-        raise ValueError(f"need at least 2 genes, got {n}")
-    directory = Path(checkpoint_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    if tile is None:
-        tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
-
-    fingerprint = _weights_fingerprint(weights)
-    tiles = tile_grid(n, tile)
-    rows = sorted({t.i0 for t in tiles})
-    ledger = _load_ledger(directory)
-    if ledger:
-        if ledger.get("fingerprint") != fingerprint:
-            raise ValueError(
-                f"checkpoint at {directory} belongs to different data "
-                f"(fingerprint {ledger.get('fingerprint')!r} != {fingerprint!r})"
-            )
-        if ledger.get("tile") != tile:
-            raise ValueError(
-                f"checkpoint used tile={ledger.get('tile')}, requested {tile}"
-            )
-    else:
-        ledger = {
-            "fingerprint": fingerprint,
-            "tile": tile,
-            "n_genes": n,
-            "total_rows": len(rows),
-            "done": [],
-        }
-        _store_ledger(directory, ledger)
-
-    h = marginal_entropies(weights, base=base)
-    tracer = tracer or NULL_TRACER
-    done = set(ledger["done"])
-    if progress is not None and done:
-        progress(len(done), len(rows))  # resumed rows are already complete
-    new_rows = 0
-    for i0 in rows:
-        if i0 in done:
-            continue
-        row_tiles = [t for t in tiles if t.i0 == i0]
-        with tracer.span("checkpoint_row", i0=i0, n_tiles=len(row_tiles)):
-            if engine is None:
-                blocks = {f"j{t.j0}": compute_tile(weights, h, t, base) for t in row_tiles}
-            elif hasattr(engine, "map_into"):
-                # Workers fill one (rows, n) buffer in place; the row file is
-                # then sliced out of it, keeping the on-disk format identical.
-                buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
-
-                def run_into(sink, t):
-                    sink[:, t.j0 : t.j1] = compute_tile(weights, h, t, base)
-
-                engine.map_into(run_into, row_tiles, buf)
-                blocks = {f"j{t.j0}": buf[:, t.j0 : t.j1] for t in row_tiles}
-            else:
-                computed = engine.map(lambda t: compute_tile(weights, h, t, base), row_tiles)
-                blocks = {f"j{t.j0}": blk for t, blk in zip(row_tiles, computed)}
-            np.savez(directory / f"row_{i0:07d}.npz", **blocks)
-        done.add(i0)
-        ledger["done"] = sorted(done)
-        _store_ledger(directory, ledger)
-        tracer.add("rows_done")
-        tracer.add("tiles_done", len(row_tiles))
-        tracer.add("pairs_done", sum(t.n_pairs for t in row_tiles))
-        if progress is not None:
-            progress(len(done), len(rows))
-        new_rows += 1
-        if interrupt_after_rows is not None and new_rows >= interrupt_after_rows:
-            if len(done) < len(rows):
-                return None
-
-    # Assemble from the row files.
-    mi = np.zeros((n, n), dtype=np.float64)
-    for i0 in rows:
-        with np.load(directory / f"row_{i0:07d}.npz") as z:
-            for key in z.files:
-                j0 = int(key[1:])
-                block = z[key]
-                mi[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
-    iu = np.triu_indices(n, k=1)
-    mi[(iu[1], iu[0])] = mi[iu]
-    np.fill_diagonal(mi, 0.0)
-    return mi
+    source = TensorSource(weights)
+    plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
+    sink = CheckpointSink(
+        checkpoint_dir,
+        plan,
+        source.fingerprint(),
+        interrupt_after_rows=interrupt_after_rows,
+    )
+    return run_tile_plan(
+        plan,
+        source,
+        sink,
+        engine=engine,
+        tracer=tracer,
+        progress=progress,
+        kernel=_checkpoint_kernel,
+    )

@@ -28,11 +28,17 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.bspline import weight_tensor
-from repro.core.checkpoint import mi_matrix_checkpointed
+from repro.core.checkpoint import CheckpointSink
 from repro.core.discretize import preprocess
-from repro.core.mi_matrix import mi_matrix
+from repro.core.exec import (
+    DenseSink,
+    MmapSource,
+    TensorSource,
+    plan_tiles,
+    run_tile_plan,
+)
 from repro.core.network import GeneNetwork
-from repro.core.outofcore import build_weight_store, mi_matrix_outofcore
+from repro.core.outofcore import MmapMatrixSink, build_weight_store
 from repro.core.permutation import pooled_null
 from repro.core.pipeline import TingeConfig
 from repro.core.threshold import threshold_adjacency
@@ -186,20 +192,36 @@ def auto_reconstruct(
     transformed = preprocess(data, config.transform)
     artifacts: dict = {}
 
+    # Every strategy is the same executor run over a different
+    # (source, sink) pair; only weight residency and output storage differ.
     if strategy == "out-of-core":
         wpath = build_weight_store(
             transformed, workdir / "weights", bins=config.bins,
             order=config.order, dtype=config.dtype,
         )
         artifacts["weight_store"] = wpath
-        mi_path = mi_matrix_outofcore(wpath, workdir / "mi", tile=config.tile,
-                                      engine=engine, progress=progress,
-                                      tracer=tracer)
-        artifacts["mi_store"] = mi_path
-        mi = np.asarray(np.load(mi_path, mmap_mode="r"))
-        # The null needs a bounded weight subset only: every gene when
-        # small enough, otherwise a seeded random sample (a contiguous
-        # prefix would bias the null for genome-ordered data).
+        source = MmapSource(wpath)
+    else:
+        weights = weight_tensor(transformed, config.bins, config.order,
+                                np.dtype(config.dtype))
+        source = TensorSource(weights)
+    plan = plan_tiles(source, tile=config.tile, base=config.base,
+                      schedule=config.schedule)
+    if strategy == "out-of-core":
+        sink = MmapMatrixSink(workdir / "mi", source.n_genes)
+        artifacts["mi_store"] = sink.out_path
+    elif strategy == "checkpointed":
+        ck = workdir / "checkpoint"
+        sink = CheckpointSink(ck, plan, source.fingerprint())
+        artifacts["checkpoint_dir"] = ck
+    else:
+        sink = DenseSink(source.n_genes)
+
+    # The null phase is strategy-independent statistics; only which
+    # weights seed it differs.  Out of core it needs a bounded subset:
+    # every gene when small enough, otherwise a seeded random sample (a
+    # contiguous prefix would bias the null for genome-ordered data).
+    if strategy == "out-of-core":
         weights_view = np.load(wpath, mmap_mode="r")
         try:
             subset = _null_gene_subset(n, _NULL_GENE_CAP, config.seed)
@@ -217,22 +239,21 @@ def auto_reconstruct(
         )
         del null_weights
     else:
-        weights = weight_tensor(transformed, config.bins, config.order,
-                                np.dtype(config.dtype))
         null = pooled_null(
             weights, config.n_permutations,
             min(config.n_null_pairs, pair_count(n)), config.seed, config.base,
             engine,
         )
-        if strategy == "checkpointed":
-            ck = workdir / "checkpoint"
-            mi = mi_matrix_checkpointed(weights, ck, tile=config.tile,
-                                        base=config.base, engine=engine,
-                                        progress=progress, tracer=tracer)
-            artifacts["checkpoint_dir"] = ck
-        else:
-            mi = mi_matrix(weights, tile=config.tile, base=config.base,
-                           engine=engine, progress=progress, tracer=tracer).mi
+
+    try:
+        result = run_tile_plan(plan, source, sink, engine=engine,
+                               tracer=tracer, progress=progress)
+    finally:
+        source.close()
+    if strategy == "out-of-core":
+        mi = np.asarray(np.load(result, mmap_mode="r"))
+    else:
+        mi = result
 
     threshold = null.threshold(config.alpha, n_tests=pair_count(n),
                                correction=config.correction)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
+from repro.core.exec import TensorSource, WeightSource
 from repro.core.mi import mi_tile
 from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
 from repro.obs.tracer import NULL_TRACER
@@ -121,7 +122,10 @@ def exact_mi_pvalues(
     Parameters
     ----------
     weights:
-        ``(n, m, b)`` weight tensor of rank-transformed genes.
+        ``(n, m, b)`` weight tensor of rank-transformed genes, or a
+        prepared :class:`repro.core.exec.WeightSource` whose cached
+        marginal entropies are reused instead of being recomputed here
+        (the pipeline shares one source across the MI and exact phases).
     n_permutations:
         ``q``; the add-one p-value resolution is ``1/(q+1)``.
     tile, engine, base, progress, tracer:
@@ -131,19 +135,18 @@ def exact_mi_pvalues(
         ``pairs_done`` counters; per-tile for serial and in-process
         engines, per-batch for fork-based ones.
     """
-    weights = np.asarray(weights)
-    if weights.ndim != 3:
-        raise ValueError(f"expected (n, m, b) weight tensor, got shape {weights.shape}")
+    source = weights if isinstance(weights, WeightSource) else TensorSource(weights)
+    weights = getattr(source, "weights", None)
+    if weights is None:  # disk-backed sources: materialize (fused kernel is dense)
+        weights = source.slab(0, source.n_genes)
     n, m, b = weights.shape
-    if n < 2:
-        raise ValueError(f"need at least 2 genes, got {n}")
     if n_permutations < 1:
         raise ValueError(f"n_permutations must be >= 1, got {n_permutations}")
     perms = permutation_matrix(n_permutations, m, as_rng(seed))
     if tile is None:
         tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
     tiles = tile_grid(n, tile)
-    h = marginal_entropies(weights, base=base)
+    h = source.entropies(base)
     tracer = tracer or NULL_TRACER
 
     def run(t: Tile):

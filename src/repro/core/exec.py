@@ -1,0 +1,648 @@
+"""Unified tile-execution core: one executor behind every MI driver.
+
+The paper's central decomposition — independent upper-triangle tiles of
+the MI matrix, scheduled across many workers — used to be re-implemented
+by each driver (in-memory, checkpointed, out-of-core, distributed), each
+with its own weight access, entropy hoisting and output writing.  This
+module factors that loop into three small protocols plus one executor:
+
+* :class:`WeightSource` — where the ``(n, m, b)`` weight tensor lives and
+  how a block-row slab of it is produced (in-memory tensor, mmap store).
+  The source also owns the hoisted per-gene marginal entropies and the
+  tensor fingerprint, so neither is recomputed per driver.
+* :class:`MatrixSink` — where tile blocks go: a dense ``(n, n)`` array,
+  a checkpointed block ledger, a memory-mapped matrix, or per-rank
+  partial matrices.  Sinks declare their *grain* (whole-matrix or
+  block-row) and the executor adapts its dispatch to it.
+* :class:`TilePlan` — the tile grid plus the schedule: a
+  :class:`repro.parallel.scheduler.SchedulerPolicy` orders real dispatch
+  (with per-tile costs for the cost-model policies), not just the
+  simulator's replay.
+
+:func:`run_tile_plan` then owns tile iteration, engine dispatch
+(``map``/``map_into``, with fork-engine batching and shared-memory
+staging), progress reporting and span/counter emission — identically for
+every driver, so a new backend is one new protocol implementation, not a
+fourth fork of the loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.entropy import marginal_entropies
+from repro.core.mi import mi_tile
+from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel.scheduler import (
+    DynamicScheduler,
+    LptScheduler,
+    SchedulerPolicy,
+    make_scheduler,
+)
+
+__all__ = [
+    "SCHEDULE_NAMES",
+    "DenseSink",
+    "MatrixSink",
+    "MmapSource",
+    "TensorSource",
+    "TilePlan",
+    "WeightSource",
+    "plan_tiles",
+    "run_tile_plan",
+    "schedule_policy",
+    "weights_fingerprint",
+]
+
+# Schedule names accepted by config/CLI.  "cost" is the LPT oracle: the
+# plan orders tiles by descending kernel cost (n_elements), which a
+# greedy puller turns into the classic LPT assignment.
+SCHEDULE_NAMES = ("static", "cyclic", "dynamic", "cost")
+
+
+def weights_fingerprint(weights: np.ndarray) -> str:
+    """Cheap, deterministic fingerprint of a weight tensor.
+
+    Hashes shape/dtype and a strided subsample (hashing 2 GB fully would
+    cost more than a tile); collisions across *different experiments* are
+    what matter, and shape+samples make those practically impossible.
+    Shared by the checkpoint ledger and the out-of-core store header.
+    """
+    h = hashlib.sha256()
+    h.update(str(weights.shape).encode())
+    h.update(str(weights.dtype).encode())
+    flat = weights.reshape(-1)
+    stride = max(flat.size // 65536, 1)
+    h.update(np.ascontiguousarray(flat[::stride]).tobytes())
+    return h.hexdigest()[:32]
+
+
+def schedule_policy(schedule) -> "SchedulerPolicy | None":
+    """Resolve a schedule name (or policy instance) to a plan policy.
+
+    ``None``/``"dynamic"`` map to the paper's default dynamic
+    self-scheduling with chunk 1; ``"cost"`` maps to the LPT oracle,
+    which needs the per-tile costs only the plan knows.
+    """
+    if schedule is None:
+        return None
+    if isinstance(schedule, SchedulerPolicy):
+        return schedule
+    if schedule == "dynamic":
+        return DynamicScheduler(chunk=1)
+    if schedule == "cost":
+        return LptScheduler()
+    if schedule in ("static", "cyclic"):
+        return make_scheduler(schedule)
+    raise ValueError(
+        f"unknown schedule {schedule!r}; choose from {sorted(SCHEDULE_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Weight sources
+# ---------------------------------------------------------------------------
+
+
+class WeightSource:
+    """Where the ``(n, m, b)`` weight tensor lives.
+
+    Subclasses provide :meth:`slab`; marginal entropies (per log base) and
+    the tensor fingerprint are computed once here and cached, so every
+    consumer — the MI pass, the exact tester, the checkpoint ledger —
+    reuses the same arrays instead of recomputing them per driver.
+    """
+
+    n_genes: int
+    m_samples: int
+    bins: int
+    dtype: np.dtype
+
+    def __init__(self) -> None:
+        self._entropies: dict = {}
+        self._fingerprint: "str | None" = None
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    def slab(self, a: int, b: int) -> np.ndarray:
+        """The ``weights[a:b]`` block-row, in the dtype the kernel expects."""
+        raise NotImplementedError
+
+    def entropies(self, base: str = "nat") -> np.ndarray:
+        """Per-gene marginal entropies, computed once per base and cached."""
+        if base not in self._entropies:
+            self._entropies[base] = self._compute_entropies(base)
+        return self._entropies[base]
+
+    def _compute_entropies(self, base: str) -> np.ndarray:
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Cached :func:`weights_fingerprint` of the underlying tensor."""
+        if self._fingerprint is None:
+            self._fingerprint = self._compute_fingerprint()
+        return self._fingerprint
+
+    def _compute_fingerprint(self) -> str:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any file handles (no-op for in-memory sources)."""
+
+
+def _check_tensor_shape(weights: np.ndarray) -> None:
+    if weights.ndim != 3:
+        raise ValueError(f"expected (n, m, b) weight tensor, got shape {weights.shape}")
+    if weights.shape[0] < 2:
+        raise ValueError(f"need at least 2 genes, got {weights.shape[0]}")
+
+
+class TensorSource(WeightSource):
+    """In-memory weight tensor (the common case)."""
+
+    def __init__(self, weights: np.ndarray):
+        super().__init__()
+        weights = np.asarray(weights)
+        _check_tensor_shape(weights)
+        self.weights = weights
+        self.n_genes, self.m_samples, self.bins = weights.shape
+        self.dtype = weights.dtype
+
+    def slab(self, a: int, b: int) -> np.ndarray:
+        return self.weights[a:b]
+
+    def _compute_entropies(self, base: str) -> np.ndarray:
+        return marginal_entropies(self.weights, base=base)
+
+    def _compute_fingerprint(self) -> str:
+        return weights_fingerprint(self.weights)
+
+
+class MmapSource(WeightSource):
+    """Memory-mapped weight store written by
+    :func:`repro.core.outofcore.build_weight_store`.
+
+    Slabs are materialized block-row by block-row as float64 (the kernel
+    precision), never the whole tensor; marginal entropies stream through
+    the same block granularity.  Entropies are per-gene, so the streaming
+    pass is bit-identical to a whole-tensor one.
+    """
+
+    def __init__(self, path, entropy_block: int = 256):
+        super().__init__()
+        self.path = path
+        self._weights = np.load(path, mmap_mode="r")
+        if self._weights.ndim != 3:
+            raise ValueError(
+                f"weight store has shape {self._weights.shape}, expected 3-D"
+            )
+        self.n_genes, self.m_samples, self.bins = self._weights.shape
+        if self.n_genes < 2:
+            raise ValueError(f"need at least 2 genes, got {self.n_genes}")
+        self.dtype = self._weights.dtype
+        self._entropy_block = max(int(entropy_block), 1)
+
+    def slab(self, a: int, b: int) -> np.ndarray:
+        return np.asarray(self._weights[a:b], dtype=np.float64)
+
+    def _compute_entropies(self, base: str) -> np.ndarray:
+        h = np.empty(self.n_genes, dtype=np.float64)
+        for s in range(0, self.n_genes, self._entropy_block):
+            e = min(s + self._entropy_block, self.n_genes)
+            h[s:e] = marginal_entropies(self.slab(s, e), base=base)
+        return h
+
+    def _compute_fingerprint(self) -> str:
+        return weights_fingerprint(self._weights)
+
+    def close(self) -> None:
+        """Release the mmap handle (important before deleting the file)."""
+        handle = getattr(self._weights, "_mmap", None)
+        self._weights = None
+        if handle is not None:
+            handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Tile plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TilePlan:
+    """The tile grid plus its schedule.
+
+    ``policy`` orders real dispatch: the executor submits tiles in
+    :meth:`order`, so a cyclic policy interleaves block-rows and the cost
+    policy (LPT over ``Tile.n_elements``) sorts heavy tiles first —
+    exactly what the scheduler module previously only simulated.
+    """
+
+    n_genes: int
+    tile: int
+    base: str
+    tiles: list
+    policy: "SchedulerPolicy | None" = None
+    rows: list = field(init=False)
+    _row_tiles: dict = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._row_tiles = {}
+        for t in self.tiles:
+            self._row_tiles.setdefault(t.i0, []).append(t)
+        self.rows = sorted(self._row_tiles)
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def n_pairs(self) -> int:
+        return pair_count(self.n_genes)
+
+    def row_tiles(self, i0: int) -> list:
+        """Tiles of block-row ``i0``, in grid (ascending ``j0``) order."""
+        return self._row_tiles[i0]
+
+    def costs(self) -> np.ndarray:
+        """Per-tile kernel cost (cells computed, ``Tile.n_elements``)."""
+        return np.asarray([t.n_elements for t in self.tiles], dtype=np.float64)
+
+    def order(self, n_workers: int = 1) -> list:
+        """Tile indices in dispatch order for ``n_workers`` workers.
+
+        Dynamic policies concatenate their chunk sequence (the pull
+        order); static policies concatenate per-worker assignments, with
+        the plan supplying per-tile costs so LPT works.  No policy means
+        grid order.
+        """
+        n = len(self.tiles)
+        if self.policy is None:
+            return list(range(n))
+        n_workers = max(int(n_workers), 1)
+        if self.policy.is_dynamic():
+            chunks = self.policy.chunk_sequence(n, n_workers)
+        else:
+            chunks = self.policy.static_assignment(n, n_workers, costs=self.costs())
+        return [int(i) for chunk in chunks for i in chunk]
+
+
+def plan_tiles(
+    source: WeightSource,
+    tile: "int | None" = None,
+    base: str = "nat",
+    schedule=None,
+) -> TilePlan:
+    """Build the :class:`TilePlan` for ``source``.
+
+    ``tile`` defaults to the cache-derived
+    :func:`repro.core.tiling.default_tile_size` for the source's sample
+    count, bin count and dtype; ``schedule`` is a name from
+    :data:`SCHEDULE_NAMES`, a policy instance, or ``None`` (grid order).
+    """
+    if tile is None:
+        tile = default_tile_size(source.m_samples, source.bins, itemsize=source.itemsize)
+    return TilePlan(
+        n_genes=source.n_genes,
+        tile=tile,
+        base=base,
+        tiles=tile_grid(source.n_genes, tile),
+        policy=schedule_policy(schedule),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Matrix sinks
+# ---------------------------------------------------------------------------
+
+
+class MatrixSink:
+    """Where computed tile blocks go.
+
+    ``grain`` picks the executor's dispatch shape:
+
+    * ``"matrix"`` — tiles are independent; the executor dispatches the
+      whole (policy-ordered) grid at once, batching fork engines and
+      staging shared memory exactly as the in-memory driver always did.
+      The sink exposes an optional :meth:`buffer` for in-place
+      ``map_into`` writes and receives every block through :meth:`put`.
+    * ``"rows"`` — tiles are processed one block-row at a time (the
+      checkpoint and out-of-core layouts); the executor hands each
+      completed row to :meth:`store_row`, then :meth:`commit_row` decides
+      whether the run continues (the checkpoint interrupt hook).
+
+    ``span_name`` (outer span), ``row_span_name`` (per-row span) and
+    ``progress_units`` (``"tiles"`` or ``"rows"``) preserve each
+    driver's historical observability contract.
+    """
+
+    grain: str = "matrix"
+    span_name: "str | None" = None
+    row_span_name: "str | None" = None
+    progress_units: str = "tiles"
+
+    def span_meta(self, plan: TilePlan) -> dict:
+        return {}
+
+    # -- matrix grain ------------------------------------------------------
+    def buffer(self) -> "np.ndarray | None":
+        """Array for direct ``map_into`` writes, or ``None`` to force
+        block-wise :meth:`put`."""
+        return None
+
+    def put(self, idx: int, t: Tile, block: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # -- rows grain --------------------------------------------------------
+    def skip_row(self, i0: int) -> bool:
+        """True when the row is already complete (checkpoint resume)."""
+        return False
+
+    def store_row(self, i0: int, items: list) -> None:
+        """Persist one completed block-row; ``items`` is ``[(tile, block)]``."""
+        raise NotImplementedError
+
+    def commit_row(self, i0: int) -> bool:
+        """Durably record the row; return False to stop the run."""
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+    def finalize(self, completed: bool = True):
+        """Produce the sink's result (driver-specific type)."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release resources; called by the executor even on error."""
+
+
+class DenseSink(MatrixSink):
+    """Dense in-memory ``(n, n)`` matrix (optionally caller-preallocated)."""
+
+    grain = "matrix"
+    span_name = "mi_matrix"
+
+    def __init__(self, n: int, out: "np.ndarray | None" = None):
+        if out is None:
+            self.mi = np.zeros((n, n), dtype=np.float64)
+        else:
+            if out.shape != (n, n) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be a ({n}, {n}) float64 array, "
+                    f"got shape {out.shape} dtype {out.dtype}"
+                )
+            self.mi = out
+        self.n = n
+
+    def span_meta(self, plan: TilePlan) -> dict:
+        return {
+            "n_genes": plan.n_genes,
+            "n_tiles": plan.n_tiles,
+            "n_pairs": plan.n_pairs,
+            "tile": plan.tile,
+        }
+
+    def buffer(self) -> np.ndarray:
+        return self.mi
+
+    def put(self, idx: int, t: Tile, block: np.ndarray) -> None:
+        self.mi[t.i0 : t.i1, t.j0 : t.j1] = block
+
+    def finalize(self, completed: bool = True) -> np.ndarray:
+        # Mirror the strict upper triangle into the lower one.
+        iu = np.triu_indices(self.n, k=1)
+        self.mi[(iu[1], iu[0])] = self.mi[iu]
+        np.fill_diagonal(self.mi, 0.0)
+        return self.mi
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def default_kernel(source: WeightSource, h: np.ndarray, t: Tile, base: str) -> np.ndarray:
+    """One tile's MI block from the source's slabs (diagonal masked)."""
+    block = mi_tile(
+        source.slab(t.i0, t.i1),
+        source.slab(t.j0, t.j1),
+        h_i=h[t.i0 : t.i1],
+        h_j=h[t.j0 : t.j1],
+        base=base,
+    )
+    if t.is_diagonal:
+        block = np.where(t.pair_mask(), block, 0.0)
+    return block
+
+
+def run_tile_plan(
+    plan: TilePlan,
+    source: WeightSource,
+    sink: MatrixSink,
+    engine=None,
+    tracer=None,
+    progress=None,
+    kernel=None,
+):
+    """Execute ``plan``: every tile through ``kernel`` into ``sink``.
+
+    This is the one tile loop all MI drivers share.  ``engine`` is any
+    :mod:`repro.parallel.engine` engine (or ``None`` for serial);
+    ``kernel(source, h, tile, base)`` defaults to the GEMM MI kernel and
+    is overridable (the checkpoint driver routes through its patchable
+    ``compute_tile``).  ``progress(done, total)`` and the tracer's
+    ``tiles_done``/``pairs_done`` (and, for row sinks, ``rows_done``)
+    counters tick at each driver's historical granularity: per tile for
+    serial and in-process engines, per batch/row for fork engines.
+
+    Returns ``sink.finalize(completed)`` — the sink-specific result.
+    """
+    tracer = tracer or NULL_TRACER
+    kernel = kernel or default_kernel
+    h = source.entropies(plan.base)
+    base = plan.base
+
+    def run(t: Tile) -> np.ndarray:
+        return kernel(source, h, t, base)
+
+    try:
+        if sink.grain == "rows":
+            completed = _run_rows(plan, sink, run, engine, tracer, progress)
+        else:
+            _run_matrix(plan, sink, run, engine, tracer, progress)
+            completed = True
+        return sink.finalize(completed=completed)
+    finally:
+        sink.close()
+
+
+def _span(tracer, name, **meta):
+    return tracer.span(name, **meta) if name else nullcontext()
+
+
+def _engine_workers(engine) -> int:
+    return max(int(getattr(engine, "n_workers", 1) or 1), 1)
+
+
+def _run_matrix(plan, sink, run, engine, tracer, progress) -> None:
+    """Whole-grid dispatch (dense and distributed sinks)."""
+    tiles = plan.tiles
+    total = len(tiles)
+    order = plan.order(_engine_workers(engine))
+    counter_lock = threading.Lock()
+    done_count = [0]
+
+    def tick(n_tiles: int, n_pairs: int) -> None:
+        """Record completed work: counters first, then the progress line."""
+        with counter_lock:
+            done_count[0] += n_tiles
+            done = done_count[0]
+        tracer.add("tiles_done", n_tiles)
+        tracer.add("pairs_done", n_pairs)
+        if progress is not None:
+            progress(done, total)
+
+    buf = sink.buffer()
+
+    def run_into(out: np.ndarray, t: Tile) -> None:
+        out[t.i0 : t.i1, t.j0 : t.j1] = run(t)
+
+    with _span(tracer, sink.span_name, **sink.span_meta(plan)):
+        if engine is None:
+            for idx in order:
+                t = tiles[idx]
+                sink.put(idx, t, run(t))
+                tick(1, t.n_pairs)
+        elif getattr(engine, "in_process", False):
+            # Workers share this address space, so per-tile completion can
+            # be reported live from inside the mapped function itself.
+            if buf is not None and hasattr(engine, "map_into"):
+                def run_into_ticked(out: np.ndarray, t: Tile) -> None:
+                    run_into(out, t)
+                    tick(1, t.n_pairs)
+
+                engine.map_into(run_into_ticked, [tiles[i] for i in order], buf)
+            else:
+                def run_ticked(t: Tile) -> np.ndarray:
+                    block = run(t)
+                    tick(1, t.n_pairs)
+                    return block
+
+                blocks = engine.map(run_ticked, [tiles[i] for i in order])
+                for idx, block in zip(order, blocks):
+                    sink.put(idx, tiles[idx], block)
+        else:
+            # Fork-based engines: tile completion happens in child
+            # processes, invisible to a parent-side callback.  When someone
+            # is watching, split the grid into batches (a few tiles per
+            # worker keeps the pools saturated) and report per batch; when
+            # nobody is, keep the single dispatch.
+            observing = progress is not None or tracer is not NULL_TRACER
+            chunk = max(1, 4 * _engine_workers(engine)) if observing else total
+            use_into = buf is not None and hasattr(engine, "map_into")
+            out: object = buf
+            staged = None
+            if use_into and chunk < total:
+                # Shared-memory engines stage a plain-ndarray sink per
+                # map_into call; stage once here so batching costs one
+                # memcpy total, not one per batch.
+                from repro.parallel.engine import SharedMemoryEngine
+                from repro.parallel.sharedmem import SharedArray
+
+                if isinstance(engine, SharedMemoryEngine):
+                    staged = SharedArray.from_array(buf)
+                    out = staged
+            try:
+                for s in range(0, total, chunk):
+                    batch_idx = order[s : s + chunk]
+                    batch = [tiles[i] for i in batch_idx]
+                    if use_into:
+                        engine.map_into(run_into, batch, out)
+                    else:
+                        blocks = engine.map(run, batch)
+                        for idx, block in zip(batch_idx, blocks):
+                            sink.put(idx, tiles[idx], block)
+                    tick(len(batch), sum(t.n_pairs for t in batch))
+                if staged is not None:
+                    buf[...] = staged.array
+            finally:
+                if staged is not None:
+                    staged.close()
+                    staged.unlink()
+
+
+def _run_rows(plan, sink, run, engine, tracer, progress) -> bool:
+    """Block-row dispatch (checkpoint and out-of-core sinks).
+
+    Returns False when the sink stopped the run early (checkpoint
+    interruption), True on completion.
+    """
+    rows = plan.rows
+    row_progress = sink.progress_units == "rows"
+    total = len(rows) if row_progress else len(plan.tiles)
+    pending = [i0 for i0 in rows if not sink.skip_row(i0)]
+    done = len(rows) - len(pending) if row_progress else 0
+    if progress is not None and done:
+        progress(done, total)  # resumed rows are already complete
+
+    with _span(tracer, sink.span_name, **sink.span_meta(plan)):
+        return _run_pending_rows(
+            plan, sink, run, engine, tracer, progress, pending, row_progress,
+            done, total,
+        )
+
+
+def _run_pending_rows(
+    plan, sink, run, engine, tracer, progress, pending, row_progress, done, total
+) -> bool:
+    for i0 in pending:
+        row_tiles = plan.row_tiles(i0)
+        with _span(tracer, sink.row_span_name, i0=i0, n_tiles=len(row_tiles)):
+            if engine is None:
+                items = []
+                for t in row_tiles:
+                    items.append((t, run(t)))
+                    if not row_progress:
+                        done += 1
+                        tracer.add("tiles_done")
+                        tracer.add("pairs_done", t.n_pairs)
+                        if progress is not None:
+                            progress(done, total)
+                sink.store_row(i0, items)
+            elif hasattr(engine, "map_into"):
+                # Workers fill one (rows, n) buffer in place; the row is
+                # then sliced out of it, keeping storage formats identical.
+                buf = np.zeros((row_tiles[0].i1 - i0, plan.n_genes), dtype=np.float64)
+
+                def run_into(out, t):
+                    out[:, t.j0 : t.j1] = run(t)
+
+                engine.map_into(run_into, row_tiles, buf)
+                sink.store_row(i0, [(t, buf[:, t.j0 : t.j1]) for t in row_tiles])
+            else:
+                blocks = engine.map(run, row_tiles)
+                sink.store_row(i0, list(zip(row_tiles, blocks)))
+        keep_going = sink.commit_row(i0)
+        if row_progress:
+            done += 1
+            tracer.add("rows_done")
+            tracer.add("tiles_done", len(row_tiles))
+            tracer.add("pairs_done", sum(t.n_pairs for t in row_tiles))
+            if progress is not None:
+                progress(done, total)
+        elif engine is not None:
+            done += len(row_tiles)
+            tracer.add("tiles_done", len(row_tiles))
+            tracer.add("pairs_done", sum(t.n_pairs for t in row_tiles))
+            if progress is not None:
+                progress(done, total)
+        if not keep_going:
+            return False
+    return True

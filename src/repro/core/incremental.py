@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.bspline import BsplineBasis
 from repro.core.discretize import rank_transform
+from repro.core.entropy import marginal_entropies
 from repro.core.mi_matrix import mi_row
 from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution
@@ -66,6 +67,9 @@ class NetworkUpdater:
             raise ValueError("weights / mi / genes sizes disagree")
         self._weights = np.array(weights, dtype=np.float64, copy=True)
         self._mi = mi.copy()
+        # Cached per-gene marginal entropies: each update touches only the
+        # changed gene's entry instead of recomputing all n of them.
+        self._h = marginal_entropies(self._weights)
         self._genes = list(genes)
         self._null = null
         self._alpha = alpha
@@ -116,9 +120,10 @@ class NetworkUpdater:
             )
         w_new = self._basis.weights(rank_transform(samples))
         self._weights = np.concatenate([self._weights, w_new[None]], axis=0)
+        self._h = np.concatenate([self._h, marginal_entropies(w_new[None])])
         self._genes.append(name)
         n = self.n_genes
-        row = mi_row(self._weights, n - 1)
+        row = mi_row(self._weights, n - 1, h=self._h)
         grown = np.zeros((n, n), dtype=np.float64)
         grown[: n - 1, : n - 1] = self._mi
         grown[n - 1, :] = row
@@ -135,5 +140,6 @@ class NetworkUpdater:
             raise ValueError("cannot shrink below 2 genes")
         keep = [i for i in range(self.n_genes) if i != idx]
         self._weights = self._weights[keep]
+        self._h = self._h[keep]
         self._mi = self._mi[np.ix_(keep, keep)]
         del self._genes[idx]

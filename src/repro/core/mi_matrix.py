@@ -6,29 +6,31 @@ triangle (see :mod:`repro.core.tiling`) and dispatching one GEMM-formulated
 kernel call per tile (:func:`repro.core.mi.mi_tile`).  Marginal entropies
 are hoisted: computed once per gene, reused by every tile.
 
-Execution strategy is pluggable: any object with a ``map(fn, items)``
-method (see :mod:`repro.parallel.engine`) can run the tile loop — serial,
-thread pool, or fork-based process pool — because tiles are independent
-and write disjoint output blocks.  Engines that additionally implement the
-sink protocol ``map_into(fn, items, out)`` (serial, thread, and the
-shared-memory pool) skip the parent-side reassembly loop entirely: each
-worker writes its tile block straight into the output matrix.  This is
-exactly the decomposition the paper distributes over the Phi's 240
-hardware threads, which write disjoint blocks of the MI matrix in place.
+This driver is a thin configuration of the unified execution core
+(:mod:`repro.core.exec`): an in-memory :class:`~repro.core.exec.TensorSource`
+feeding a dense :class:`~repro.core.exec.DenseSink` through
+:func:`~repro.core.exec.run_tile_plan`, which owns engine dispatch
+(``map``/``map_into``), scheduling, progress and tracing.  This is exactly
+the decomposition the paper distributes over the Phi's 240 hardware
+threads, which write disjoint blocks of the MI matrix in place.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
+from repro.core.exec import (
+    DenseSink,
+    TensorSource,
+    WeightSource,
+    plan_tiles,
+    run_tile_plan,
+)
 from repro.core.mi import mi_tile
-from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
-from repro.obs.tracer import NULL_TRACER
+from repro.core.tiling import Tile, pair_count
 
 __all__ = ["MiMatrixResult", "compute_tile", "mi_matrix", "mi_pairs", "mi_row"]
 
@@ -82,14 +84,25 @@ def compute_tile(
     return block
 
 
+def _tile_kernel(source, h: np.ndarray, t: Tile, base: str) -> np.ndarray:
+    """Executor kernel routing through the patchable :func:`compute_tile`."""
+    weights = getattr(source, "weights", None)
+    if weights is None:  # non-tensor sources slab through the default kernel
+        from repro.core.exec import default_kernel
+
+        return default_kernel(source, h, t, base)
+    return compute_tile(weights, h, t, base)
+
+
 def mi_matrix(
-    weights: np.ndarray,
+    weights: "np.ndarray | WeightSource",
     tile: int | None = None,
     base: str = "nat",
     engine=None,
     progress=None,
     out: "np.ndarray | None" = None,
     tracer=None,
+    schedule=None,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -97,7 +110,9 @@ def mi_matrix(
     ----------
     weights:
         ``(n, m, b)`` B-spline weight tensor
-        (:func:`repro.core.bspline.weight_tensor`).
+        (:func:`repro.core.bspline.weight_tensor`), or a prepared
+        :class:`repro.core.exec.WeightSource` (which carries cached
+        marginal entropies across phases).
     tile:
         Tile edge; defaults to :func:`repro.core.tiling.default_tile_size`
         for the given ``(m, b)``.
@@ -125,122 +140,28 @@ def mi_matrix(
         runs under an ``mi_matrix`` span; each tile (in-process paths) or
         tile batch (fork paths) ticks the ``tiles_done`` / ``pairs_done``
         counters, so throughput over time is recoverable from the trace.
+    schedule:
+        Optional scheduling policy for the tile dispatch order: a name
+        from :data:`repro.core.exec.SCHEDULE_NAMES` (``static``,
+        ``cyclic``, ``dynamic``, ``cost``) or a
+        :class:`repro.parallel.scheduler.SchedulerPolicy`; default is
+        grid order (equivalent to dynamic chunk-1 pull).
 
     Returns
     -------
     MiMatrixResult
     """
-    weights = np.asarray(weights)
-    if weights.ndim != 3:
-        raise ValueError(f"expected (n, m, b) weight tensor, got shape {weights.shape}")
-    n, m, b = weights.shape
-    if n < 2:
-        raise ValueError(f"need at least 2 genes, got {n}")
-    if tile is None:
-        tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
-    tiles = tile_grid(n, tile)
-    h = marginal_entropies(weights, base=base)
-    tracer = tracer or NULL_TRACER
-
-    if out is None:
-        mi = np.zeros((n, n), dtype=np.float64)
-    else:
-        if out.shape != (n, n) or out.dtype != np.float64:
-            raise ValueError(
-                f"out must be a ({n}, {n}) float64 array, "
-                f"got shape {out.shape} dtype {out.dtype}"
-            )
-        mi = out
-
-    def run(t: Tile) -> np.ndarray:
-        return compute_tile(weights, h, t, base)
-
-    def run_into(sink: np.ndarray, t: Tile) -> None:
-        sink[t.i0 : t.i1, t.j0 : t.j1] = compute_tile(weights, h, t, base)
-
-    total = len(tiles)
-    counter_lock = threading.Lock()
-    done_count = [0]
-
-    def tick(n_tiles: int, n_pairs: int) -> None:
-        """Record completed work: counters first, then the progress line."""
-        with counter_lock:
-            done_count[0] += n_tiles
-            done = done_count[0]
-        tracer.add("tiles_done", n_tiles)
-        tracer.add("pairs_done", n_pairs)
-        if progress is not None:
-            progress(done, total)
-
-    with tracer.span("mi_matrix", n_genes=n, n_tiles=total,
-                     n_pairs=pair_count(n), tile=tile):
-        if engine is None:
-            for t in tiles:
-                run_into(mi, t)
-                tick(1, t.n_pairs)
-        elif getattr(engine, "in_process", False):
-            # Workers share this address space, so per-tile completion can
-            # be reported live from inside the mapped function itself.
-            if hasattr(engine, "map_into"):
-                def run_into_ticked(sink: np.ndarray, t: Tile) -> None:
-                    run_into(sink, t)
-                    tick(1, t.n_pairs)
-
-                engine.map_into(run_into_ticked, tiles, mi)
-            else:
-                def run_ticked(t: Tile) -> np.ndarray:
-                    block = run(t)
-                    tick(1, t.n_pairs)
-                    return block
-
-                blocks = engine.map(run_ticked, tiles)
-                for t, block in zip(tiles, blocks):
-                    mi[t.i0 : t.i1, t.j0 : t.j1] = block
-        else:
-            # Fork-based engines: tile completion happens in child
-            # processes, invisible to a parent-side callback.  When someone
-            # is watching, split the grid into batches (a few tiles per
-            # worker keeps the pools saturated) and report per batch; when
-            # nobody is, keep the original single dispatch.
-            observing = progress is not None or tracer is not NULL_TRACER
-            if observing:
-                chunk = max(1, 4 * getattr(engine, "n_workers", 1))
-            else:
-                chunk = total
-            sink: object = mi
-            staged = None
-            if chunk < total and hasattr(engine, "map_into"):
-                # Shared-memory engines stage a plain-ndarray sink per
-                # map_into call; stage once here so batching costs one
-                # memcpy total, not one per batch.
-                from repro.parallel.engine import SharedMemoryEngine
-                from repro.parallel.sharedmem import SharedArray
-
-                if isinstance(engine, SharedMemoryEngine):
-                    staged = SharedArray.from_array(mi)
-                    sink = staged
-            try:
-                for s in range(0, total, chunk):
-                    batch = tiles[s : s + chunk]
-                    if hasattr(engine, "map_into"):
-                        engine.map_into(run_into, batch, sink)
-                    else:
-                        blocks = engine.map(run, batch)
-                        for t, block in zip(batch, blocks):
-                            mi[t.i0 : t.i1, t.j0 : t.j1] = block
-                    tick(len(batch), sum(t.n_pairs for t in batch))
-                if staged is not None:
-                    mi[...] = staged.array
-            finally:
-                if staged is not None:
-                    staged.close()
-                    staged.unlink()
-
-    # Mirror the strict upper triangle into the lower one.
-    iu = np.triu_indices(n, k=1)
-    mi[(iu[1], iu[0])] = mi[iu]
-    np.fill_diagonal(mi, 0.0)
-    return MiMatrixResult(mi=mi, marginal_entropy=h, n_tiles=len(tiles), n_pairs=pair_count(n))
+    source = weights if isinstance(weights, WeightSource) else TensorSource(weights)
+    plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
+    sink = DenseSink(source.n_genes, out=out)
+    mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
+                       progress=progress, kernel=_tile_kernel)
+    return MiMatrixResult(
+        mi=mi,
+        marginal_entropy=source.entropies(base),
+        n_tiles=plan.n_tiles,
+        n_pairs=plan.n_pairs,
+    )
 
 
 def mi_row(
@@ -248,12 +169,17 @@ def mi_row(
     gene: int,
     base: str = "nat",
     block: int = 256,
+    h: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """MI of one gene against every other gene (one matrix row).
 
     The incremental-update primitive: adding or re-annotating a single gene
     costs ``O(n * m * b^2)`` instead of recomputing the full ``O(n^2)``
     matrix.  ``out[gene]`` is 0 by the no-self-edge convention.
+
+    ``h`` (optional) supplies precomputed per-gene marginal entropies in
+    ``base``; callers maintaining a network incrementally cache them so
+    each added gene costs one new entropy, not ``n`` recomputed ones.
     """
     weights = np.asarray(weights)
     if weights.ndim != 3:
@@ -261,7 +187,10 @@ def mi_row(
     n = weights.shape[0]
     if not 0 <= gene < n:
         raise ValueError(f"gene index {gene} out of range for {n} genes")
-    h = marginal_entropies(weights, base=base)
+    if h is None:
+        h = marginal_entropies(weights, base=base)
+    elif np.asarray(h).shape != (n,):
+        raise ValueError(f"expected ({n},) entropies, got shape {np.asarray(h).shape}")
     wg = weights[gene : gene + 1]
     out = np.empty(n, dtype=np.float64)
     for s in range(0, n, block):

@@ -7,21 +7,46 @@ second memory map, and tiles stream block-rows through RAM — the same
 panel-streaming structure the offload model prices for the coprocessor
 case.  Results are bit-identical to the in-memory driver (tests enforce
 it); only residency changes.
+
+This driver is a thin configuration of the unified execution core
+(:mod:`repro.core.exec`): an :class:`~repro.core.exec.MmapSource` feeding
+a :class:`MmapMatrixSink` through
+:func:`~repro.core.exec.run_tile_plan`.  The weight store carries a
+fingerprint sidecar (written by :func:`build_weight_store`) which
+:func:`mi_matrix_outofcore` verifies before computing — the same
+resume-safety guarantee the checkpoint ledger gives.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.bspline import weight_tensor
-from repro.core.entropy import marginal_entropies
-from repro.core.mi import mi_tile
-from repro.core.tiling import default_tile_size, tile_grid
-from repro.obs.tracer import NULL_TRACER
+from repro.core.exec import (
+    MatrixSink,
+    MmapSource,
+    TilePlan,
+    plan_tiles,
+    run_tile_plan,
+    weights_fingerprint,
+)
 
-__all__ = ["build_weight_store", "open_weight_store", "mi_matrix_outofcore"]
+__all__ = [
+    "MmapMatrixSink",
+    "build_weight_store",
+    "mi_matrix_outofcore",
+    "open_weight_store",
+    "weight_store_fingerprint",
+]
+
+_META_SUFFIX = ".meta.json"
+
+
+def _meta_path(store_path: Path) -> Path:
+    return store_path.with_name(store_path.name + _META_SUFFIX)
 
 
 def build_weight_store(
@@ -35,7 +60,10 @@ def build_weight_store(
     """Write the weight tensor of ``data`` to a ``.npy`` file, block-wise.
 
     Peak memory is one ``gene_block`` of weights, not the full tensor.
-    Returns the path (with the ``.npy`` suffix ensured).
+    A ``<store>.meta.json`` sidecar records the tensor fingerprint so
+    :func:`mi_matrix_outofcore` can refuse a store that has been swapped
+    or corrupted since it was built.  Returns the path (with the ``.npy``
+    suffix ensured).
     """
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
@@ -54,8 +82,18 @@ def build_weight_store(
             e = min(s + gene_block, n)
             store[s:e] = weight_tensor(data[s:e], bins, order, np.dtype(dtype))
         store.flush()
+        fingerprint = weights_fingerprint(store)
     finally:
         del store
+    _meta_path(path).write_text(
+        json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "shape": [n, m, bins],
+                "dtype": str(np.dtype(dtype)),
+            }
+        )
+    )
     return path
 
 
@@ -63,6 +101,64 @@ def open_weight_store(path: "str | Path") -> np.memmap:
     """Read-only memory map of a weight store written by
     :func:`build_weight_store`."""
     return np.load(Path(path), mmap_mode="r")
+
+
+def weight_store_fingerprint(path: "str | Path") -> "str | None":
+    """Fingerprint recorded in the store's sidecar, or ``None`` if the
+    store predates the sidecar format."""
+    meta = _meta_path(Path(path))
+    if not meta.exists():
+        return None
+    return json.loads(meta.read_text()).get("fingerprint")
+
+
+class MmapMatrixSink(MatrixSink):
+    """Memory-mapped ``(n, n)`` output matrix, written block-row-wise.
+
+    The parent alone writes the memmap (workers return or fill row
+    buffers), preserving the streaming memory profile: one block-row of
+    weights plus one block-row of output resident at a time.  Off-diagonal
+    blocks are mirrored immediately so the on-disk matrix is symmetric at
+    every point of the run.
+    """
+
+    grain = "rows"
+    span_name = "mi_outofcore"
+    row_span_name = None
+    progress_units = "tiles"
+
+    def __init__(self, out_path: "str | Path", n: int):
+        out_path = Path(out_path)
+        if out_path.suffix != ".npy":
+            out_path = out_path.with_suffix(".npy")
+        self.out_path = out_path
+        self.n = n
+        self._mi = np.lib.format.open_memmap(
+            out_path, mode="w+", dtype=np.float64, shape=(n, n)
+        )
+        self._mi[:] = 0.0
+
+    def span_meta(self, plan: TilePlan) -> dict:
+        return {"n_genes": plan.n_genes, "n_tiles": plan.n_tiles, "tile": plan.tile}
+
+    def store_row(self, i0: int, items: list) -> None:
+        mi = self._mi
+        for t, block in items:
+            if t.is_diagonal:
+                # Diagonal blocks arrive upper-triangle-masked, so adding
+                # the transpose fills the square symmetrically.
+                mi[t.i0 : t.i1, t.j0 : t.j1] = block + block.T
+            else:
+                mi[t.i0 : t.i1, t.j0 : t.j1] = block
+                mi[t.j0 : t.j1, t.i0 : t.i1] = block.T
+
+    def finalize(self, completed: bool = True) -> Path:
+        np.fill_diagonal(self._mi, 0.0)
+        self._mi.flush()
+        return self.out_path
+
+    def close(self) -> None:
+        self._mi = None  # drop the memmap reference, releasing the handle
 
 
 def mi_matrix_outofcore(
@@ -73,6 +169,7 @@ def mi_matrix_outofcore(
     engine=None,
     progress=None,
     tracer=None,
+    schedule=None,
 ) -> Path:
     """Compute the full MI matrix with both operands on disk.
 
@@ -82,7 +179,10 @@ def mi_matrix_outofcore(
     ``mi_outofcore`` span and ticks the ``tiles_done`` / ``pairs_done``
     counters at the same granularity.
 
-    The weight store is memory-mapped read-only; the symmetric ``(n, n)``
+    The weight store is memory-mapped read-only; if it carries a
+    fingerprint sidecar (stores built by :func:`build_weight_store`), the
+    tensor is re-fingerprinted and a mismatch raises ``ValueError`` rather
+    than silently computing on different data.  The symmetric ``(n, n)``
     float64 MI matrix is written into ``out_path`` (``.npy``).  RAM usage
     is one block-row of weights plus one block-row of output at a time.
 
@@ -93,85 +193,25 @@ def mi_matrix_outofcore(
     return blocks by pickling.  The parent alone writes the output memmap,
     preserving the streaming memory profile.
 
+    ``schedule`` orders tiles within each block-row (see
+    :data:`repro.core.exec.SCHEDULE_NAMES`); storage layout is unchanged.
+
     Returns the output path; load the result with
     ``numpy.load(out_path, mmap_mode="r")`` to keep it on disk too.
     """
-    weights = open_weight_store(weights_path)
-    if weights.ndim != 3:
-        raise ValueError(f"weight store has shape {weights.shape}, expected 3-D")
-    n, m, b = weights.shape
-    if n < 2:
-        raise ValueError(f"need at least 2 genes, got {n}")
-    if tile is None:
-        tile = default_tile_size(m, b, itemsize=weights.dtype.itemsize)
-    out_path = Path(out_path)
-    if out_path.suffix != ".npy":
-        out_path = out_path.with_suffix(".npy")
-    mi = np.lib.format.open_memmap(out_path, mode="w+", dtype=np.float64, shape=(n, n))
+    source = MmapSource(weights_path)
     try:
-        mi[:] = 0.0
-        # Marginal entropies: one streaming pass, block by block.
-        h = np.empty(n, dtype=np.float64)
-        block = max(tile, 256)
-        for s in range(0, n, block):
-            e = min(s + block, n)
-            h[s:e] = marginal_entropies(np.asarray(weights[s:e], dtype=np.float64))
-        def run(t):
-            wi = np.asarray(weights[t.i0 : t.i1], dtype=np.float64)
-            wj = np.asarray(weights[t.j0 : t.j1], dtype=np.float64)
-            blockv = mi_tile(wi, wj, h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base)
-            if t.is_diagonal:
-                # Mask below-diagonal cells so the transpose write below
-                # fills the whole square symmetrically without overlap.
-                blockv = np.where(t.pair_mask(), blockv, 0.0)
-            return blockv
-
-        def write_out(t, blockv):
-            if t.is_diagonal:
-                mi[t.i0 : t.i1, t.j0 : t.j1] = blockv + blockv.T
-            else:
-                mi[t.i0 : t.i1, t.j0 : t.j1] = blockv
-                # Mirror immediately so the output stays symmetric.
-                mi[t.j0 : t.j1, t.i0 : t.i1] = blockv.T
-
-        tiles = tile_grid(n, tile)
-        tracer = tracer or NULL_TRACER
-        total = len(tiles)
-        done = 0
-
-        def tick(n_tiles: int, n_pairs: int) -> None:
-            nonlocal done
-            done += n_tiles
-            tracer.add("tiles_done", n_tiles)
-            tracer.add("pairs_done", n_pairs)
-            if progress is not None:
-                progress(done, total)
-
-        with tracer.span("mi_outofcore", n_genes=n, n_tiles=total, tile=tile):
-            if engine is None:
-                for t in tiles:
-                    write_out(t, run(t))
-                    tick(1, t.n_pairs)
-            else:
-                rows: dict = {}
-                for t in tiles:
-                    rows.setdefault(t.i0, []).append(t)
-                for i0, row_tiles in rows.items():
-                    if hasattr(engine, "map_into"):
-                        buf = np.zeros((row_tiles[0].i1 - i0, n), dtype=np.float64)
-
-                        def run_into(sink, t):
-                            sink[:, t.j0 : t.j1] = run(t)
-
-                        engine.map_into(run_into, row_tiles, buf)
-                        for t in row_tiles:
-                            write_out(t, buf[:, t.j0 : t.j1])
-                    else:
-                        for t, blockv in zip(row_tiles, engine.map(run, row_tiles)):
-                            write_out(t, blockv)
-                    tick(len(row_tiles), sum(t.n_pairs for t in row_tiles))
-        np.fill_diagonal(mi, 0.0)
-        mi.flush()
+        recorded = weight_store_fingerprint(weights_path)
+        if recorded is not None and recorded != source.fingerprint():
+            raise ValueError(
+                f"weight store {weights_path} does not match its recorded "
+                f"fingerprint (recorded {recorded!r}, "
+                f"computed {source.fingerprint()!r}); rebuild the store"
+            )
+        plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
+        sink = MmapMatrixSink(out_path, source.n_genes)
+        return run_tile_plan(
+            plan, source, sink, engine=engine, tracer=tracer, progress=progress
+        )
     finally:
-        del mi
-    return out_path
+        source.close()

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.bspline import weight_tensor
 from repro.core.discretize import preprocess
 from repro.core.exact import exact_mi_pvalues
+from repro.core.exec import SCHEDULE_NAMES, TensorSource
 from repro.core.mi_matrix import mi_matrix
 from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution, pooled_null
@@ -79,6 +80,12 @@ class TingeConfig:
         resolution is ``1/(q+1)``, so Bonferroni correction demands
         ``q + 1 >= n_tests / alpha`` — the pipeline refuses under-resolved
         configurations instead of silently returning an empty network.
+    schedule:
+        Tile scheduling policy for the MI phase
+        (:data:`repro.core.exec.SCHEDULE_NAMES`): ``"dynamic"`` is the
+        paper's chunk-1 self-scheduling default; ``"static"`` /
+        ``"cyclic"`` are the block and round-robin assignments;
+        ``"cost"`` orders heavy tiles first (LPT on the tile cost model).
     """
 
     bins: int = 10
@@ -95,6 +102,7 @@ class TingeConfig:
     exact_retest: bool = False
     retest_permutations: int = 100
     testing: str = "pooled"
+    schedule: str = "dynamic"
 
     def __post_init__(self) -> None:
         if self.correction not in ("bonferroni", "none", "bh"):
@@ -119,6 +127,10 @@ class TingeConfig:
             )
         if self.testing not in ("pooled", "exact"):
             raise ValueError(f"testing must be 'pooled' or 'exact', got {self.testing!r}")
+        if self.schedule not in SCHEDULE_NAMES:
+            raise ValueError(
+                f"schedule must be one of {sorted(SCHEDULE_NAMES)}, got {self.schedule!r}"
+            )
 
 
 @dataclass
@@ -219,8 +231,11 @@ class TingePipeline:
             weights = self._timed(
                 "weights", weight_tensor, transformed, cfg.bins, cfg.order, np.dtype(cfg.dtype)
             )
+            # One weight source for the whole run: marginal entropies are
+            # computed once here and reused by every phase that needs them.
+            source = TensorSource(weights)
             if cfg.testing == "exact":
-                return self._run_exact(weights, genes, n)
+                return self._run_exact(source, genes, n)
             null = self._timed(
                 "null",
                 pooled_null,
@@ -232,8 +247,8 @@ class TingePipeline:
                 self.engine,
             )
             result = self._timed(
-                "mi", mi_matrix, weights, cfg.tile, cfg.base, self.engine,
-                self.progress, None, self.tracer,
+                "mi", mi_matrix, source, cfg.tile, cfg.base, self.engine,
+                self.progress, None, self.tracer, cfg.schedule,
             )
 
             def build():
@@ -256,7 +271,7 @@ class TingePipeline:
             config=cfg,
         )
 
-    def _run_exact(self, weights: np.ndarray, genes: list, n: int) -> TingeResult:
+    def _run_exact(self, source: TensorSource, genes: list, n: int) -> TingeResult:
         """Exact-testing branch: fused per-pair permutation p-values."""
         from repro.stats.fdr import benjamini_hochberg
 
@@ -270,7 +285,7 @@ class TingePipeline:
                 "raise n_permutations or use correction='bh'/'none'"
             )
         exact = self._timed(
-            "mi", exact_mi_pvalues, weights, cfg.n_permutations, cfg.tile,
+            "mi", exact_mi_pvalues, source, cfg.n_permutations, cfg.tile,
             cfg.seed, cfg.base, self.engine, self.progress, self.tracer,
         )
 

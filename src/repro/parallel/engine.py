@@ -219,7 +219,9 @@ class ThreadEngine(_EngineObsMixin):
         results: list = [None] * len(items)
         if not items:
             return results
-        with self._obs_tracer().span("engine_map", engine="ThreadEngine") as sp:
+        with self._obs_tracer().span(
+            "engine_map", engine="ThreadEngine", policy=self.policy.name
+        ) as sp:
             t0 = time.perf_counter()
             workers = self._run_chunks(lambda idx: results.__setitem__(idx, fn(items[idx])),
                                        len(items))
@@ -232,7 +234,9 @@ class ThreadEngine(_EngineObsMixin):
         if not items:
             return
         arr = _as_output_array(out)
-        with self._obs_tracer().span("engine_map", engine="ThreadEngine") as sp:
+        with self._obs_tracer().span(
+            "engine_map", engine="ThreadEngine", policy=self.policy.name
+        ) as sp:
             t0 = time.perf_counter()
             workers = self._run_chunks(lambda idx: fn(arr, items[idx]), len(items))
             self._record_map(sp, "map_into", len(items), time.perf_counter() - t0, workers)
@@ -283,13 +287,27 @@ class ProcessEngine(_EngineObsMixin):
 
     in_process = False
 
-    def __init__(self, n_workers: int | None = None, tracer=None):
+    def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None,
+                 tracer=None):
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError("ProcessEngine requires the fork start method")
+        self.policy = policy or DynamicScheduler(chunk=1)
         self.tracer = tracer
+
+    def _submission_order(self, n_items: int) -> list:
+        """Task indices in the order the policy submits them to the pool.
+
+        Results are reordered by index on return, so any permutation is
+        correct; the policy only shapes which tasks workers pull first.
+        """
+        if self.policy.is_dynamic():
+            chunks = self.policy.chunk_sequence(n_items, self.n_workers)
+        else:
+            chunks = self.policy.static_assignment(n_items, self.n_workers)
+        return [int(i) for chunk in chunks for i in chunk]
 
     def _inline(self) -> bool:
         # Daemonic pool workers cannot fork children of their own, so a
@@ -312,7 +330,9 @@ class ProcessEngine(_EngineObsMixin):
         items = list(items)
         if not items:
             return []
-        with self._obs_tracer().span("engine_map", engine=type(self).__name__) as sp:
+        with self._obs_tracer().span(
+            "engine_map", engine=type(self).__name__, policy=self.policy.name
+        ) as sp:
             if self._inline():
                 return self._map_inline(fn, items, sp)
             t0 = time.perf_counter()
@@ -320,7 +340,10 @@ class ProcessEngine(_EngineObsMixin):
             token = _publish((fn, items))
             try:
                 with ctx.Pool(self.n_workers) as pool:
-                    quads = pool.map(_fork_worker, [(token, i) for i in range(len(items))])
+                    quads = pool.map(
+                        _fork_worker,
+                        [(token, i) for i in self._submission_order(len(items))],
+                    )
             finally:
                 del _FORK_TASKS[token]
             results: list = [None] * len(items)
@@ -338,7 +361,7 @@ class ProcessEngine(_EngineObsMixin):
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessEngine(n_workers={self.n_workers})"
+        return f"ProcessEngine(n_workers={self.n_workers}, policy={self.policy.name})"
 
 
 def _shm_worker(token: int, task_q, done_q) -> None:
@@ -398,7 +421,9 @@ class SharedMemoryEngine(ProcessEngine):
         if not items:
             return
         arr = _as_output_array(out)
-        with self._obs_tracer().span("engine_map", engine="SharedMemoryEngine") as sp:
+        with self._obs_tracer().span(
+            "engine_map", engine="SharedMemoryEngine", policy=self.policy.name
+        ) as sp:
             t0 = time.perf_counter()
             if self._inline():
                 busy = 0.0
@@ -445,7 +470,7 @@ class SharedMemoryEngine(ProcessEngine):
             ]
             for w in workers:
                 w.start()
-            for idx in range(len(items)):
+            for idx in self._submission_order(len(items)):
                 task_q.put(idx)
             for _ in workers:
                 task_q.put(None)
@@ -474,21 +499,27 @@ class SharedMemoryEngine(ProcessEngine):
         return raw
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SharedMemoryEngine(n_workers={self.n_workers})"
+        return (
+            f"SharedMemoryEngine(n_workers={self.n_workers}, policy={self.policy.name})"
+        )
 
 
-def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None, **kwargs):
+def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None,
+                policy: SchedulerPolicy | None = None, **kwargs):
     """Factory: ``serial``, ``thread``, ``process``, or ``sharedmem``.
 
     ``tracer`` (optional) attaches a :class:`repro.obs.tracer.Tracer` so
     every map call records an ``engine_map`` span with worker metrics.
+    ``policy`` (optional :class:`SchedulerPolicy`) sets the submission
+    order for the pooled engines; the default everywhere is dynamic
+    self-scheduling with chunk 1.
     """
     if kind == "serial":
         return SerialEngine(tracer=tracer)
     if kind == "thread":
-        return ThreadEngine(n_workers=n_workers, tracer=tracer, **kwargs)
+        return ThreadEngine(n_workers=n_workers, policy=policy, tracer=tracer, **kwargs)
     if kind == "process":
-        return ProcessEngine(n_workers=n_workers, tracer=tracer)
+        return ProcessEngine(n_workers=n_workers, policy=policy, tracer=tracer)
     if kind == "sharedmem":
-        return SharedMemoryEngine(n_workers=n_workers, tracer=tracer)
+        return SharedMemoryEngine(n_workers=n_workers, policy=policy, tracer=tracer)
     raise ValueError(f"unknown engine kind {kind!r}")
