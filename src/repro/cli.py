@@ -76,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--seed", type=int, default=0)
     rec.add_argument("--testing", choices=["pooled", "exact"], default="pooled",
                      help="pooled global null (fast) or exact per-pair p-values")
+    rec.add_argument("--max-retries", type=int, default=0,
+                     help="retry budget per MI tile task before giving up "
+                          "(0 disables the fault-tolerant dispatch layer)")
+    rec.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-task timeout for the MI stage; hung workers "
+                          "are killed and replaced (fork engines only)")
+    rec.add_argument("--on-fault", choices=["retry", "quarantine", "raise"],
+                     default="raise",
+                     help="when a tile exhausts its retries: record it and "
+                          "keep going (retry/quarantine) or abort (raise); "
+                          "non-raise modes also enable engine fallback "
+                          "(sharedmem -> process -> thread -> serial)")
     rec.add_argument("--record", type=Path, default=None,
                      help="write a provenance JSON record of the run")
     rec.add_argument("--trace", type=Path, default=None,
@@ -173,6 +185,7 @@ def _cmd_reconstruct(args) -> int:
     from repro import TingeConfig, reconstruct_network
     from repro.bench import format_seconds
     from repro.data import write_edge_list
+    from repro.faults.policy import FaultToleranceExceeded
     from repro.parallel import make_engine
 
     try:
@@ -187,6 +200,8 @@ def _cmd_reconstruct(args) -> int:
             alpha=args.alpha, correction=args.correction,
             dtype=args.dtype, tile=args.tile, seed=args.seed,
             testing=args.testing, schedule=args.schedule,
+            max_retries=args.max_retries, task_timeout=args.task_timeout,
+            on_fault=args.on_fault,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -201,7 +216,11 @@ def _cmd_reconstruct(args) -> int:
         policy = (make_scheduler(args.schedule)
                   if args.schedule in ("static", "cyclic") else None)
         try:
-            engine = make_engine(args.engine, n_workers=args.workers, policy=policy)
+            # Non-raise fault modes also tolerate the *engine* being
+            # unavailable: degrade along sharedmem -> process -> thread ->
+            # serial instead of exiting.
+            engine = make_engine(args.engine, n_workers=args.workers, policy=policy,
+                                 fallback=args.on_fault != "raise")
         except (RuntimeError, ValueError) as exc:  # no fork support / bad worker count
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -226,7 +245,17 @@ def _cmd_reconstruct(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except FaultToleranceExceeded as exc:
+        print(f"error: fault tolerance exhausted: {exc}", file=sys.stderr)
+        return 3
     elapsed = time.perf_counter() - t0
+    quarantined = getattr(result, "quarantined", [])
+    if quarantined:
+        print(f"warning: {len(quarantined)} tile(s) quarantined after "
+              "exhausting retries; their MI blocks are zero:", file=sys.stderr)
+        for q in quarantined:
+            print(f"  tile [{q.i0}:{q.i1}, {q.j0}:{q.j1}]: {q.error}",
+                  file=sys.stderr)
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_jsonl
 

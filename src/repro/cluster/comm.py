@@ -62,6 +62,28 @@ class LockstepComm:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = n_ranks
         self.meter = CommMeter()
+        self.failed: set = set()
+
+    # -- fault tolerance -------------------------------------------------
+    @property
+    def alive(self) -> list:
+        """Ranks still participating, in rank order."""
+        return [r for r in range(self.n_ranks) if r not in self.failed]
+
+    def mark_failed(self, rank: int) -> None:
+        """Declare ``rank`` lost: it contributes ``None`` to every later
+        collective (skipped in reductions and byte metering).
+
+        At least one rank must survive — losing the last one raises.
+        """
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range for {self.n_ranks} ranks")
+        if len(self.failed) + 1 >= self.n_ranks and rank not in self.failed:
+            raise ValueError(
+                f"cannot fail rank {rank}: at least one of {self.n_ranks} "
+                "ranks must survive"
+            )
+        self.failed.add(rank)
 
     # -- collectives -----------------------------------------------------
     def bcast(self, value, root: int = 0):
@@ -98,10 +120,14 @@ class LockstepComm:
 
         Wire volume follows the ring algorithm: each rank forwards
         ``(P-1)`` slabs, so total volume is ``(P-1) * sum(local bytes)``.
+        Failed ranks contribute ``None`` — kept as a placeholder in the
+        gathered list (positions stay rank-indexed) and metered as zero
+        bytes, so survivor counts drive the volume.
         """
         self._check_contrib(contributions)
+        live = len(self.alive)
         total = sum(_nbytes(c) for c in contributions)
-        self.meter.record("allgather", (self.n_ranks - 1) * total)
+        self.meter.record("allgather", max(live - 1, 0) * total)
         gathered = list(contributions)
         return [list(gathered) for _ in range(self.n_ranks)]
 
@@ -110,14 +136,20 @@ class LockstepComm:
         every rank receives the result.
 
         Volume follows recursive doubling: ``log2(P)`` message rounds of
-        the full buffer per rank.
+        the full buffer per rank.  ``None`` contributions (failed ranks)
+        are skipped in the reduction and the metering; at least one live
+        contribution is required.
         """
         self._check_contrib(contributions)
-        acc = contributions[0]
-        for c in contributions[1:]:
+        live_vals = [c for c in contributions if c is not None]
+        if not live_vals:
+            raise ValueError("allreduce needs at least one live contribution")
+        acc = live_vals[0]
+        for c in live_vals[1:]:
             acc = op(acc, c)
-        rounds = int(np.ceil(np.log2(self.n_ranks))) if self.n_ranks > 1 else 0
-        self.meter.record("allreduce", rounds * self.n_ranks * _nbytes(contributions[0]))
+        live = len(live_vals)
+        rounds = int(np.ceil(np.log2(live))) if live > 1 else 0
+        self.meter.record("allreduce", rounds * live * _nbytes(live_vals[0]))
         return [acc for _ in range(self.n_ranks)]
 
     def barrier(self) -> None:

@@ -26,7 +26,7 @@ seed and compare thresholds for equality under the same sampling).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -92,6 +92,14 @@ class DistributedRunInfo:
         Per-collective call counts.
     tiles_per_rank:
         Tile counts per rank (the load-balance evidence).
+    lost_ranks:
+        Ranks declared lost before the compute superstep (empty normally).
+    reassigned_tiles:
+        Tiles originally owned by lost ranks, redistributed round-robin
+        over the survivors.
+    quarantined:
+        Tiles abandoned under a fault policy
+        (:class:`repro.faults.policy.QuarantinedTile` records).
     """
 
     network: GeneNetwork
@@ -101,6 +109,9 @@ class DistributedRunInfo:
     comm_volume_bytes: float
     comm_calls: dict
     tiles_per_rank: list
+    lost_ranks: tuple = ()
+    reassigned_tiles: int = 0
+    quarantined: list = field(default_factory=list)
 
 
 def distributed_reconstruct(
@@ -115,11 +126,26 @@ def distributed_reconstruct(
     tile: int | None = None,
     dtype: str = "float64",
     seed: "int | None" = 0,
+    engine=None,
+    policy=None,
+    lost_ranks=(),
+    tracer=None,
 ) -> DistributedRunInfo:
     """Run the distributed TINGe algorithm on ``n_ranks`` simulated ranks.
 
     Parameters mirror :class:`repro.core.pipeline.TingeConfig` where they
     overlap.  Raises on degenerate inputs exactly like the serial pipeline.
+
+    ``engine`` / ``policy`` / ``tracer`` are forwarded to the executor
+    running the compute superstep (:func:`repro.core.exec.run_tile_plan`),
+    so each rank's tile share can itself be parallel and fault-tolerant.
+
+    ``lost_ranks`` simulates rank failure after the weight allgather (the
+    point where replication makes loss recoverable — every survivor holds
+    the full tensor): lost ranks' tiles are reassigned round-robin over
+    the survivors, their null shares are re-partitioned, and they
+    contribute ``None`` to every later collective.  The network is
+    bit-identical to the no-loss run; at least one rank must survive.
     """
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
@@ -133,6 +159,14 @@ def distributed_reconstruct(
         raise ValueError(f"{len(genes)} gene names for {n} genes")
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    lost = tuple(sorted({int(r) for r in lost_ranks}))
+    for r in lost:
+        if not 0 <= r < n_ranks:
+            raise ValueError(f"lost rank {r} out of range for {n_ranks} ranks")
+    if len(lost) >= n_ranks:
+        raise ValueError(
+            f"cannot lose all {n_ranks} ranks: at least one must survive"
+        )
 
     comm = LockstepComm(n_ranks)
     np_dtype = np.dtype(dtype)
@@ -167,13 +201,31 @@ def distributed_reconstruct(
     rank_of = np.empty(plan.n_tiles, dtype=np.intp)
     for r, idxs in enumerate(plan.policy.static_assignment(plan.n_tiles, n_ranks)):
         rank_of[np.asarray(idxs, dtype=np.intp)] = r
+
+    # Rank loss happens here, after the allgather: every survivor holds the
+    # full weight replica, so the lost ranks' tiles are simply reassigned
+    # round-robin over the survivors (preserving cyclic-style balance).
+    for r in lost:
+        comm.mark_failed(r)
+    survivors = comm.alive
+    reassigned = 0
+    if lost:
+        lost_set = set(lost)
+        for idx in range(plan.n_tiles):
+            if int(rank_of[idx]) in lost_set:
+                rank_of[idx] = survivors[reassigned % len(survivors)]
+                reassigned += 1
+
     sink = RankPartitionSink(n, n_ranks, rank_of)
-    partial_mi = run_tile_plan(plan, source, sink)
+    partial_mi = run_tile_plan(plan, source, sink, engine=engine,
+                               tracer=tracer, policy=policy)
     tiles_per_rank = sink.tiles_per_rank
 
     # Assemble the full MI matrix: element-wise allreduce of the disjoint
-    # partial matrices (each cell written by exactly one rank).
-    mi_all = comm.allreduce(partial_mi, op=np.add)
+    # partial matrices (each cell written by exactly one rank; lost ranks
+    # contribute None and are skipped by the tolerant collective).
+    contrib = [None if r in comm.failed else partial_mi[r] for r in range(n_ranks)]
+    mi_all = comm.allreduce(contrib, op=np.add)
     mi = mi_all[0]
     iu = np.triu_indices(n, k=1)
     mi[(iu[1], iu[0])] = mi[iu]
@@ -187,28 +239,35 @@ def distributed_reconstruct(
     n_pairs = min(n_null_pairs, pair_count(n))
     pairs = sample_pairs(n, n_pairs, rng)
     perms = permutation_matrix(n_permutations, m, rng)
-    pair_blocks = block_partition(n_pairs, n_ranks)
-    null_parts = []
-    for r in range(n_ranks):
+    # Pairs are re-partitioned over the *survivors* in rank order, so the
+    # concatenated null sequence — contiguous pair blocks, ascending rank —
+    # is identical with or without rank loss, and so is the threshold.
+    pair_blocks = block_partition(n_pairs, len(survivors))
+    null_parts: list = [None] * n_ranks
+    for k, r in enumerate(survivors):
         w = weights_full[r]
         vals = []
-        for p_idx in pair_blocks[r]:
+        for p_idx in pair_blocks[k]:
             i, j = pairs[p_idx]
             wi, wj = w[i], w[j]
             for q in range(n_permutations):
                 joint = (wi[perms[q]].T.astype(np.float64) @ wj.astype(np.float64)) / m
                 vals.append(mi_from_joint(joint))
-        null_parts.append(np.asarray(vals, dtype=np.float64))
+        null_parts[r] = np.asarray(vals, dtype=np.float64)
     # Allgather (small) null shares; every rank derives the same threshold.
     null_all = comm.allgather(null_parts)
-    null = np.concatenate(null_all[0])
+    null = np.concatenate([p for p in null_all[0] if p is not None])
     threshold = upper_tail_threshold(null, alpha, n_tests=pair_count(n))
 
     # ------------------------------------------------------------------
     # Superstep 5: rank 0 assembles the network (gather of edge blocks is
     # subsumed by the earlier allreduce in this in-process setting; the
     # gather call is issued for faithful collective accounting).
-    comm.gather([np.count_nonzero(p > threshold) for p in partial_mi], root=0)
+    comm.gather(
+        [None if r in comm.failed else np.count_nonzero(partial_mi[r] > threshold)
+         for r in range(n_ranks)],
+        root=0,
+    )
     adjacency = threshold_adjacency(mi, threshold)
     network = GeneNetwork(adjacency=adjacency, weights=mi, genes=list(genes),
                           threshold=threshold)
@@ -220,4 +279,7 @@ def distributed_reconstruct(
         comm_volume_bytes=comm.meter.volume_bytes,
         comm_calls=dict(comm.meter.calls),
         tiles_per_rank=tiles_per_rank,
+        lost_ranks=lost,
+        reassigned_tiles=reassigned,
+        quarantined=sink.quarantined,
     )

@@ -25,6 +25,7 @@ from repro.core.exec import (
     weights_fingerprint,
 )
 from repro.core.mi_matrix import compute_tile
+from repro.faults.policy import QuarantinedTile
 
 __all__ = ["CheckpointSink", "mi_matrix_checkpointed", "checkpoint_status"]
 
@@ -62,6 +63,7 @@ def checkpoint_status(checkpoint_dir: "str | Path") -> dict:
         "total_rows": ledger.get("total_rows"),
         "n_genes": ledger.get("n_genes"),
         "fingerprint": ledger.get("fingerprint"),
+        "quarantined": ledger.get("quarantined", []),
     }
 
 
@@ -114,6 +116,15 @@ class CheckpointSink(MatrixSink):
         self.ledger = ledger
         self.done = set(ledger["done"])
         self.new_rows = 0
+        # Quarantine records survive restarts: a resumed run reports the
+        # poison tiles of every previous attempt, not just its own.
+        self._quarantined = [QuarantinedTile.from_dict(d)
+                             for d in ledger.get("quarantined", [])]
+
+    def quarantine(self, idx: int, t, error: str) -> None:
+        """Record the poison tile in the ledger (persisted at row commit)."""
+        super().quarantine(idx, t, error)
+        self.ledger["quarantined"] = [q.as_dict() for q in self._quarantined]
 
     def skip_row(self, i0: int) -> bool:
         return i0 in self.done
@@ -167,6 +178,7 @@ def mi_matrix_checkpointed(
     progress=None,
     tracer=None,
     schedule=None,
+    policy=None,
 ) -> "np.ndarray | None":
     """All-pairs MI with block-row-granular checkpointing.
 
@@ -201,6 +213,11 @@ def mi_matrix_checkpointed(
         Optional tile-order policy (see :data:`repro.core.exec.SCHEDULE_NAMES`);
         ordering applies within each block-row, checkpoint granularity is
         unchanged.
+    policy:
+        Optional :class:`repro.faults.policy.FaultPolicy`.  Failed tile
+        tasks are retried; tasks that exhaust the budget are quarantined
+        *into the ledger* (key ``"quarantined"``) so a resumed run knows
+        which blocks are poison instead of aborting the whole pass.
 
     Returns
     -------
@@ -223,4 +240,5 @@ def mi_matrix_checkpointed(
         tracer=tracer,
         progress=progress,
         kernel=_checkpoint_kernel,
+        policy=policy,
     )

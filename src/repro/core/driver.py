@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from pathlib import Path
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.core.permutation import pooled_null
 from repro.core.pipeline import TingeConfig
 from repro.core.threshold import threshold_adjacency
 from repro.core.tiling import pair_count
+from repro.faults.policy import FaultPolicy
 
 __all__ = ["AutoRunResult", "auto_reconstruct"]
 
@@ -71,12 +73,17 @@ class AutoRunResult:
         Wall-clock for the whole run.
     artifacts:
         Paths written (network, edge list, provenance, stores), by name.
+    quarantined:
+        Tiles abandoned under a fault policy
+        (:class:`repro.faults.policy.QuarantinedTile` records); empty in
+        normal runs.
     """
 
     network: GeneNetwork
     strategy: str
     seconds: float
     artifacts: dict
+    quarantined: list = dataclasses_field(default_factory=list)
 
 
 def _weights_bytes(n: int, m: int, bins: int, dtype: str) -> float:
@@ -110,6 +117,7 @@ def auto_reconstruct(
     engine=None,
     tracer=None,
     progress=None,
+    policy=None,
 ) -> AutoRunResult:
     """Reconstruct with automatically chosen residency strategy.
 
@@ -149,8 +157,17 @@ def auto_reconstruct(
         Optional ``progress(done, total)`` callback — tile-granular for
         the in-memory and out-of-core strategies, row-granular for the
         checkpointed one.
+    policy:
+        Optional :class:`repro.faults.policy.FaultPolicy` for the MI
+        stage; defaults to the policy implied by the config's
+        ``max_retries`` / ``task_timeout`` / ``on_fault`` fields (``None``
+        — legacy dispatch — when those are all defaults).  Quarantined
+        tiles are reported on the result instead of aborting the run.
     """
     config = config or TingeConfig()
+    if policy is None:
+        policy = FaultPolicy.from_options(config.max_retries, config.task_timeout,
+                                          config.on_fault)
     if config.testing != "pooled":
         raise ValueError("auto_reconstruct supports pooled testing only")
     if config.correction not in _SUPPORTED_CORRECTIONS:
@@ -247,7 +264,7 @@ def auto_reconstruct(
 
     try:
         result = run_tile_plan(plan, source, sink, engine=engine,
-                               tracer=tracer, progress=progress)
+                               tracer=tracer, progress=progress, policy=policy)
     finally:
         source.close()
     if strategy == "out-of-core":
@@ -273,5 +290,6 @@ def auto_reconstruct(
         write_edge_list(network.edge_list(), edges_path)
         artifacts["edges"] = edges_path
     return AutoRunResult(
-        network=network, strategy=strategy, seconds=seconds, artifacts=artifacts
+        network=network, strategy=strategy, seconds=seconds, artifacts=artifacts,
+        quarantined=sink.quarantined,
     )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -38,13 +39,16 @@ import numpy as np
 from repro.core.entropy import marginal_entropies
 from repro.core.mi import mi_tile
 from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.faults.policy import FaultPolicy, FaultToleranceExceeded, QuarantinedTile
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel.engine import EngineFailure, SharedMemoryEngine, fallback_engine
 from repro.parallel.scheduler import (
     DynamicScheduler,
     LptScheduler,
     SchedulerPolicy,
     make_scheduler,
 )
+from repro.parallel.sharedmem import SharedArray
 
 __all__ = [
     "SCHEDULE_NAMES",
@@ -348,9 +352,26 @@ class MatrixSink:
     span_name: "str | None" = None
     row_span_name: "str | None" = None
     progress_units: str = "tiles"
+    _quarantined: "list | None" = None
 
     def span_meta(self, plan: TilePlan) -> dict:
         return {}
+
+    # -- fault tolerance ---------------------------------------------------
+    @property
+    def quarantined(self) -> list:
+        """Tiles given up on under a :class:`~repro.faults.policy.FaultPolicy`
+        (:class:`~repro.faults.policy.QuarantinedTile` records, possibly
+        empty).  Their blocks are left as the sink's fill value (zero)."""
+        return list(self._quarantined or [])
+
+    def quarantine(self, idx: int, t: Tile, error: str) -> None:
+        """Record a tile whose retry budget is exhausted."""
+        if self._quarantined is None:
+            self._quarantined = []
+        self._quarantined.append(
+            QuarantinedTile(index=idx, i0=t.i0, i1=t.i1, j0=t.j0, j1=t.j1,
+                            error=error))
 
     # -- matrix grain ------------------------------------------------------
     def buffer(self) -> "np.ndarray | None":
@@ -450,6 +471,7 @@ def run_tile_plan(
     tracer=None,
     progress=None,
     kernel=None,
+    policy: "FaultPolicy | None" = None,
 ):
     """Execute ``plan``: every tile through ``kernel`` into ``sink``.
 
@@ -461,6 +483,14 @@ def run_tile_plan(
     ``tiles_done``/``pairs_done`` (and, for row sinks, ``rows_done``)
     counters tick at each driver's historical granularity: per tile for
     serial and in-process engines, per batch/row for fork engines.
+
+    ``policy`` (a :class:`repro.faults.policy.FaultPolicy`) switches on
+    the resilient dispatch layer: failed tasks are retried with backoff,
+    hung fork-engine tasks are timed out and their workers replaced, an
+    engine that loses its pool is swapped for the next one down the
+    fallback chain, and tasks that exhaust the budget are quarantined on
+    the sink (or raise, per ``policy.on_fault``).  ``policy=None`` —
+    the default — runs the original dispatch paths untouched.
 
     Returns ``sink.finalize(completed)`` — the sink-specific result.
     """
@@ -474,9 +504,17 @@ def run_tile_plan(
 
     try:
         if sink.grain == "rows":
-            completed = _run_rows(plan, sink, run, engine, tracer, progress)
+            if policy is None:
+                completed = _run_rows(plan, sink, run, engine, tracer, progress)
+            else:
+                completed = _run_rows_resilient(
+                    plan, sink, run, engine, tracer, progress, policy)
         else:
-            _run_matrix(plan, sink, run, engine, tracer, progress)
+            if policy is None:
+                _run_matrix(plan, sink, run, engine, tracer, progress)
+            else:
+                _run_matrix_resilient(
+                    plan, sink, run, engine, tracer, progress, policy)
             completed = True
         return sink.finalize(completed=completed)
     finally:
@@ -645,4 +683,244 @@ def _run_pending_rows(
                 progress(done, total)
         if not keep_going:
             return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Resilient dispatch (active only under a FaultPolicy)
+# ---------------------------------------------------------------------------
+# The legacy paths above are the hot paths: bit-identical to PR 3 and
+# wrapper-free.  Everything below runs only when run_tile_plan receives a
+# FaultPolicy, trading a little dispatch overhead for survival: tolerant
+# per-task dispatch, validation, retries with backoff, per-task timeouts
+# (fork engines), quarantine, and the sharedmem → process → thread →
+# serial engine fallback chain.
+
+
+def _dispatch_once(engine, tiles, idxs, run, run_into, shm_out, timeout):
+    """One tolerant dispatch round over ``idxs``.
+
+    Returns ``(blocks, failures, inplace)``: per-index result blocks
+    (views into shared memory when ``inplace``), per-index error strings,
+    and whether successful blocks were already written in place.
+    """
+    items = [tiles[i] for i in idxs]
+    if engine is None:
+        blocks, failures = {}, {}
+        for i, t in zip(idxs, items):
+            try:
+                blocks[i] = run(t)
+            except Exception as exc:
+                failures[i] = f"{type(exc).__name__}: {exc}"
+        return blocks, failures, False
+    if (shm_out is not None and isinstance(engine, SharedMemoryEngine)
+            and not engine._inline()):
+        pos_failures = engine.map_into_supervised(
+            run_into, items, shm_out, timeout=timeout)
+        failures = {idxs[p]: err for p, err in pos_failures.items()}
+        blocks = {
+            i: shm_out.array[tiles[i].i0:tiles[i].i1, tiles[i].j0:tiles[i].j1]
+            for i in idxs if i not in failures
+        }
+        return blocks, failures, True
+    if getattr(engine, "in_process", False):
+        results, pos_failures = engine.map_tolerant(run, items)
+    else:
+        results, pos_failures = engine.map_supervised(run, items, timeout=timeout)
+    failures = {idxs[p]: err for p, err in pos_failures.items()}
+    blocks = {idxs[p]: results[p]
+              for p in range(len(idxs)) if idxs[p] not in failures}
+    return blocks, failures, False
+
+
+def _execute_resilient(engine, tiles, idxs, run, run_into, shm_out, policy,
+                       tracer, deliver):
+    """Retry/timeout/fallback loop over one batch of tile indices.
+
+    ``deliver(idx, tile, block)`` fires once per eventual success (block
+    is ``None`` when the worker already wrote it in place).  Returns
+    ``(failures, engine)``: the tasks whose budget ran out, each with its
+    last error string, and the (possibly degraded) engine now in use —
+    callers thread it through so a fallback persists for later batches.
+    """
+    pending = list(idxs)
+    errors: dict = {}
+    eng = engine
+    attempt = 0
+    max_retries = 0 if policy.on_fault == "quarantine" else policy.max_retries
+    while pending:
+        if attempt > 0:
+            if attempt > max_retries:
+                break
+            delay = policy.backoff_delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            tracer.add("task_retries", len(pending))
+        try:
+            blocks, failures, inplace = _dispatch_once(
+                eng, tiles, pending, run, run_into, shm_out, policy.task_timeout)
+        except EngineFailure as exc:
+            nxt = fallback_engine(eng) if eng is not None else None
+            if nxt is None:
+                raise
+            with tracer.span("engine_fault", engine=type(eng).__name__,
+                             error=str(exc),
+                             action=f"fallback:{type(nxt).__name__}"):
+                pass
+            tracer.add("engine_fallbacks")
+            eng = nxt
+            if shm_out is not None and not isinstance(eng, SharedMemoryEngine):
+                shm_out = None  # degraded off the write-in-place path
+            continue  # a fallback does not consume a retry
+        attempt += 1
+        still = dict(failures)
+        for idx in pending:
+            if idx in still:
+                continue
+            t = tiles[idx]
+            if not policy.check(t, blocks[idx]):
+                still[idx] = "corrupt result (validation failed)"
+                tracer.add("task_corruptions")
+                continue
+            deliver(idx, t, None if inplace else blocks[idx])
+        faults = getattr(eng, "faults", None)
+        for idx, err in still.items():
+            if err.startswith("task timed out"):
+                tracer.add("task_timeouts")
+            if faults is not None:
+                # Parent-side attempt ledger: fork engines re-fork per
+                # round, so children inherit the updated counts and a
+                # task that burned its failure budget retries clean.
+                faults.record_failure(tiles[idx])
+        pending = [idx for idx in pending if idx in still]
+        errors = still
+    return {idx: errors[idx] for idx in pending}, eng
+
+
+def _quarantine_failures(sink, tiles, failures, policy, tracer, tick=None):
+    """Record budget-exhausted tasks on the sink (or abort, per policy)."""
+    if not failures:
+        return
+    for idx in sorted(failures):
+        t = tiles[idx]
+        error = failures[idx]
+        with tracer.span("engine_fault", kind="quarantine", i0=t.i0, j0=t.j0,
+                         error=error):
+            pass
+        tracer.add("tasks_quarantined")
+        sink.quarantine(idx, t, error)
+        if tick is not None:
+            tick(1, 0)
+    if policy.on_fault == "raise":
+        raise FaultToleranceExceeded(sink.quarantined)
+
+
+def _run_matrix_resilient(plan, sink, run, engine, tracer, progress, policy) -> None:
+    """Whole-grid dispatch with retry/timeout/quarantine/fallback.
+
+    Differences from :func:`_run_matrix`: dispatch is always per-task
+    tolerant (no opaque whole-grid map), a shared-memory engine writes
+    into a staging copy so retries and engine fallback can overwrite
+    partial garbage before the single copy-back, and blocks that end up
+    quarantined are reset to the sink's zero fill.
+    """
+    tiles = plan.tiles
+    total = len(tiles)
+    order = plan.order(_engine_workers(engine))
+    counter_lock = threading.Lock()
+    done_count = [0]
+
+    def tick(n_tiles: int, n_pairs: int) -> None:
+        with counter_lock:
+            done_count[0] += n_tiles
+            done = done_count[0]
+        tracer.add("tiles_done", n_tiles)
+        tracer.add("pairs_done", n_pairs)
+        if progress is not None:
+            progress(done, total)
+
+    buf = sink.buffer()
+
+    def run_into(out: np.ndarray, t: Tile) -> None:
+        out[t.i0:t.i1, t.j0:t.j1] = run(t)
+
+    use_shm = (buf is not None and isinstance(engine, SharedMemoryEngine)
+               and not engine._inline())
+    staged = SharedArray.from_array(buf) if use_shm else None
+    target = staged.array if staged is not None else None
+
+    def deliver(idx: int, t: Tile, block) -> None:
+        if block is not None:
+            if target is not None:
+                target[t.i0:t.i1, t.j0:t.j1] = block
+            else:
+                sink.put(idx, t, block)
+        tick(1, t.n_pairs)
+
+    with _span(tracer, sink.span_name, **sink.span_meta(plan)):
+        try:
+            failures, _ = _execute_resilient(
+                engine, tiles, order, run, run_into, staged, policy, tracer,
+                deliver)
+            if staged is not None:
+                buf[...] = staged.array
+        finally:
+            if staged is not None:
+                staged.close()
+                staged.unlink()
+        if failures and buf is not None:
+            for idx in failures:  # quarantined blocks keep the zero fill
+                t = tiles[idx]
+                buf[t.i0:t.i1, t.j0:t.j1] = 0.0
+        _quarantine_failures(sink, tiles, failures, policy, tracer, tick)
+
+
+def _run_rows_resilient(plan, sink, run, engine, tracer, progress, policy) -> bool:
+    """Block-row dispatch with retry/timeout/quarantine/fallback.
+
+    Blocks always return to the parent (pickle for fork engines) so one
+    code path serves every engine; ``store_row`` receives only the tiles
+    that succeeded, leaving quarantined blocks at the sink's fill value.
+    Quarantine is recorded *before* ``commit_row`` so ledger-backed sinks
+    persist it atomically with the row.
+    """
+    rows = plan.rows
+    row_progress = sink.progress_units == "rows"
+    total = len(rows) if row_progress else len(plan.tiles)
+    pending = [i0 for i0 in rows if not sink.skip_row(i0)]
+    done = len(rows) - len(pending) if row_progress else 0
+    if progress is not None and done:
+        progress(done, total)  # resumed rows are already complete
+    tiles = plan.tiles
+    row_idx: dict = {}
+    for idx, t in enumerate(tiles):
+        row_idx.setdefault(t.i0, []).append(idx)
+    eng = engine
+
+    with _span(tracer, sink.span_name, **sink.span_meta(plan)):
+        for i0 in pending:
+            idxs = row_idx[i0]
+            collected: dict = {}
+
+            def deliver(idx, t, block, _c=collected):
+                _c[idx] = (t, block)
+
+            with _span(tracer, sink.row_span_name, i0=i0, n_tiles=len(idxs)):
+                failures, eng = _execute_resilient(
+                    eng, tiles, idxs, run, None, None, policy, tracer, deliver)
+                sink.store_row(i0, [collected[i] for i in idxs if i in collected])
+                _quarantine_failures(sink, tiles, failures, policy, tracer)
+            keep_going = sink.commit_row(i0)
+            row_tiles = [tiles[i] for i in idxs]
+            if row_progress:
+                done += 1
+                tracer.add("rows_done")
+            else:
+                done += len(row_tiles)
+            tracer.add("tiles_done", len(row_tiles))
+            tracer.add("pairs_done", sum(t.n_pairs for t in row_tiles))
+            if progress is not None:
+                progress(done, total)
+            if not keep_going:
+                return False
     return True

@@ -17,7 +17,7 @@ threads, which write disjoint blocks of the MI matrix in place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -49,12 +49,17 @@ class MiMatrixResult:
     n_tiles, n_pairs:
         Workload bookkeeping, used by the benchmarks for throughput
         (pairs/second) reporting.
+    quarantined:
+        Tiles abandoned under a fault policy
+        (:class:`repro.faults.policy.QuarantinedTile` records); empty in
+        normal runs.  Their blocks are zero in ``mi``.
     """
 
     mi: np.ndarray
     marginal_entropy: np.ndarray
     n_tiles: int
     n_pairs: int
+    quarantined: list = field(default_factory=list)
 
     @property
     def n_genes(self) -> int:
@@ -103,6 +108,7 @@ def mi_matrix(
     out: "np.ndarray | None" = None,
     tracer=None,
     schedule=None,
+    policy=None,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -146,6 +152,10 @@ def mi_matrix(
         ``cyclic``, ``dynamic``, ``cost``) or a
         :class:`repro.parallel.scheduler.SchedulerPolicy`; default is
         grid order (equivalent to dynamic chunk-1 pull).
+    policy:
+        Optional :class:`repro.faults.policy.FaultPolicy` enabling the
+        resilient dispatch layer (retries, timeouts, quarantine, engine
+        fallback); ``None`` keeps the zero-overhead legacy paths.
 
     Returns
     -------
@@ -155,12 +165,13 @@ def mi_matrix(
     plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
     sink = DenseSink(source.n_genes, out=out)
     mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
-                       progress=progress, kernel=_tile_kernel)
+                       progress=progress, kernel=_tile_kernel, policy=policy)
     return MiMatrixResult(
         mi=mi,
         marginal_entropy=source.entropies(base),
         n_tiles=plan.n_tiles,
         n_pairs=plan.n_pairs,
+        quarantined=sink.quarantined,
     )
 
 

@@ -170,6 +170,7 @@ def mi_matrix_outofcore(
     progress=None,
     tracer=None,
     schedule=None,
+    policy=None,
 ) -> Path:
     """Compute the full MI matrix with both operands on disk.
 
@@ -196,6 +197,11 @@ def mi_matrix_outofcore(
     ``schedule`` orders tiles within each block-row (see
     :data:`repro.core.exec.SCHEDULE_NAMES`); storage layout is unchanged.
 
+    ``policy`` (optional :class:`repro.faults.policy.FaultPolicy`) turns
+    on resilient dispatch; tiles that exhaust the retry budget stay zero
+    in the output matrix and are enumerated in a ``<out>.quarantine.json``
+    sidecar next to the matrix file.
+
     Returns the output path; load the result with
     ``numpy.load(out_path, mmap_mode="r")`` to keep it on disk too.
     """
@@ -210,8 +216,16 @@ def mi_matrix_outofcore(
             )
         plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
         sink = MmapMatrixSink(out_path, source.n_genes)
-        return run_tile_plan(
-            plan, source, sink, engine=engine, tracer=tracer, progress=progress
+        result = run_tile_plan(
+            plan, source, sink, engine=engine, tracer=tracer, progress=progress,
+            policy=policy,
         )
+        sidecar = result.with_name(result.name + ".quarantine.json")
+        if sink.quarantined:
+            sidecar.write_text(json.dumps(
+                [q.as_dict() for q in sink.quarantined]))
+        elif sidecar.exists():
+            sidecar.unlink()  # stale sidecar from an overwritten run
+        return result
     finally:
         source.close()

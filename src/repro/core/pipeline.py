@@ -29,6 +29,7 @@ from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution, pooled_null
 from repro.core.threshold import fdr_adjacency, threshold_adjacency
 from repro.core.tiling import pair_count
+from repro.faults.policy import ON_FAULT_MODES, FaultPolicy
 from repro.obs.tracer import Tracer
 
 __all__ = ["TingeConfig", "TingeResult", "reconstruct_network", "TingePipeline"]
@@ -86,6 +87,15 @@ class TingeConfig:
         paper's chunk-1 self-scheduling default; ``"static"`` /
         ``"cyclic"`` are the block and round-robin assignments;
         ``"cost"`` orders heavy tiles first (LPT on the tile cost model).
+    max_retries, task_timeout, on_fault:
+        Fault tolerance for the MI phase (see
+        :class:`repro.faults.policy.FaultPolicy`): retry budget per tile
+        task, per-task timeout in seconds (fork engines only; hung
+        workers are killed and replaced), and what to do when the budget
+        is exhausted (``"retry"``/``"quarantine"`` record the tile and
+        keep going, ``"raise"`` aborts).  The defaults (0 / ``None`` /
+        ``"raise"``) disable the resilient layer entirely, keeping the MI
+        phase on the legacy zero-overhead dispatch paths.
     """
 
     bins: int = 10
@@ -103,6 +113,9 @@ class TingeConfig:
     retest_permutations: int = 100
     testing: str = "pooled"
     schedule: str = "dynamic"
+    max_retries: int = 0
+    task_timeout: "float | None" = None
+    on_fault: str = "raise"
 
     def __post_init__(self) -> None:
         if self.correction not in ("bonferroni", "none", "bh"):
@@ -131,6 +144,20 @@ class TingeConfig:
             raise ValueError(
                 f"schedule must be one of {sorted(SCHEDULE_NAMES)}, got {self.schedule!r}"
             )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
+        if self.on_fault not in ON_FAULT_MODES:
+            raise ValueError(
+                f"on_fault must be one of {ON_FAULT_MODES}, got {self.on_fault!r}"
+            )
+
+    def fault_policy(self):
+        """The :class:`repro.faults.policy.FaultPolicy` these fields imply,
+        or ``None`` when they are all defaults (legacy dispatch)."""
+        return FaultPolicy.from_options(self.max_retries, self.task_timeout,
+                                        self.on_fault)
 
 
 @dataclass
@@ -139,6 +166,9 @@ class TingeResult:
 
     ``timings`` maps phase name → seconds; ``network.threshold`` holds the
     global ``I_alpha`` for threshold-mode runs (NaN for FDR mode).
+    ``quarantined`` lists tiles abandoned under the config's fault policy
+    (:class:`repro.faults.policy.QuarantinedTile`; empty in normal runs) —
+    their MI blocks are zero, so their pairs cannot appear as edges.
     """
 
     network: GeneNetwork
@@ -147,6 +177,7 @@ class TingeResult:
     timings: dict
     config: TingeConfig
     pvalues: "np.ndarray | None" = None
+    quarantined: list = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -249,6 +280,7 @@ class TingePipeline:
             result = self._timed(
                 "mi", mi_matrix, source, cfg.tile, cfg.base, self.engine,
                 self.progress, None, self.tracer, cfg.schedule,
+                policy=cfg.fault_policy(),
             )
 
             def build():
@@ -269,6 +301,7 @@ class TingePipeline:
             null=null,
             timings=dict(self.timings),
             config=cfg,
+            quarantined=result.quarantined,
         )
 
     def _run_exact(self, source: TensorSource, genes: list, n: int) -> TingeResult:

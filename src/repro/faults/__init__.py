@@ -1,0 +1,41 @@
+"""Deterministic fault injection and fault-tolerance policy.
+
+Two halves: :mod:`repro.faults.plan` injects seeded, reproducible task
+faults (crash / hang / corrupt, plus engine-level failures) into any
+engine via ``make_engine(..., faults=...)`` or the ``REPRO_FAULTS``
+environment variable; :mod:`repro.faults.policy` tells the executor how
+to survive them (retry budget, backoff, per-task timeout, quarantine,
+engine fallback).
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    REPRO_FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    plan_from_env,
+    task_key,
+)
+from repro.faults.policy import (
+    ON_FAULT_MODES,
+    FaultPolicy,
+    FaultToleranceExceeded,
+    QuarantinedTile,
+    default_validate,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ON_FAULT_MODES",
+    "REPRO_FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultPolicy",
+    "FaultToleranceExceeded",
+    "InjectedFault",
+    "QuarantinedTile",
+    "default_validate",
+    "plan_from_env",
+    "task_key",
+]

@@ -22,6 +22,7 @@ Quick use::
 from repro.obs.bench import load_bench_json, write_bench_json
 from repro.obs.export import (
     counter_total,
+    fault_summary,
     load_events,
     pairs_per_second,
     phase_breakdown,
@@ -44,6 +45,7 @@ __all__ = [
     "Tracer",
     "WorkerStats",
     "counter_total",
+    "fault_summary",
     "load_bench_json",
     "load_events",
     "merge_worker_stats",

@@ -34,6 +34,7 @@ __all__ = [
     "counter_total",
     "pairs_per_second",
     "worker_task_counts",
+    "fault_summary",
 ]
 
 #: Pipeline phase names in execution order (the E9 breakdown rows).
@@ -189,4 +190,27 @@ def worker_task_counts(events: list) -> dict:
     for s in span_events(events):
         for worker, tasks in (s.get("meta") or {}).get("worker_tasks", {}).items():
             out[worker] = out.get(worker, 0) + int(tasks)
+    return out
+
+
+#: Counters the resilient dispatch layer ticks (see repro.core.exec).
+FAULT_COUNTERS = (
+    "task_retries",
+    "task_timeouts",
+    "task_corruptions",
+    "tasks_quarantined",
+    "engine_fallbacks",
+)
+
+
+def fault_summary(events: list) -> dict:
+    """Fault-tolerance totals of a loaded trace.
+
+    Returns every :data:`FAULT_COUNTERS` total (0.0 when a counter never
+    fired) plus ``engine_fault_events`` — the count of ``engine_fault``
+    spans (one per engine fallback or tile quarantine).  A clean run
+    summarizes to all zeros, which is what the no-fault tests assert.
+    """
+    out = {name: counter_total(events, name) for name in FAULT_COUNTERS}
+    out["engine_fault_events"] = len(span_events(events, "engine_fault"))
     return out

@@ -8,10 +8,13 @@ modelled hardware.
 """
 
 from repro.parallel.engine import (
+    ENGINE_KINDS,
+    EngineFailure,
     ProcessEngine,
     SerialEngine,
     SharedMemoryEngine,
     ThreadEngine,
+    fallback_engine,
     make_engine,
 )
 from repro.parallel.partition import (
@@ -39,6 +42,8 @@ __all__ = [
     "Assignment",
     "CyclicScheduler",
     "DynamicScheduler",
+    "ENGINE_KINDS",
+    "EngineFailure",
     "GuidedScheduler",
     "LptScheduler",
     "ProcessEngine",
@@ -53,6 +58,7 @@ __all__ = [
     "chunked_partition",
     "cost_balanced_partition",
     "cyclic_partition",
+    "fallback_engine",
     "imbalance",
     "linear_reduce",
     "make_engine",

@@ -42,6 +42,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import queue as queue_mod
 import threading
 import time
 import traceback
@@ -50,18 +51,41 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan, plan_from_env
 from repro.obs.metrics import MapStats, WorkerStats, merge_worker_stats
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel.scheduler import DynamicScheduler, SchedulerPolicy
 from repro.parallel.sharedmem import SharedArray
 
 __all__ = [
+    "ENGINE_KINDS",
+    "EngineFailure",
     "SerialEngine",
     "ThreadEngine",
     "ProcessEngine",
     "SharedMemoryEngine",
+    "fallback_engine",
     "make_engine",
 ]
+
+#: Valid ``make_engine`` kinds, in fallback-chain order (most to least
+#: capable): ``sharedmem → process → thread → serial``.
+ENGINE_KINDS = ("serial", "thread", "process", "sharedmem")
+
+#: Supervised-pool message poll interval; bounds timeout-detection latency.
+_POLL_SECONDS = 0.02
+
+#: Give up and fail over if a supervised pool makes no progress this long.
+_STALL_SECONDS = 60.0
+
+
+class EngineFailure(RuntimeError):
+    """An engine lost its worker pool or could not start one.
+
+    Distinct from a *task* failure: the resilient dispatch layer answers
+    task failures with retries, but an :class:`EngineFailure` means the
+    engine itself is unusable and dispatch should fall back down the
+    chain (``sharedmem → process → thread → serial``)."""
 
 
 def _as_output_array(out) -> np.ndarray:
@@ -98,9 +122,24 @@ class _EngineObsMixin:
 
     tracer = None
     last_map_stats: "MapStats | None" = None
+    faults: "FaultPlan | None" = None
 
     def _obs_tracer(self):
         return self.tracer if self.tracer is not None else NULL_TRACER
+
+    def _faulty(self, fn: Callable) -> Callable:
+        """Wrap a ``fn(item)`` task with this engine's fault plan (if any)."""
+        return fn if self.faults is None else self.faults.wrap(fn)
+
+    def _faulty_into(self, fn: Callable) -> Callable:
+        """Wrap a ``fn(out, item)`` task with this engine's fault plan."""
+        return fn if self.faults is None else self.faults.wrap_into(fn)
+
+    def _engine_fault_check(self) -> None:
+        """Fire one injected engine-level failure, if the plan holds any."""
+        if self.faults is not None and self.faults.take_engine_failure():
+            raise EngineFailure(
+                f"injected engine failure on {type(self).__name__}")
 
     def _record_map(self, span, kind: str, n_tasks: int, wall: float, workers: list) -> MapStats:
         stats = MapStats(n_tasks=n_tasks, wall_seconds=wall, workers=workers)
@@ -112,17 +151,60 @@ class _EngineObsMixin:
         return stats
 
 
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _tolerant_loop(fn: Callable, items: Sequence, arr: np.ndarray | None = None):
+    """In-process fallback dispatch: run every task, collect failures.
+
+    Returns ``(results, failures)`` where ``failures`` maps item position
+    to an error string.  With ``arr`` set, tasks are ``fn(arr, item)``
+    (the write-in-place shape) and results are all ``None``.
+    """
+    results: list = [None] * len(items)
+    failures: dict[int, str] = {}
+    for i, item in enumerate(items):
+        try:
+            results[i] = fn(item) if arr is None else fn(arr, item)
+        except Exception as exc:
+            failures[i] = _format_error(exc)
+    return results, failures
+
+
 class SerialEngine(_EngineObsMixin):
     """Run tasks one after another in the calling thread."""
 
     n_workers = 1
     in_process = True
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, faults: FaultPlan | None = None):
         self.tracer = tracer
+        self.faults = faults
+
+    def map_tolerant(self, fn: Callable, items: Sequence):
+        """``map`` that survives task failures: ``(results, failures)``.
+
+        ``failures`` maps item position to an error string; failed
+        positions hold ``None`` in ``results``.  The serial engine is the
+        end of the fallback chain, so it never raises
+        :class:`EngineFailure` (injected engine faults are ignored here).
+        """
+        items = list(items)
+        if not items:
+            return [], {}
+        with self._obs_tracer().span("engine_map", engine="SerialEngine") as sp:
+            t0 = time.perf_counter()
+            results, failures = _tolerant_loop(self._faulty(fn), items)
+            wall = time.perf_counter() - t0
+            self._record_map(sp, "map", len(items), wall,
+                             [WorkerStats("w0", len(items), wall)])
+            sp.annotate(mode="tolerant", failed=len(failures))
+        return results, failures
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item, returning results in order."""
+        fn = self._faulty(fn)
         items = list(items)
         results: list = []
         with self._obs_tracer().span("engine_map", engine="SerialEngine") as sp:
@@ -139,6 +221,7 @@ class SerialEngine(_EngineObsMixin):
 
     def map_into(self, fn: Callable, items: Sequence, out) -> None:
         """Run ``fn(out, item)`` for every item (in-process, same array)."""
+        fn = self._faulty_into(fn)
         arr = _as_output_array(out)
         items = list(items)
         with self._obs_tracer().span("engine_map", engine="SerialEngine") as sp:
@@ -176,12 +259,13 @@ class ThreadEngine(_EngineObsMixin):
     in_process = True
 
     def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None,
-                 tracer=None):
+                 tracer=None, faults: FaultPlan | None = None):
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         self.policy = policy or DynamicScheduler(chunk=1)
         self.tracer = tracer
+        self.faults = faults
 
     def _chunks(self, n_items: int):
         if self.policy.is_dynamic():
@@ -215,6 +299,7 @@ class ThreadEngine(_EngineObsMixin):
         return merge_worker_stats(raw)
 
     def map(self, fn: Callable, items: Sequence) -> list:
+        fn = self._faulty(fn)
         items = list(items)
         results: list = [None] * len(items)
         if not items:
@@ -228,8 +313,45 @@ class ThreadEngine(_EngineObsMixin):
             self._record_map(sp, "map", len(items), time.perf_counter() - t0, workers)
         return results
 
+    def map_tolerant(self, fn: Callable, items: Sequence):
+        """``map`` that survives task failures: ``(results, failures)``.
+
+        Failed positions hold ``None`` in ``results`` and an error string
+        in ``failures``.  Per-task timeouts are *not* supported here —
+        Python threads cannot be killed — so a hung task simply occupies
+        its thread until it returns (use a fork engine for hang
+        protection).
+        """
+        self._engine_fault_check()
+        fn = self._faulty(fn)
+        items = list(items)
+        results: list = [None] * len(items)
+        failures: dict[int, str] = {}
+        if not items:
+            return results, failures
+        lock = threading.Lock()
+
+        def task(idx: int) -> None:
+            try:
+                value = fn(items[idx])
+            except Exception as exc:
+                with lock:
+                    failures[idx] = _format_error(exc)
+            else:
+                results[idx] = value
+
+        with self._obs_tracer().span(
+            "engine_map", engine="ThreadEngine", policy=self.policy.name
+        ) as sp:
+            t0 = time.perf_counter()
+            workers = self._run_chunks(task, len(items))
+            self._record_map(sp, "map", len(items), time.perf_counter() - t0, workers)
+            sp.annotate(mode="tolerant", failed=len(failures))
+        return results, failures
+
     def map_into(self, fn: Callable, items: Sequence, out) -> None:
         """Run ``fn(out, item)`` on the pool; threads share the array."""
+        fn = self._faulty_into(fn)
         items = list(items)
         if not items:
             return
@@ -273,6 +395,41 @@ def _fork_worker(args):
     return idx, value, time.perf_counter() - t0, os.getpid()
 
 
+def _supervised_worker(token: int, task_q, msg_q) -> None:
+    """Worker loop for the supervised (timeout-capable) pool.
+
+    Announces ``("start", pid, idx, None)`` *before* running each task so
+    the parent can hold a deadline against it, then ``("ok", pid, idx,
+    (value, seconds))`` or ``("err", pid, idx, traceback)``.  Task
+    failures stay inside the worker — only the message crosses the pipe —
+    so one poisoned tile never kills the pool.
+    """
+    fn, items, handle, into = _FORK_TASKS[token]
+    view = SharedArray.attach(*handle) if handle is not None else None
+    pid = os.getpid()
+    try:
+        while True:
+            idx = task_q.get()
+            if idx is None:
+                msg_q.put(("exit", pid, None, None))
+                return
+            msg_q.put(("start", pid, idx, None))
+            t0 = time.perf_counter()
+            try:
+                if into:
+                    fn(view.array, items[idx])
+                    value = None
+                else:
+                    value = fn(items[idx])
+            except Exception:
+                msg_q.put(("err", pid, idx, traceback.format_exc()))
+            else:
+                msg_q.put(("ok", pid, idx, (value, time.perf_counter() - t0)))
+    finally:
+        if view is not None:
+            view.close()
+
+
 class ProcessEngine(_EngineObsMixin):
     """Fork-based process pool for GIL-bound task functions.
 
@@ -288,7 +445,7 @@ class ProcessEngine(_EngineObsMixin):
     in_process = False
 
     def __init__(self, n_workers: int | None = None, policy: SchedulerPolicy | None = None,
-                 tracer=None):
+                 tracer=None, faults: FaultPlan | None = None):
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
@@ -296,6 +453,7 @@ class ProcessEngine(_EngineObsMixin):
             raise RuntimeError("ProcessEngine requires the fork start method")
         self.policy = policy or DynamicScheduler(chunk=1)
         self.tracer = tracer
+        self.faults = faults
 
     def _submission_order(self, n_items: int) -> list:
         """Task indices in the order the policy submits them to the pool.
@@ -327,6 +485,7 @@ class ProcessEngine(_EngineObsMixin):
         return results
 
     def map(self, fn: Callable, items: Sequence) -> list:
+        fn = self._faulty(fn)
         items = list(items)
         if not items:
             return []
@@ -359,6 +518,148 @@ class ProcessEngine(_EngineObsMixin):
             sp.annotate(result_bytes=nbytes)
             self._obs_tracer().add("bytes_transported", nbytes)
         return results
+
+    def map_supervised(self, fn: Callable, items: Sequence, timeout: float | None = None):
+        """Fault-isolating ``map``: ``(results, failures)``.
+
+        Unlike :meth:`map`, a task that raises only fails its own slot,
+        and a task that runs past ``timeout`` seconds has its worker
+        killed and replaced (the hung-straggler defence the paper's
+        multi-hour cluster runs need).  Inline (nested / one-worker)
+        execution degrades to the in-process tolerant loop, where
+        timeouts cannot be enforced.
+        """
+        self._engine_fault_check()
+        items = list(items)
+        if not items:
+            return [], {}
+        with self._obs_tracer().span(
+            "engine_map", engine=type(self).__name__, policy=self.policy.name
+        ) as sp:
+            t0 = time.perf_counter()
+            if self._inline():
+                results, failures = _tolerant_loop(self._faulty(fn), items)
+                wall = time.perf_counter() - t0
+                self._record_map(sp, "map", len(items), wall,
+                                 [WorkerStats("w0", len(items), wall)])
+            else:
+                results, failures, raw = self._run_supervised(
+                    fn, items, out=None, timeout=timeout)
+                self._record_map(sp, "map", len(items), time.perf_counter() - t0,
+                                 merge_worker_stats(raw))
+            sp.annotate(mode="supervised", failed=len(failures))
+        return results, failures
+
+    def _run_supervised(self, fn: Callable, items: list, out: SharedArray | None,
+                        timeout: float | None):
+        """Supervised fork pool: per-task messages, deadlines, replacement.
+
+        Returns ``(results, failures, raw_worker_stats)``.  The parent
+        drains a message queue; any worker whose announced task exceeds
+        ``timeout`` is terminated and a replacement forked (the unserved
+        indices still sit in the task queue).  A worker that dies without
+        a word (hard crash) fails the task it had announced.  Terminating
+        a worker mid-``put`` could in principle wedge a queue; the
+        watchdog converts any such total stall into an
+        :class:`EngineFailure` so the fallback chain takes over.
+        """
+        ctx = multiprocessing.get_context("fork")
+        into = out is not None
+        task = self._faulty_into(fn) if into else self._faulty(fn)
+        token = _publish((task, items, out.handle() if into else None, into))
+        task_q = ctx.Queue()
+        msg_q = ctx.Queue()
+        results: list = [None] * len(items)
+        failures: dict[int, str] = {}
+        raw: dict = {}
+        running: dict = {}   # pid -> (idx, started_at)
+        workers: dict = {}   # pid -> Process
+        settled: set = set()
+
+        def spawn() -> None:
+            w = ctx.Process(target=_supervised_worker, args=(token, task_q, msg_q))
+            w.start()
+            workers[w.pid] = w
+
+        def settle(idx: int, error: str | None, value=None) -> bool:
+            if idx in settled:
+                return False  # late message for a task already timed out
+            settled.add(idx)
+            if error is not None:
+                failures[idx] = error
+            else:
+                results[idx] = value
+            return True
+
+        try:
+            try:
+                for _ in range(min(self.n_workers, len(items))):
+                    spawn()
+            except OSError as exc:
+                raise EngineFailure(f"could not fork supervised workers: {exc}") from exc
+            for idx in self._submission_order(len(items)):
+                task_q.put(idx)
+            last_progress = time.perf_counter()
+            while len(settled) < len(items):
+                try:
+                    tag, pid, idx, payload = msg_q.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    pass
+                else:
+                    last_progress = time.perf_counter()
+                    if tag == "start":
+                        running[pid] = (idx, time.perf_counter())
+                    elif tag == "ok":
+                        running.pop(pid, None)
+                        if settle(idx, None, payload[0]):
+                            tasks, busy = raw.get(pid, (0, 0.0))
+                            raw[pid] = (tasks + 1, busy + payload[1])
+                    elif tag == "err":
+                        running.pop(pid, None)
+                        settle(idx, payload.strip().splitlines()[-1])
+                    continue  # drain messages before checking deadlines
+                now = time.perf_counter()
+                if timeout is not None:
+                    for pid, (idx, started) in list(running.items()):
+                        if now - started > timeout:
+                            w = workers.pop(pid, None)
+                            if w is not None:
+                                w.terminate()
+                                w.join()
+                            running.pop(pid, None)
+                            settle(idx, f"task timed out after {timeout:.3g}s "
+                                        f"(worker {pid} replaced)")
+                            last_progress = now
+                            if len(settled) < len(items):
+                                spawn()
+                for pid, w in list(workers.items()):
+                    if not w.is_alive():
+                        workers.pop(pid)
+                        if pid in running:
+                            idx, _ = running.pop(pid)
+                            settle(idx, f"worker {pid} died (exit code {w.exitcode})")
+                            last_progress = now
+                        if len(settled) < len(items) and not workers:
+                            spawn()
+                if now - last_progress > _STALL_SECONDS:
+                    raise EngineFailure(
+                        f"supervised pool stalled for {_STALL_SECONDS:.0f}s "
+                        f"({len(settled)}/{len(items)} tasks settled)")
+            for _ in workers:
+                task_q.put(None)
+            for w in workers.values():
+                w.join(timeout=5.0)
+        finally:
+            del _FORK_TASKS[token]
+            for w in workers.values():
+                if w.is_alive():
+                    w.terminate()
+                    w.join()
+            task_q.cancel_join_thread()
+            task_q.close()
+            msg_q.cancel_join_thread()
+            msg_q.close()
+        return results, failures, raw
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessEngine(n_workers={self.n_workers}, policy={self.policy.name})"
@@ -417,6 +718,7 @@ class SharedMemoryEngine(ProcessEngine):
     """
 
     def map_into(self, fn: Callable, items: Sequence, out) -> None:
+        fn = self._faulty_into(fn)
         items = list(items)
         if not items:
             return
@@ -498,14 +800,53 @@ class SharedMemoryEngine(ProcessEngine):
             task_q.close()
         return raw
 
+    def map_into_supervised(self, fn: Callable, items: Sequence, out: SharedArray,
+                            timeout: float | None = None) -> dict:
+        """Fault-isolating ``map_into``: returns ``{position: error}``.
+
+        Workers write their blocks straight into the shared array; a task
+        that raises fails only its slot, and a task past ``timeout`` has
+        its worker killed and replaced.  ``out`` must be a
+        :class:`SharedArray` (the resilient dispatch layer stages plain
+        ndarrays itself so retries and fallback survive restaging).
+        """
+        self._engine_fault_check()
+        items = list(items)
+        if not items:
+            return {}
+        if not isinstance(out, SharedArray):
+            raise TypeError("map_into_supervised requires a SharedArray sink")
+        with self._obs_tracer().span(
+            "engine_map", engine="SharedMemoryEngine", policy=self.policy.name
+        ) as sp:
+            t0 = time.perf_counter()
+            if self._inline():
+                _, failures = _tolerant_loop(self._faulty_into(fn), items,
+                                             arr=out.array)
+                wall = time.perf_counter() - t0
+                self._record_map(sp, "map_into", len(items), wall,
+                                 [WorkerStats("w0", len(items), wall)])
+            else:
+                _, failures, raw = self._run_supervised(
+                    fn, items, out=out, timeout=timeout)
+                self._record_map(sp, "map_into", len(items),
+                                 time.perf_counter() - t0, merge_worker_stats(raw))
+            sp.annotate(mode="supervised", failed=len(failures), result_bytes=0)
+        return failures
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SharedMemoryEngine(n_workers={self.n_workers}, policy={self.policy.name})"
         )
 
 
+#: Degradation order: each kind's next-best substitute.
+_FALLBACK_NEXT = {"sharedmem": "process", "process": "thread", "thread": "serial"}
+
+
 def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None,
-                policy: SchedulerPolicy | None = None, **kwargs):
+                policy: SchedulerPolicy | None = None,
+                faults: FaultPlan | None = None, fallback: bool = False, **kwargs):
     """Factory: ``serial``, ``thread``, ``process``, or ``sharedmem``.
 
     ``tracer`` (optional) attaches a :class:`repro.obs.tracer.Tracer` so
@@ -513,13 +854,54 @@ def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None,
     ``policy`` (optional :class:`SchedulerPolicy`) sets the submission
     order for the pooled engines; the default everywhere is dynamic
     self-scheduling with chunk 1.
+
+    ``faults`` (optional :class:`repro.faults.plan.FaultPlan`) injects
+    deterministic task faults into every map call — chaos-testing only.
+    When omitted, the ``REPRO_FAULTS`` environment variable is consulted
+    so forked subprocess workers (and CLI runs under chaos CI) see the
+    same plan.  ``fallback=True`` degrades down the chain ``sharedmem →
+    process → thread → serial`` if the requested kind cannot be
+    constructed on this host, instead of raising.
     """
-    if kind == "serial":
-        return SerialEngine(tracer=tracer)
-    if kind == "thread":
-        return ThreadEngine(n_workers=n_workers, policy=policy, tracer=tracer, **kwargs)
-    if kind == "process":
-        return ProcessEngine(n_workers=n_workers, policy=policy, tracer=tracer)
-    if kind == "sharedmem":
-        return SharedMemoryEngine(n_workers=n_workers, policy=policy, tracer=tracer)
-    raise ValueError(f"unknown engine kind {kind!r}")
+    if kind not in ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine kind {kind!r}; valid kinds: {', '.join(ENGINE_KINDS)}")
+    if faults is None:
+        faults = plan_from_env()
+    while True:
+        try:
+            if kind == "serial":
+                return SerialEngine(tracer=tracer, faults=faults)
+            if kind == "thread":
+                return ThreadEngine(n_workers=n_workers, policy=policy, tracer=tracer,
+                                    faults=faults, **kwargs)
+            if kind == "process":
+                return ProcessEngine(n_workers=n_workers, policy=policy, tracer=tracer,
+                                     faults=faults)
+            return SharedMemoryEngine(n_workers=n_workers, policy=policy, tracer=tracer,
+                                      faults=faults)
+        except RuntimeError:
+            if not fallback or kind not in _FALLBACK_NEXT:
+                raise
+            kind = _FALLBACK_NEXT[kind]
+
+
+def fallback_engine(engine):
+    """The next engine down the degradation chain, or ``None`` at the end.
+
+    ``sharedmem → process → thread → serial``; the replacement inherits
+    the failing engine's worker count, scheduling policy, tracer and
+    fault plan (so a chaos run keeps injecting task faults after a
+    fallback — only the injected *engine* failures are consumed).
+    """
+    if isinstance(engine, SharedMemoryEngine):
+        kind = "process"
+    elif isinstance(engine, ProcessEngine):
+        kind = "thread"
+    elif isinstance(engine, ThreadEngine):
+        kind = "serial"
+    else:
+        return None
+    return make_engine(kind, n_workers=getattr(engine, "n_workers", None),
+                       tracer=engine.tracer, policy=getattr(engine, "policy", None),
+                       faults=engine.faults, fallback=True)

@@ -1,0 +1,83 @@
+"""Property-based tests (Hypothesis) for the execution core.
+
+Three invariants the whole fault-tolerance story leans on, checked over
+randomized inputs rather than hand-picked cases:
+
+* the tile grid covers every gene pair ``i < j`` exactly once, for any
+  ``(n_genes, tile)`` — retrying or quarantining a tile can therefore
+  never double-count or drop a pair that another tile owns;
+* the MI matrix is symmetric, zero-diagonal, finite and non-negative for
+  arbitrary expression data;
+* every schedule's dispatch order is a permutation of the tile indices —
+  reordering (which the resilient layer composes with) never loses work.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bspline import weight_tensor
+from repro.core.exec import SCHEDULE_NAMES, TilePlan, schedule_policy
+from repro.core.mi_matrix import mi_matrix
+from repro.core.tiling import pair_count, tile_grid
+
+
+class TestTileGridCoverage:
+    @given(n=st.integers(min_value=2, max_value=60),
+           tile=st.integers(min_value=1, max_value=70))
+    @settings(max_examples=60, deadline=None)
+    def test_every_pair_covered_exactly_once(self, n, tile):
+        cover = np.zeros((n, n), dtype=np.int64)
+        for t in tile_grid(n, tile):
+            cover[t.i0:t.i1, t.j0:t.j1] += t.pair_mask()
+        iu = np.triu_indices(n, k=1)
+        assert np.all(cover[iu] == 1)
+        assert np.all(cover[np.tril_indices(n)] == 0)
+
+    @given(n=st.integers(min_value=2, max_value=60),
+           tile=st.integers(min_value=1, max_value=70))
+    @settings(max_examples=60, deadline=None)
+    def test_pair_counts_sum_to_total(self, n, tile):
+        tiles = tile_grid(n, tile)
+        assert sum(t.n_pairs for t in tiles) == pair_count(n)
+        assert all(t.n_pairs > 0 for t in tiles)
+
+
+class TestMiMatrixProperties:
+    @given(n=st.integers(min_value=2, max_value=8),
+           m=st.integers(min_value=8, max_value=20),
+           tile=st.integers(min_value=1, max_value=9),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_symmetric_zero_diagonal_finite_nonnegative(self, n, m, tile, seed):
+        rng = np.random.default_rng(seed)
+        weights = weight_tensor(rng.normal(size=(n, m)), bins=6)
+        mi = mi_matrix(weights, tile=tile).mi
+        assert np.array_equal(mi, mi.T)
+        assert np.all(np.diag(mi) == 0.0)
+        assert np.isfinite(mi).all()
+        assert np.all(mi >= 0.0)
+
+    @given(tile=st.integers(min_value=1, max_value=12),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_tile_size_never_changes_result(self, tile, seed):
+        rng = np.random.default_rng(seed)
+        weights = weight_tensor(rng.normal(size=(7, 16)), bins=6)
+        ref = mi_matrix(weights, tile=7).mi
+        assert np.allclose(mi_matrix(weights, tile=tile).mi, ref,
+                           rtol=1e-12, atol=1e-12)
+
+
+class TestScheduleOrderProperties:
+    @given(n=st.integers(min_value=2, max_value=40),
+           tile=st.integers(min_value=1, max_value=12),
+           workers=st.integers(min_value=1, max_value=9),
+           schedule=st.sampled_from(list(SCHEDULE_NAMES) + [None]))
+    @settings(max_examples=80, deadline=None)
+    def test_order_is_a_permutation(self, n, tile, workers, schedule):
+        plan = TilePlan(n_genes=n, tile=tile, base="nat",
+                        tiles=tile_grid(n, tile),
+                        policy=schedule_policy(schedule))
+        order = plan.order(workers)
+        assert sorted(order) == list(range(plan.n_tiles))
