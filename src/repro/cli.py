@@ -59,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
                      default="bonferroni")
     rec.add_argument("--dtype", choices=["float32", "float64"], default="float32")
     rec.add_argument("--tile", type=int, default=None)
+    rec.add_argument("--kernel-dtype", choices=["float32", "float64"], default=None,
+                     help="GEMM precision of the fused MI tile kernel; "
+                          "default keeps the weight tensor's own precision "
+                          "(bit-identical to previous releases), float32 "
+                          "runs the mixed-precision kernel (float32 GEMM, "
+                          "float64 entropy accumulation, MI error ~1e-6)")
+    rec.add_argument("--autotune", action="store_true",
+                     help="measure candidate MI tile sizes on a slab sample "
+                          "and use the empirically fastest; the winner is "
+                          "cached per (samples, bins, dtype, engine, host). "
+                          "Ignored when --tile is given")
     rec.add_argument("--dpi", type=float, default=None, metavar="TOLERANCE",
                      help="apply ARACNE DPI pruning with this tolerance")
     rec.add_argument("--engine", choices=["serial", "thread", "process", "sharedmem"],
@@ -201,7 +212,8 @@ def _cmd_reconstruct(args) -> int:
             dtype=args.dtype, tile=args.tile, seed=args.seed,
             testing=args.testing, schedule=args.schedule,
             max_retries=args.max_retries, task_timeout=args.task_timeout,
-            on_fault=args.on_fault,
+            on_fault=args.on_fault, kernel_dtype=args.kernel_dtype,
+            autotune=args.autotune,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,7 +33,9 @@ def _base_divisor(base: str) -> float:
         raise ValueError(f"base must be one of {sorted(_LOG_BASES)}, got {base!r}") from None
 
 
-def entropy_from_probs(p: np.ndarray, axis=None, base: str = "nat") -> np.ndarray:
+def entropy_from_probs(
+    p: np.ndarray, axis=None, base: str = "nat", validate: bool = True
+) -> np.ndarray:
     """Plug-in entropy ``-sum p log p`` along ``axis``.
 
     Zero probabilities contribute zero (the ``0 log 0 = 0`` convention via
@@ -49,9 +51,16 @@ def entropy_from_probs(p: np.ndarray, axis=None, base: str = "nat") -> np.ndarra
         Axis or axes to reduce over (``None`` = all).
     base:
         ``"nat"`` for nats (default, natural log) or ``"bit"`` for bits.
+    validate:
+        Scan ``p`` for negative entries before reducing.  The scan is a
+        full extra pass over the array, which matters when this is called
+        once per tile; kernel hot paths that construct their probabilities
+        from B-spline weights (non-negative by construction) pass
+        ``False`` to skip it.  Validation never changes the result, only
+        whether bad input raises here or silently produces NaNs.
     """
     p = np.asarray(p, dtype=np.float64)
-    if p.size and p.min() < -1e-12:
+    if validate and p.size and p.min() < -1e-12:
         raise ValueError("negative probabilities")
     h = -np.sum(xlogy(p, p), axis=axis)
     return h / _base_divisor(base)
@@ -92,16 +101,20 @@ def marginal_entropies(weights: np.ndarray, base: str = "nat") -> np.ndarray:
     return entropy_from_probs(p, axis=-1, base=base)
 
 
-def joint_entropy_from_probs(joint: np.ndarray, base: str = "nat") -> np.ndarray:
+def joint_entropy_from_probs(
+    joint: np.ndarray, base: str = "nat", validate: bool = True
+) -> np.ndarray:
     """Joint entropy H(X, Y) reducing the last two axes.
 
     ``joint`` is ``(b, b)`` for a single pair or ``(..., b, b)`` for tiles;
     leading axes are preserved so a whole tile reduces in one call.
+    ``validate`` is forwarded to :func:`entropy_from_probs` (hot paths
+    skip the negativity scan).
     """
     joint = np.asarray(joint, dtype=np.float64)
     if joint.ndim < 2:
         raise ValueError(f"expected at least 2-D joint probabilities, got shape {joint.shape}")
-    return entropy_from_probs(joint, axis=(-2, -1), base=base)
+    return entropy_from_probs(joint, axis=(-2, -1), base=base, validate=validate)
 
 
 def james_stein_shrinkage(p: np.ndarray, m_samples: int) -> np.ndarray:

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
-from repro.core.exec import TensorSource, WeightSource
-from repro.core.mi import mi_tile
+from repro.core.exec import TensorSource, WeightSource, worker_workspace
+from repro.core.mi import _fused_block, mi_tile
 from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
 from repro.obs.tracer import NULL_TRACER
 from repro.stats.random import as_rng, permutation_matrix
@@ -88,15 +88,45 @@ def mi_tile_fused(
         h_i = marginal_entropies(wi, base=base)
     if h_j is None:
         h_j = marginal_entropies(wj, base=base)
-    observed = mi_tile(wi, wj, h_i=h_i, h_j=h_j, base=base)
-    exceed = np.zeros(observed.shape, dtype=np.int64)
+    h_i = np.asarray(h_i, dtype=np.float64)
+    h_j = np.asarray(h_j, dtype=np.float64)
     m = wi.shape[1]
+    ti, b = wi.shape[0], wi.shape[2]
+    tj = wj.shape[0]
+    if ti == 1 and tj == 1:
+        # Degenerate tiles keep the legacy loop (see mi.py on 1x1 GEMM
+        # summation order); cost is negligible at this size.
+        observed = mi_tile(wi, wj, h_i=h_i, h_j=h_j, base=base)
+        exceed = np.zeros(observed.shape, dtype=np.int64)
+        for perm in permutations:
+            joint = np.tensordot(wi[:, perm], wj, axes=([1], [1])).transpose(0, 2, 1, 3)
+            joint = np.ascontiguousarray(joint, dtype=np.float64) / m
+            h_joint = joint_entropy_from_probs(joint, base=base, validate=False)
+            mi_perm = np.maximum(h_i[:, None] + h_j[None, :] - h_joint, 0.0)
+            exceed += mi_perm >= observed
+        return observed, exceed
+    # Fused path: operands are staged once per tile into this worker's
+    # reused workspace; each permutation is one sample-axis gather of the
+    # already-transposed row operand plus one GEMM + fused reduction —
+    # the column operand and both marginal entropy vectors are reused
+    # across all q replicas.  Bit-identical to the legacy loop.
+    ws = worker_workspace()
+    at = ws.array("at", (ti, b, m), wi.dtype)
+    np.copyto(at, wi.transpose(0, 2, 1), casting="same_kind")
+    bv = ws.array("bv", (m, tj, b), wj.dtype)
+    np.copyto(bv, wj.transpose(1, 0, 2), casting="same_kind")
+    bv2 = bv.reshape(m, tj * b)
+    observed = _fused_block(
+        at.reshape(ti * b, m), bv2, ti, tj, b, m, h_i, h_j, base, ws, None, False)
+    exceed = np.zeros(observed.shape, dtype=np.int64)
+    at_perm = ws.array("at_perm", (ti, b, m), wi.dtype)
+    mi_perm = ws.array("mi_perm", (ti, tj))
     for perm in permutations:
-        # Permuting rows of the row-slab's sample axis; marginals unchanged.
-        joint = np.tensordot(wi[:, perm], wj, axes=([1], [1])).transpose(0, 2, 1, 3)
-        joint = np.ascontiguousarray(joint, dtype=np.float64) / m
-        h_joint = joint_entropy_from_probs(joint, base=base)
-        mi_perm = np.maximum(h_i[:, None] + h_j[None, :] - h_joint, 0.0)
+        # Permuting the row-slab's sample axis; marginals unchanged.
+        np.take(at, perm, axis=2, out=at_perm)
+        _fused_block(
+            at_perm.reshape(ti * b, m), bv2, ti, tj, b, m, h_i, h_j, base,
+            ws, mi_perm, False)
         exceed += mi_perm >= observed
     return observed, exceed
 

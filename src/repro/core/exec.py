@@ -37,11 +37,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.entropy import marginal_entropies
-from repro.core.mi import mi_tile
-from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.core.mi import TileWorkspace, mi_tile_into, prepare_operands
+from repro.core.tiling import (
+    Tile,
+    autotune_tile_size,
+    default_tile_size,
+    fused_tile_size,
+    pair_count,
+    tile_grid,
+)
 from repro.faults.policy import FaultPolicy, FaultToleranceExceeded, QuarantinedTile
 from repro.obs.tracer import NULL_TRACER
-from repro.parallel.engine import EngineFailure, SharedMemoryEngine, fallback_engine
+from repro.parallel.engine import (
+    EngineFailure,
+    SharedMemoryEngine,
+    WorkerLocal,
+    fallback_engine,
+)
 from repro.parallel.scheduler import (
     DynamicScheduler,
     LptScheduler,
@@ -304,16 +316,36 @@ def plan_tiles(
     tile: "int | None" = None,
     base: str = "nat",
     schedule=None,
+    kernel_dtype=None,
+    autotune: bool = False,
+    engine_name: str = "serial",
 ) -> TilePlan:
     """Build the :class:`TilePlan` for ``source``.
 
-    ``tile`` defaults to the cache-derived
-    :func:`repro.core.tiling.default_tile_size` for the source's sample
-    count, bin count and dtype; ``schedule`` is a name from
-    :data:`SCHEDULE_NAMES`, a policy instance, or ``None`` (grid order).
+    When ``tile`` is ``None`` it is chosen in this order: ``autotune=True``
+    measures candidate sizes on a real slab sample
+    (:func:`repro.core.tiling.autotune_tile_size`, persisted per
+    ``(m, b, dtype, engine, host)``); an explicit ``kernel_dtype`` selects
+    the fused kernel's calibrated cache model
+    (:func:`repro.core.tiling.fused_tile_size`); otherwise the legacy
+    :func:`repro.core.tiling.default_tile_size` applies, keeping default
+    runs tile-for-tile identical to previous releases.  ``schedule`` is a
+    name from :data:`SCHEDULE_NAMES`, a policy instance, or ``None``
+    (grid order).
     """
     if tile is None:
-        tile = default_tile_size(source.m_samples, source.bins, itemsize=source.itemsize)
+        if autotune:
+            sample = source.slab(0, min(source.n_genes, 256))
+            tile = autotune_tile_size(
+                np.ascontiguousarray(sample), dtype=kernel_dtype,
+                engine=engine_name, base=base)
+        elif kernel_dtype is not None:
+            tile = fused_tile_size(
+                source.m_samples, source.bins,
+                itemsize=np.dtype(kernel_dtype).itemsize)
+        else:
+            tile = default_tile_size(
+                source.m_samples, source.bins, itemsize=source.itemsize)
     return TilePlan(
         n_genes=source.n_genes,
         tile=tile,
@@ -449,17 +481,36 @@ class DenseSink(MatrixSink):
 # ---------------------------------------------------------------------------
 
 
-def default_kernel(source: WeightSource, h: np.ndarray, t: Tile, base: str) -> np.ndarray:
-    """One tile's MI block from the source's slabs (diagonal masked)."""
-    block = mi_tile(
+# One reusable kernel workspace per engine worker (thread- and fork-safe);
+# buffers are sized by the first tile and reused for the rest of the run.
+_WORKER_WORKSPACE = WorkerLocal(TileWorkspace)
+
+
+def worker_workspace() -> TileWorkspace:
+    """This worker's reusable :class:`repro.core.mi.TileWorkspace`."""
+    return _WORKER_WORKSPACE.get()
+
+
+def default_kernel(
+    source: WeightSource, h: np.ndarray, t: Tile, base: str, kernel_dtype=None
+) -> np.ndarray:
+    """One tile's MI block from the source's slabs (diagonal masked).
+
+    Runs the fused workspace kernel (:func:`repro.core.mi.mi_tile_into`)
+    with this worker's reused buffers; bit-identical to the legacy
+    ``mi_tile`` path unless ``kernel_dtype`` selects mixed precision.
+    """
+    block = mi_tile_into(
         source.slab(t.i0, t.i1),
         source.slab(t.j0, t.j1),
         h_i=h[t.i0 : t.i1],
         h_j=h[t.j0 : t.j1],
         base=base,
+        workspace=worker_workspace(),
+        dtype=kernel_dtype,
     )
     if t.is_diagonal:
-        block = np.where(t.pair_mask(), block, 0.0)
+        block[~t.pair_mask()] = 0.0
     return block
 
 
@@ -472,14 +523,19 @@ def run_tile_plan(
     progress=None,
     kernel=None,
     policy: "FaultPolicy | None" = None,
+    kernel_dtype=None,
 ):
     """Execute ``plan``: every tile through ``kernel`` into ``sink``.
 
     This is the one tile loop all MI drivers share.  ``engine`` is any
     :mod:`repro.parallel.engine` engine (or ``None`` for serial);
-    ``kernel(source, h, tile, base)`` defaults to the GEMM MI kernel and
-    is overridable (the checkpoint driver routes through its patchable
-    ``compute_tile``).  ``progress(done, total)`` and the tracer's
+    ``kernel(source, h, tile, base)`` defaults to the fused workspace MI
+    kernel and is overridable (the checkpoint driver routes through its
+    patchable ``compute_tile``).  ``kernel_dtype`` selects the default
+    kernel's GEMM precision (``"float32"`` = mixed precision) and is also
+    used to warm the process-wide hoisted-operand cache before dispatch,
+    so fork workers inherit the repacked tensor copy-on-write instead of
+    each rebuilding it; custom kernels receive it via their own closures.  ``progress(done, total)`` and the tracer's
     ``tiles_done``/``pairs_done`` (and, for row sinks, ``rows_done``)
     counters tick at each driver's historical granularity: per tile for
     serial and in-process engines, per batch/row for fork engines.
@@ -495,12 +551,22 @@ def run_tile_plan(
     Returns ``sink.finalize(completed)`` — the sink-specific result.
     """
     tracer = tracer or NULL_TRACER
-    kernel = kernel or default_kernel
     h = source.entropies(plan.base)
     base = plan.base
 
-    def run(t: Tile) -> np.ndarray:
-        return kernel(source, h, t, base)
+    # Warm the hoisted-operand cache in the parent: thread workers share
+    # the one repacking, fork workers inherit it copy-on-write.
+    weights = getattr(source, "weights", None)
+    if weights is not None and weights.ndim == 3 and weights.shape[0] >= 2:
+        dt = np.dtype(kernel_dtype) if kernel_dtype is not None else None
+        prepare_operands(weights, dt)
+
+    if kernel is None:
+        def run(t: Tile) -> np.ndarray:
+            return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
+    else:
+        def run(t: Tile) -> np.ndarray:
+            return kernel(source, h, t, base)
 
     try:
         if sink.grain == "rows":

@@ -28,9 +28,11 @@ from repro.core.exec import (
     WeightSource,
     plan_tiles,
     run_tile_plan,
+    worker_workspace,
 )
-from repro.core.mi import mi_tile
+from repro.core.mi import mi_tile, mi_tile_block
 from repro.core.tiling import Tile, pair_count
+from repro.parallel.engine import engine_kind
 
 __all__ = ["MiMatrixResult", "compute_tile", "mi_matrix", "mi_pairs", "mi_row"]
 
@@ -71,32 +73,43 @@ def compute_tile(
     h: np.ndarray,
     t: Tile,
     base: str = "nat",
+    workspace=None,
+    kernel_dtype=None,
 ) -> np.ndarray:
     """Kernel for one tile: the ``(rows, cols)`` MI block.
 
     Module-level (not a closure) so process-based engines can pickle a
     reference to it and look the weight tensor up in worker-shared memory.
+    Runs the fused workspace kernel (:func:`repro.core.mi.mi_tile_block`)
+    against the process-cached hoisted operands; bit-identical to the
+    legacy ``mi_tile`` path unless ``kernel_dtype`` selects mixed
+    precision.  ``workspace`` defaults to this worker's reused buffers.
     """
-    block = mi_tile(
-        weights[t.i0 : t.i1],
-        weights[t.j0 : t.j1],
+    block = mi_tile_block(
+        weights,
+        t.i0,
+        t.i1,
+        t.j0,
+        t.j1,
         h_i=h[t.i0 : t.i1],
         h_j=h[t.j0 : t.j1],
         base=base,
+        workspace=workspace if workspace is not None else worker_workspace(),
+        dtype=kernel_dtype,
     )
     if t.is_diagonal:
-        block = np.where(t.pair_mask(), block, 0.0)
+        block[~t.pair_mask()] = 0.0
     return block
 
 
-def _tile_kernel(source, h: np.ndarray, t: Tile, base: str) -> np.ndarray:
+def _tile_kernel(source, h: np.ndarray, t: Tile, base: str, kernel_dtype=None) -> np.ndarray:
     """Executor kernel routing through the patchable :func:`compute_tile`."""
     weights = getattr(source, "weights", None)
     if weights is None:  # non-tensor sources slab through the default kernel
         from repro.core.exec import default_kernel
 
-        return default_kernel(source, h, t, base)
-    return compute_tile(weights, h, t, base)
+        return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
+    return compute_tile(weights, h, t, base, kernel_dtype=kernel_dtype)
 
 
 def mi_matrix(
@@ -109,6 +122,8 @@ def mi_matrix(
     tracer=None,
     schedule=None,
     policy=None,
+    kernel_dtype=None,
+    autotune: bool = False,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -156,16 +171,37 @@ def mi_matrix(
         Optional :class:`repro.faults.policy.FaultPolicy` enabling the
         resilient dispatch layer (retries, timeouts, quarantine, engine
         fallback); ``None`` keeps the zero-overhead legacy paths.
+    kernel_dtype:
+        GEMM precision of the fused tile kernel: ``None`` (default) keeps
+        the weight tensor's own precision and stays bit-identical to
+        previous releases; ``"float32"`` runs the mixed-precision kernel
+        (float32 GEMM, float64 entropy accumulation; MI error ~1e-6);
+        ``"float64"`` forces a float64 GEMM.  An explicit setting also
+        switches the default tile size to the fused kernel's calibrated
+        cache model (:func:`repro.core.tiling.fused_tile_size`).
+    autotune:
+        Measure candidate tile sizes on a slab sample before the run and
+        use the empirically fastest
+        (:func:`repro.core.tiling.autotune_tile_size`); the winner is
+        persisted per ``(m, b, dtype, engine, host)`` so later runs skip
+        the measurement.  Ignored when ``tile`` is given explicitly.
 
     Returns
     -------
     MiMatrixResult
     """
     source = weights if isinstance(weights, WeightSource) else TensorSource(weights)
-    plan = plan_tiles(source, tile=tile, base=base, schedule=schedule)
+    plan = plan_tiles(source, tile=tile, base=base, schedule=schedule,
+                      kernel_dtype=kernel_dtype, autotune=autotune,
+                      engine_name=engine_kind(engine))
     sink = DenseSink(source.n_genes, out=out)
+
+    def kernel(src, h, t, b):
+        return _tile_kernel(src, h, t, b, kernel_dtype=kernel_dtype)
+
     mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
-                       progress=progress, kernel=_tile_kernel, policy=policy)
+                       progress=progress, kernel=kernel, policy=policy,
+                       kernel_dtype=kernel_dtype)
     return MiMatrixResult(
         mi=mi,
         marginal_entropy=source.entropies(base),

@@ -28,8 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.entropy import entropy_from_probs, joint_entropy_from_probs
-from repro.core.mi import mi_bspline_pair
+from repro.core.mi import batched_pair_mi, mi_bspline_pair
 from repro.stats.pvalues import empirical_pvalues
 from repro.stats.quantile import upper_tail_threshold
 from repro.stats.random import as_rng, permutation_matrix, sample_pairs
@@ -113,12 +112,7 @@ def _pooled_null_row(wi: np.ndarray, wj: np.ndarray, perm: np.ndarray,
     # Pairwise (not all-pairs): batched matmul via mi_tile on stacked
     # single-pair slabs would waste (P^2 - P) work; use einsum instead.
     joint = np.einsum("pmb,pmc->pbc", wi_perm, wj, optimize=True) / m
-    px = joint.sum(axis=2)
-    py = joint.sum(axis=1)
-    h_xy = joint_entropy_from_probs(joint, base=base)
-    h_x = entropy_from_probs(px, axis=1, base=base)
-    h_y = entropy_from_probs(py, axis=1, base=base)
-    return np.maximum(h_x + h_y - h_xy, 0.0)
+    return batched_pair_mi(joint, base=base)
 
 
 def pooled_null(
@@ -230,13 +224,8 @@ def per_pair_pvalues(
         wy = weights[j]
         observed[idx] = mi_bspline_pair(wx, wy, base=base)
         wx_perms = wx[perms]  # (q, m, b)
-        joint = np.matmul(wx_perms.transpose(0, 2, 1), wy).astype(np.float64) / m
-        px = joint.sum(axis=2)
-        py = joint.sum(axis=1)
-        h_xy = joint_entropy_from_probs(joint, base=base)
-        h_x = entropy_from_probs(px, axis=1, base=base)
-        h_y = entropy_from_probs(py, axis=1, base=base)
-        null = np.maximum(h_x + h_y - h_xy, 0.0)
+        joint = np.matmul(wx_perms.transpose(0, 2, 1), wy).astype(np.float64, copy=False) / m
+        null = batched_pair_mi(joint, base=base)
         exceed = int(np.count_nonzero(null >= observed[idx]))
         pvals[idx] = (1.0 + exceed) / (1.0 + n_permutations)
     return observed, pvals

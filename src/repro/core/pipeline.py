@@ -96,6 +96,17 @@ class TingeConfig:
         keep going, ``"raise"`` aborts).  The defaults (0 / ``None`` /
         ``"raise"``) disable the resilient layer entirely, keeping the MI
         phase on the legacy zero-overhead dispatch paths.
+    kernel_dtype:
+        GEMM precision of the fused MI tile kernel: ``None`` (default)
+        keeps the weight tensor's own precision and is bit-identical to
+        previous releases; ``"float32"`` runs the mixed-precision kernel
+        (float32 GEMM, float64 entropy accumulation; MI error ~1e-6);
+        ``"float64"`` forces a float64 GEMM.
+    autotune:
+        Measure candidate MI tile sizes on a slab sample before the run
+        and use the empirically fastest
+        (:func:`repro.core.tiling.autotune_tile_size`); ignored when
+        ``tile`` is set explicitly.
     """
 
     bins: int = 10
@@ -116,6 +127,8 @@ class TingeConfig:
     max_retries: int = 0
     task_timeout: "float | None" = None
     on_fault: str = "raise"
+    kernel_dtype: "str | None" = None
+    autotune: bool = False
 
     def __post_init__(self) -> None:
         if self.correction not in ("bonferroni", "none", "bh"):
@@ -146,6 +159,10 @@ class TingeConfig:
             )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.kernel_dtype not in (None, "float32", "float64"):
+            raise ValueError(
+                f"kernel_dtype must be None/float32/float64, got {self.kernel_dtype!r}"
+            )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
         if self.on_fault not in ON_FAULT_MODES:
@@ -280,7 +297,8 @@ class TingePipeline:
             result = self._timed(
                 "mi", mi_matrix, source, cfg.tile, cfg.base, self.engine,
                 self.progress, None, self.tracer, cfg.schedule,
-                policy=cfg.fault_policy(),
+                policy=cfg.fault_policy(), kernel_dtype=cfg.kernel_dtype,
+                autotune=cfg.autotune,
             )
 
             def build():

@@ -15,12 +15,25 @@ in experiment E11.
 
 from __future__ import annotations
 
+import json
+import os
+import socket
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Tile", "tile_grid", "pair_count", "default_tile_size"]
+__all__ = [
+    "Tile",
+    "tile_grid",
+    "pair_count",
+    "default_tile_size",
+    "fused_tile_size",
+    "autotune_tile_size",
+    "autotune_cache_path",
+]
 
 
 @dataclass(frozen=True)
@@ -134,3 +147,140 @@ def default_tile_size(
             best = t
         t *= 2
     return best
+
+
+def fused_tile_size(
+    m_samples: int,
+    bins: int,
+    itemsize: int = 8,
+    cache_bytes: int = 10 << 20,
+) -> int:
+    """Cache-model tile size calibrated for the *fused* workspace kernel.
+
+    The fused kernel's per-tile working set differs from the legacy path:
+    operands are views of the hoisted tensor (no per-tile transpose
+    copies), and the only large temporaries are the GEMM output and the
+    in-place joint buffer — ``2 * T * m * b`` streamed operand words plus
+    ``2 * T^2 * b^2`` resident result words.  With no copy traffic
+    competing for cache, the sweet spot sits two rungs higher than
+    :func:`default_tile_size` (10 MiB effective budget, roughly a per-core
+    L3 share; benchmark E30 measures T=64 fastest at the standard m=256,
+    b=10 config, with the autotuner free to override empirically).
+    """
+    if m_samples <= 0 or bins <= 0:
+        raise ValueError("m_samples and bins must be positive")
+    best = 8
+    t = 8
+    while t <= 256:
+        working = 2 * t * m_samples * bins * itemsize + 2 * t * t * bins * bins * itemsize
+        if working <= cache_bytes:
+            best = t
+        t *= 2
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Empirical tile-size autotuner
+# ---------------------------------------------------------------------------
+
+_AUTOTUNE_ENV = "REPRO_AUTOTUNE_CACHE"
+_AUTOTUNE_CANDIDATES = (16, 32, 64, 128)
+
+
+def autotune_cache_path() -> Path:
+    """Sidecar file persisting autotuned tile sizes across runs.
+
+    Overridable via the ``REPRO_AUTOTUNE_CACHE`` environment variable
+    (tests point it at a temp file); defaults to
+    ``~/.cache/repro/autotune_tiles.json``.
+    """
+    override = os.environ.get(_AUTOTUNE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "autotune_tiles.json"
+
+
+def _autotune_key(m_samples: int, bins: int, dtype: str, engine: str) -> str:
+    return f"m={m_samples};b={bins};dtype={dtype};engine={engine};host={socket.gethostname()}"
+
+
+def _load_autotune_cache(path: Path) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return data if isinstance(data, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def _store_autotune_cache(path: Path, cache: dict) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(cache, fh, indent=0, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a cold cache next run is the only consequence
+
+
+def autotune_tile_size(
+    weights: np.ndarray,
+    *,
+    dtype=None,
+    engine: str = "serial",
+    base: str = "nat",
+    candidates: "tuple[int, ...] | None" = None,
+    sample_genes: int = 256,
+    repeats: int = 3,
+    use_cache: bool = True,
+) -> int:
+    """Measure candidate tile sizes on a real slab sample; pick the fastest.
+
+    Times the fused kernel (:func:`repro.core.mi.mi_tile_block`) over one
+    representative off-diagonal tile per candidate size, on a prefix sample
+    of the actual weight tensor, and returns the argmin — normalized per
+    matrix cell so different tile sizes compare fairly.  The winner is
+    persisted in a JSON sidecar keyed by ``(m, b, dtype, engine, host)``
+    (see :func:`autotune_cache_path`) so subsequent runs skip measurement.
+    """
+    from repro.core.mi import TileWorkspace, mi_tile_block, prepare_operands
+
+    weights = np.asarray(weights)
+    if weights.ndim != 3:
+        raise ValueError(f"expected an (n, m, b) weight tensor, got shape {weights.shape}")
+    n, m, b = weights.shape
+    dtype_name = np.dtype(dtype).name if dtype is not None else weights.dtype.name
+    key = _autotune_key(m, b, dtype_name, engine)
+    path = autotune_cache_path()
+    if use_cache:
+        cached = _load_autotune_cache(path).get(key)
+        if isinstance(cached, int) and cached > 0:
+            return cached
+
+    sample = np.ascontiguousarray(weights[: min(n, sample_genes)])
+    if candidates is None:
+        candidates = _AUTOTUNE_CANDIDATES
+    # Each candidate is timed at its true size on an off-diagonal tile, so
+    # it needs 2*t sample genes; out-of-range candidates are dropped.
+    usable = tuple(t for t in candidates if 2 * t <= sample.shape[0])
+    if not usable:
+        return fused_tile_size(m, b)
+    ws = TileWorkspace()
+    prepare_operands(sample, np.dtype(dtype) if dtype is not None else None)
+    timings: dict[int, float] = {}
+    for t in usable:
+        # One warm-up call sizes the workspace buffers outside the timing.
+        mi_tile_block(sample, 0, t, t, 2 * t, base=base, workspace=ws, dtype=dtype)
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            mi_tile_block(sample, 0, t, t, 2 * t, base=base, workspace=ws, dtype=dtype)
+            best = min(best, time.perf_counter() - start)
+        timings[t] = best / (t * t)  # per matrix cell
+    winner = min(timings, key=timings.get)
+    if use_cache:
+        cache = _load_autotune_cache(path)
+        cache[key] = int(winner)
+        _store_autotune_cache(path, cache)
+    return winner

@@ -64,6 +64,8 @@ __all__ = [
     "ThreadEngine",
     "ProcessEngine",
     "SharedMemoryEngine",
+    "WorkerLocal",
+    "engine_kind",
     "fallback_engine",
     "make_engine",
 ]
@@ -77,6 +79,46 @@ _POLL_SECONDS = 0.02
 
 #: Give up and fail over if a supervised pool makes no progress this long.
 _STALL_SECONDS = 60.0
+
+
+class WorkerLocal:
+    """Per-worker lazily-constructed value, valid across every engine kind.
+
+    Thread workers each see their own value (``threading.local``); fork
+    workers detect the pid change and rebuild rather than sharing the
+    parent's instance through copy-on-write memory.  Used to give each
+    engine worker its own reusable kernel workspace
+    (:class:`repro.core.mi.TileWorkspace`) without the drivers having to
+    know the engine's worker topology.
+    """
+
+    def __init__(self, factory: Callable):
+        self._factory = factory
+        self._local = threading.local()
+
+    def get(self):
+        pid = os.getpid()
+        if getattr(self._local, "pid", None) != pid:
+            self._local.value = self._factory()
+            self._local.pid = pid
+        return self._local.value
+
+
+def engine_kind(engine) -> str:
+    """The :data:`ENGINE_KINDS` name of an engine instance (``None`` → serial).
+
+    Used as part of the autotuner's cache key, so a tile size measured
+    under one worker topology is not silently reused under another.
+    """
+    if engine is None or isinstance(engine, SerialEngine):
+        return "serial"
+    if isinstance(engine, SharedMemoryEngine):
+        return "sharedmem"
+    if isinstance(engine, ProcessEngine):
+        return "process"
+    if isinstance(engine, ThreadEngine):
+        return "thread"
+    return type(engine).__name__
 
 
 class EngineFailure(RuntimeError):

@@ -7,6 +7,13 @@ lost.  :class:`SharedArray` closes that gap with
 shared output matrix, the parent reads it back with zero copies — the
 process analog of the paper's threads writing disjoint blocks of the MI
 matrix in coprocessor memory.
+
+The fused tile kernel's hoisted GEMM operands ride the same
+copy-on-write channel: :func:`repro.core.exec.run_tile_plan` warms the
+process-global operand cache (:func:`repro.core.mi.prepare_operands`)
+*before* the engine forks, so every worker reads the one repacked copy
+instead of rebuilding its own; only each worker's scratch
+:class:`~repro.core.mi.TileWorkspace` is private.
 """
 
 from __future__ import annotations

@@ -45,6 +45,16 @@ class TestEntropyFromProbs:
         with pytest.raises(ValueError):
             entropy_from_probs(np.array([-0.1, 1.1]))
 
+    def test_validate_off_skips_scan(self):
+        # Hot paths pass validate=False to skip the p.min() scan; negative
+        # mass then flows through xlogy instead of raising.
+        p = np.array([-0.1, 1.1])
+        entropy_from_probs(p, validate=False)  # must not raise
+
+    def test_validate_default_matches_explicit(self):
+        p = np.random.default_rng(5).dirichlet(np.ones(8))
+        assert entropy_from_probs(p) == entropy_from_probs(p, validate=False)
+
     def test_unknown_base_raises(self):
         with pytest.raises(ValueError):
             entropy_from_probs(np.array([1.0]), base="dit")

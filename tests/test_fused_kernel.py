@@ -1,0 +1,254 @@
+"""Tests for the fused workspace tile kernel and the tile-size autotuner.
+
+The fused kernel (:func:`repro.core.mi.mi_tile_into` /
+:func:`repro.core.mi.mi_tile_block`) must be *bit-identical* to the legacy
+:func:`repro.core.mi.mi_tile` path at the slab's native precision — it is
+the default kernel under every driver, so any last-bit drift would silently
+change released results.  Mixed float32 mode trades those guarantees for
+speed within a documented tolerance.  The autotuner persists its empirical
+tile-size choice in a sidecar JSON cache.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bspline import weight_tensor
+from repro.core.entropy import marginal_entropies
+from repro.core.mi import (
+    TileWorkspace,
+    mi_tile,
+    mi_tile_block,
+    mi_tile_into,
+    prepare_operands,
+)
+from repro.core.mi_matrix import mi_matrix
+from repro.core.tiling import (
+    autotune_cache_path,
+    autotune_tile_size,
+    fused_tile_size,
+)
+from repro.parallel.engine import (
+    ProcessEngine,
+    SerialEngine,
+    SharedMemoryEngine,
+    ThreadEngine,
+)
+
+# Tile shapes chosen to hit the degenerate 1x1 fallback, odd sizes (which
+# historically exposed BLAS transpose-dispatch differences), and edge tiles.
+TILE_SHAPES = [(0, 1, 1, 2), (0, 4, 4, 8), (0, 7, 7, 18), (3, 9, 9, 18),
+               (0, 6, 6, 7), (0, 18, 0, 18)]
+
+
+@pytest.fixture(scope="module")
+def spline_weights():
+    rng = np.random.default_rng(11)
+    return weight_tensor(rng.normal(size=(18, 96)))
+
+
+@pytest.fixture(scope="module")
+def dense_weights():
+    # Dense strictly-positive joint mass: exposes summation-order drift that
+    # the mostly-zero B-spline weights can mask.
+    rng = np.random.default_rng(17)
+    w = rng.dirichlet(np.ones(10), size=(18, 96))
+    return np.ascontiguousarray(w)
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("fixture", ["spline_weights", "dense_weights"])
+    @pytest.mark.parametrize("base", ["nat", "bit"])
+    @pytest.mark.parametrize("i0,i1,j0,j1", TILE_SHAPES)
+    def test_into_matches_legacy_float64(self, fixture, base, i0, i1, j0, j1,
+                                         request):
+        weights = request.getfixturevalue(fixture)
+        wi, wj = weights[i0:i1], weights[j0:j1]
+        ref = mi_tile(wi, wj, base=base)
+        ws = TileWorkspace()
+        got = mi_tile_into(wi, wj, base=base, workspace=ws)
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("fixture", ["spline_weights", "dense_weights"])
+    @pytest.mark.parametrize("i0,i1,j0,j1", TILE_SHAPES)
+    def test_block_matches_legacy_float64(self, fixture, i0, i1, j0, j1,
+                                          request):
+        weights = request.getfixturevalue(fixture)
+        ref = mi_tile(weights[i0:i1], weights[j0:j1])
+        ws = TileWorkspace()
+        got = mi_tile_block(weights, i0, i1, j0, j1, workspace=ws)
+        assert np.array_equal(got, ref)
+
+    def test_float32_slab_native_precision(self, dense_weights):
+        # dtype=None keeps the slab's own precision: a float32 tensor runs a
+        # float32 GEMM bit-identical to the legacy float32 mi_tile path.
+        w32 = dense_weights.astype(np.float32)
+        ws = TileWorkspace()
+        for i0, i1, j0, j1 in TILE_SHAPES:
+            ref = mi_tile(w32[i0:i1], w32[j0:j1])
+            got = mi_tile_block(w32, i0, i1, j0, j1, workspace=ws)
+            assert np.array_equal(got, ref)
+
+    def test_workspace_reuse_across_tiles(self, spline_weights):
+        # One workspace carried across every tile of a grid must give the
+        # same answers as fresh allocations per call.
+        ws = TileWorkspace()
+        for i0, i1, j0, j1 in TILE_SHAPES:
+            ref = mi_tile_into(spline_weights[i0:i1], spline_weights[j0:j1])
+            got = mi_tile_into(spline_weights[i0:i1], spline_weights[j0:j1],
+                               workspace=ws)
+            assert np.array_equal(got, ref)
+
+    def test_out_parameter(self, spline_weights):
+        wi, wj = spline_weights[0:4], spline_weights[4:9]
+        out = np.empty((4, 5))
+        got = mi_tile_into(wi, wj, out)
+        assert got is out
+        assert np.array_equal(out, mi_tile(wi, wj))
+
+    def test_out_shape_validated(self, spline_weights):
+        with pytest.raises(ValueError):
+            mi_tile_into(spline_weights[0:4], spline_weights[4:9],
+                         np.empty((3, 5)))
+
+    def test_entropies_accepted(self, dense_weights):
+        h = marginal_entropies(dense_weights)
+        ref = mi_tile(dense_weights[0:7], dense_weights[7:18])
+        got = mi_tile_into(dense_weights[0:7], dense_weights[7:18],
+                           h_i=h[0:7], h_j=h[7:18])
+        assert np.array_equal(got, ref)
+
+
+class TestKernelDtype:
+    def test_float32_mixed_within_tolerance(self, dense_weights):
+        ref = mi_tile(dense_weights[0:9], dense_weights[9:18])
+        got = mi_tile_block(dense_weights, 0, 9, 9, 18, dtype="float32")
+        # Documented tolerance of the mixed-precision mode: float32 GEMM,
+        # float64 entropy accumulation.
+        assert np.allclose(got, ref, rtol=1e-5, atol=1e-5)
+        assert not np.array_equal(got, ref)  # it really ran in float32
+
+    def test_float64_forced_is_exact(self, dense_weights):
+        ref = mi_tile(dense_weights[0:9], dense_weights[9:18])
+        got = mi_tile_block(dense_weights, 0, 9, 9, 18, dtype="float64")
+        assert np.array_equal(got, ref)
+
+    def test_unknown_dtype_rejected(self, dense_weights):
+        with pytest.raises(ValueError):
+            mi_tile_block(dense_weights, 0, 4, 4, 8, dtype="float16")
+
+    def test_mi_matrix_kernel_dtype_float32(self, small_weights):
+        ref = mi_matrix(small_weights, tile=8).mi
+        got = mi_matrix(small_weights, tile=8, kernel_dtype="float32").mi
+        assert np.allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+    def test_mi_matrix_kernel_dtype_float64_exact(self, small_weights):
+        ref = mi_matrix(small_weights, tile=8).mi
+        got = mi_matrix(small_weights, tile=8, kernel_dtype="float64").mi
+        assert np.array_equal(got, ref)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("kernel_dtype", [None, "float32"])
+    def test_all_engines_identical(self, small_weights, kernel_dtype):
+        ref = mi_matrix(small_weights, tile=8, kernel_dtype=kernel_dtype).mi
+        for engine in (SerialEngine(), ThreadEngine(n_workers=3),
+                       ProcessEngine(n_workers=3),
+                       SharedMemoryEngine(n_workers=3)):
+            got = mi_matrix(small_weights, tile=8, engine=engine,
+                            kernel_dtype=kernel_dtype).mi
+            assert np.array_equal(got, ref), type(engine).__name__
+
+
+class TestPrepareOperands:
+    def test_cached_by_identity(self, spline_weights):
+        a = prepare_operands(spline_weights)
+        b = prepare_operands(spline_weights)
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_dtype_key(self, spline_weights):
+        r64, _ = prepare_operands(spline_weights, np.float64)
+        r32, _ = prepare_operands(spline_weights, np.float32)
+        assert r64.dtype == np.float64 and r32.dtype == np.float32
+
+    def test_layout(self, spline_weights):
+        n, m, b = spline_weights.shape
+        row_ops, col_ops = prepare_operands(spline_weights)
+        assert row_ops.shape == (n, b, m) and row_ops.flags.c_contiguous
+        assert col_ops.shape == (m, n * b) and col_ops.flags.c_contiguous
+
+
+class TestTileWorkspace:
+    def test_buffers_reused(self):
+        ws = TileWorkspace()
+        a = ws.array("x", (4, 8))
+        b = ws.array("x", (4, 8))
+        assert a is b
+
+    def test_smaller_view_shares_buffer(self):
+        ws = TileWorkspace()
+        big = ws.array("x", (8, 8))
+        small = ws.array("x", (2, 3))
+        assert small.base is not None and big.base is small.base
+
+    def test_dtype_change_reallocates(self):
+        ws = TileWorkspace()
+        a = ws.array("x", (4,), np.float64)
+        b = ws.array("x", (4,), np.float32)
+        assert b.dtype == np.float32 and a.dtype == np.float64
+
+
+class TestAutotuner:
+    def test_fused_tile_size_power_of_two(self):
+        t = fused_tile_size(256, 10)
+        assert t & (t - 1) == 0
+        assert 8 <= t <= 256
+
+    def test_fused_tile_size_shrinks_with_samples(self):
+        assert fused_tile_size(4096, 10) <= fused_tile_size(64, 10)
+
+    def test_cache_path_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "tiles.json"
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(target))
+        assert autotune_cache_path() == target
+
+    def test_round_trip(self, small_weights, tmp_path, monkeypatch):
+        target = tmp_path / "tiles.json"
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(target))
+        first = autotune_tile_size(small_weights, candidates=(4, 8), repeats=1)
+        assert first in (4, 8)
+        assert target.exists()
+        cache = json.loads(target.read_text())
+        (key,) = cache.keys()
+        m, b = small_weights.shape[1], small_weights.shape[2]
+        assert f"m={m};b={b};" in key
+        # Second call must hit the cache, not remeasure.
+        second = autotune_tile_size(small_weights, candidates=(4, 8), repeats=1)
+        assert second == first
+
+    def test_corrupt_cache_tolerated(self, small_weights, tmp_path, monkeypatch):
+        target = tmp_path / "tiles.json"
+        target.write_text("{not json")
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(target))
+        t = autotune_tile_size(small_weights, candidates=(4, 8), repeats=1)
+        assert t in (4, 8)
+
+    def test_no_cache_mode(self, small_weights, tmp_path, monkeypatch):
+        target = tmp_path / "tiles.json"
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(target))
+        t = autotune_tile_size(small_weights, candidates=(4, 8), repeats=1,
+                               use_cache=False)
+        assert t in (4, 8)
+        assert not target.exists()
+
+    def test_mi_matrix_autotune(self, small_weights, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(tmp_path / "t.json"))
+        ref = mi_matrix(small_weights).mi
+        tuned = mi_matrix(small_weights, autotune=True).mi
+        # A different tile size legitimately changes GEMM shapes (last-bit
+        # differences); only the default path is bit-frozen.
+        assert np.allclose(tuned, ref, atol=1e-12)
+        # Cached rerun must reproduce the tuned matrix exactly.
+        again = mi_matrix(small_weights, autotune=True).mi
+        assert np.array_equal(again, tuned)

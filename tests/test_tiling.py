@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.tiling import Tile, default_tile_size, pair_count, tile_grid
+from repro.core.tiling import (
+    Tile,
+    default_tile_size,
+    fused_tile_size,
+    pair_count,
+    tile_grid,
+)
 
 
 class TestTile:
@@ -112,3 +118,21 @@ class TestDefaultTileSize:
     def test_invalid(self):
         with pytest.raises(ValueError):
             default_tile_size(0, 10)
+
+
+class TestFusedTileSize:
+    def test_power_of_two_in_bounds(self):
+        t = fused_tile_size(256, 10)
+        assert t in (8, 16, 32, 64, 128, 256)
+
+    def test_smaller_samples_bigger_tiles(self):
+        assert fused_tile_size(100, 10) >= fused_tile_size(5000, 10)
+
+    def test_float32_tiles_at_least_as_big(self):
+        assert fused_tile_size(512, 10, itemsize=4) >= fused_tile_size(512, 10)
+
+    def test_cache_budget_respected(self):
+        cache = 1 << 20
+        t = fused_tile_size(500, 10, itemsize=8, cache_bytes=cache)
+        working = 2 * t * 500 * 10 * 8 + 2 * t * t * 100 * 8
+        assert working <= cache or t == 8
