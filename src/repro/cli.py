@@ -13,6 +13,8 @@ Four subcommands mirror the workflow of the original TINGe tool chain:
   reconstructions.
 * ``repro sweep``       — design-space exploration (machines x threads x
   scheduler x affinity) on the machine models.
+* ``repro serve``       — long-running reconstruction job daemon (HTTP)
+  with a fingerprint-keyed result cache and checkpoint resume.
 
 Run ``python -m repro <command> --help`` for options.
 """
@@ -147,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--samples", type=int, default=3137)
     swp.add_argument("--permutations", type=int, default=30)
     swp.add_argument("--top", type=int, default=10)
+
+    srv = sub.add_parser("serve", help="run the reconstruction job daemon")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8177,
+                     help="listen port (0 = ephemeral, printed on startup)")
+    srv.add_argument("--state-dir", type=Path, default=Path("serve-state"),
+                     help="persistence root: results/ cache + checkpoints/")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent reconstruction jobs")
+    srv.add_argument("--max-queue", type=int, default=64,
+                     help="queued-job depth cap; submissions beyond it get 429")
+    srv.add_argument("--tenant-quota", type=int, default=None,
+                     help="max active (queued+running) jobs per tenant")
+    srv.add_argument("--drain-timeout", type=float, default=None, metavar="SECONDS",
+                     help="max seconds to wait for running jobs on shutdown")
     return parser
 
 
@@ -444,6 +461,44 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ServeApp, make_server
+
+    try:
+        app = ServeApp(args.state_dir, n_workers=args.workers,
+                       max_depth=args.max_queue, tenant_quota=args.tenant_quota)
+        server = make_server(app, host=args.host, port=args.port)
+    except (OSError, ValueError) as exc:  # bad bind address / bad limits
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(state: {args.state_dir}, workers: {args.workers})", flush=True)
+
+    def _shutdown(signum, frame):
+        # Flip to draining immediately (new submissions get 503); the
+        # blocking drain + teardown happens on the main thread below.
+        # server.shutdown must not run on the serve_forever thread.
+        app.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever(poll_interval=0.25)
+    finally:
+        server.server_close()
+        clean = app.drain(timeout=args.drain_timeout)
+        if not clean:
+            print("warning: shutdown timed out with jobs still running; "
+                  "their checkpoints will resume on resubmission", file=sys.stderr)
+        print(f"repro serve drained: {app.store.counts()}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "reconstruct": _cmd_reconstruct,
@@ -452,6 +507,7 @@ _COMMANDS = {
     "modules": _cmd_modules,
     "consensus": _cmd_consensus,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

@@ -74,6 +74,13 @@ class CheckpointSink(MatrixSink):
     atomic ledger update, so a preempted run resumes after the last
     complete row.  The ledger stores the weight-tensor fingerprint and
     tile size and refuses to resume against different data.
+
+    Unlike the dense sink (whose quarantined blocks keep the documented
+    zero fill), :meth:`finalize` marks quarantined blocks ``NaN``: the
+    assembled matrix claims to be *complete*, so never-computed cells must
+    be distinguishable from measured MI=0 non-edges.  The quarantine
+    records themselves are in the ledger (:func:`checkpoint_status`) and
+    on :attr:`~repro.core.exec.MatrixSink.quarantined`.
     """
 
     grain = "rows"
@@ -157,6 +164,13 @@ class CheckpointSink(MatrixSink):
                     j0 = int(key[1:])
                     block = z[key]
                     mi[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
+        # Quarantined tiles were never computed: their cells are *unknown*,
+        # not MI=0.  Leaving them at the zero fill would let poison tiles
+        # masquerade as confidently-tested non-edges, so mark them NaN
+        # (NaN > threshold is False, so they still can't become edges, but
+        # downstream consumers can tell "absent" from "measured zero").
+        for q in self._quarantined or []:
+            mi[q.i0 : q.i1, q.j0 : q.j1] = np.nan
         iu = np.triu_indices(self.n, k=1)
         mi[(iu[1], iu[0])] = mi[iu]
         np.fill_diagonal(mi, 0.0)

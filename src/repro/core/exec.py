@@ -29,8 +29,10 @@ fourth fork of the loop.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
+from dataclasses import asdict, is_dataclass
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -71,6 +73,7 @@ __all__ = [
     "TilePlan",
     "WeightSource",
     "plan_tiles",
+    "result_cache_key",
     "run_tile_plan",
     "schedule_policy",
     "weights_fingerprint",
@@ -96,6 +99,29 @@ def weights_fingerprint(weights: np.ndarray) -> str:
     flat = weights.reshape(-1)
     stride = max(flat.size // 65536, 1)
     h.update(np.ascontiguousarray(flat[::stride]).tobytes())
+    return h.hexdigest()[:32]
+
+
+def result_cache_key(fingerprint: str, config) -> str:
+    """Deterministic identity of one ``(weight tensor, config)`` result.
+
+    The serve layer's cache key: the :meth:`WeightSource.fingerprint` of
+    the input tensor (which already encodes the dataset *and* the
+    preprocessing that produced the weights) combined with a canonical
+    JSON rendering of the reconstruction config.  Two submissions with
+    the same key are guaranteed to produce the same network, so the cache
+    can return the stored result without running a single tile.
+
+    ``config`` may be a dataclass (e.g. ``TingeConfig``) or any
+    JSON-serializable mapping.
+    """
+    if is_dataclass(config) and not isinstance(config, type):
+        config = asdict(config)
+    payload = json.dumps(config, sort_keys=True, default=str)
+    h = hashlib.sha256()
+    h.update(fingerprint.encode())
+    h.update(b"\x00")
+    h.update(payload.encode())
     return h.hexdigest()[:32]
 
 

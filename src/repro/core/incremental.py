@@ -65,16 +65,59 @@ class NetworkUpdater:
         n = weights.shape[0]
         if mi.shape != (n, n) or len(genes) != n:
             raise ValueError("weights / mi / genes sizes disagree")
-        self._weights = np.array(weights, dtype=np.float64, copy=True)
-        self._mi = mi.copy()
+        # Backing buffers are over-allocated (geometric growth with
+        # capacity slack): n consecutive add_gene calls cost O(log n)
+        # reallocations instead of n full (n, m, b) + (n, n) copies.
+        # Consumers only ever see the [:n] prefix views, whose values and
+        # memory layout (C-contiguous leading slice) match exact-sized
+        # arrays, so outputs stay bit-identical.
+        self._n = n
+        self._wbuf = np.array(weights, dtype=np.float64, copy=True)
+        self._mibuf = mi.copy()
         # Cached per-gene marginal entropies: each update touches only the
         # changed gene's entry instead of recomputing all n of them.
-        self._h = marginal_entropies(self._weights)
+        self._hbuf = marginal_entropies(self._wbuf)
         self._genes = list(genes)
         self._null = null
         self._alpha = alpha
         self._correction = correction
         self._basis = BsplineBasis(bins=weights.shape[2])
+
+    # -- backing storage ------------------------------------------------
+    @property
+    def _weights(self) -> np.ndarray:
+        """Live ``(n, m, b)`` prefix view of the weight buffer."""
+        return self._wbuf[: self._n]
+
+    @property
+    def _mi(self) -> np.ndarray:
+        """Live ``(n, n)`` prefix view of the MI buffer."""
+        return self._mibuf[: self._n, : self._n]
+
+    @property
+    def _h(self) -> np.ndarray:
+        """Live ``(n,)`` prefix view of the entropy cache."""
+        return self._hbuf[: self._n]
+
+    @property
+    def capacity(self) -> int:
+        """Gene slots allocated in the backing buffers (``>= n_genes``)."""
+        return self._wbuf.shape[0]
+
+    def _ensure_capacity(self, n_needed: int) -> None:
+        """Grow the backing buffers geometrically to hold ``n_needed`` genes."""
+        cap = self.capacity
+        if n_needed <= cap:
+            return
+        new_cap = max(2 * cap, n_needed)
+        _, m, b = self._wbuf.shape
+        wbuf = np.zeros((new_cap, m, b), dtype=np.float64)
+        wbuf[: self._n] = self._wbuf[: self._n]
+        mibuf = np.zeros((new_cap, new_cap), dtype=np.float64)
+        mibuf[: self._n, : self._n] = self._mibuf[: self._n, : self._n]
+        hbuf = np.zeros(new_cap, dtype=np.float64)
+        hbuf[: self._n] = self._hbuf[: self._n]
+        self._wbuf, self._mibuf, self._hbuf = wbuf, mibuf, hbuf
 
     # ------------------------------------------------------------------
     @property
@@ -118,28 +161,36 @@ class NetworkUpdater:
             raise ValueError(
                 f"expected {self._weights.shape[1]} samples, got {samples.size}"
             )
-        w_new = self._basis.weights(rank_transform(samples))
-        self._weights = np.concatenate([self._weights, w_new[None]], axis=0)
-        self._h = np.concatenate([self._h, marginal_entropies(w_new[None])])
+        if not np.isfinite(samples).all():
+            raise ValueError(
+                f"samples for gene {name!r} contain NaN/inf; impute first "
+                "(rank-transforming non-finite values would corrupt the "
+                "weight tensor silently)"
+            )
+        n = self._n
+        self._ensure_capacity(n + 1)
+        self._wbuf[n] = self._basis.weights(rank_transform(samples))
+        self._hbuf[n] = marginal_entropies(self._wbuf[n : n + 1])[0]
         self._genes.append(name)
-        n = self.n_genes
-        row = mi_row(self._weights, n - 1, h=self._h)
-        grown = np.zeros((n, n), dtype=np.float64)
-        grown[: n - 1, : n - 1] = self._mi
-        grown[n - 1, :] = row
-        grown[:, n - 1] = row
-        self._mi = grown
+        self._n = n + 1
+        row = mi_row(self._weights, n, h=self._h)
+        self._mibuf[n, : n + 1] = row
+        self._mibuf[: n + 1, n] = row
 
     def remove_gene(self, name: str) -> None:
-        """Drop a gene (O(1) beyond the slicing)."""
+        """Drop a gene (in-place compaction of the backing buffers)."""
         try:
             idx = self._genes.index(name)
         except ValueError:
             raise ValueError(f"gene {name!r} not present") from None
         if self.n_genes <= 2:
             raise ValueError("cannot shrink below 2 genes")
-        keep = [i for i in range(self.n_genes) if i != idx]
-        self._weights = self._weights[keep]
-        self._h = self._h[keep]
-        self._mi = self._mi[np.ix_(keep, keep)]
+        n = self._n
+        # Shift the tail up by one slot.  The .copy() on each source slice
+        # keeps the overlapping same-buffer assignment well-defined.
+        self._wbuf[idx : n - 1] = self._wbuf[idx + 1 : n].copy()
+        self._hbuf[idx : n - 1] = self._hbuf[idx + 1 : n].copy()
+        self._mibuf[idx : n - 1, :n] = self._mibuf[idx + 1 : n, :n].copy()
+        self._mibuf[: n - 1, idx : n - 1] = self._mibuf[: n - 1, idx + 1 : n].copy()
         del self._genes[idx]
+        self._n = n - 1

@@ -19,6 +19,7 @@ import json
 import os
 import socket
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -224,6 +225,52 @@ def _store_autotune_cache(path: Path, cache: dict) -> None:
         pass  # a cold cache next run is the only consequence
 
 
+@contextmanager
+def _autotune_lock(path: Path):
+    """Advisory inter-process lock serializing sidecar updates.
+
+    ``flock`` on a ``.lock`` sibling (never on the sidecar itself, which
+    is replaced by rename).  On platforms without ``fcntl`` the lock
+    degrades to a no-op — updates still merge with the freshest on-disk
+    state, so a lost race costs one entry instead of the whole file.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(lock_path, "a+")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+
+def _merge_autotune_entry(path: Path, key: str, value: int) -> None:
+    """Record ``key -> value`` without dropping concurrent writers' entries.
+
+    The old read-modify-write (load at call start, mutate, rename) let two
+    concurrent runs — routine under the serve daemon — each persist a
+    stale snapshot missing the other's key.  Re-reading the sidecar while
+    holding the advisory lock makes the update a true merge: the rename
+    still keeps readers crash-safe, the lock makes writers serialized.
+    """
+    with _autotune_lock(path):
+        cache = _load_autotune_cache(path)
+        cache[key] = int(value)
+        _store_autotune_cache(path, cache)
+
+
 def autotune_tile_size(
     weights: np.ndarray,
     *,
@@ -280,7 +327,5 @@ def autotune_tile_size(
         timings[t] = best / (t * t)  # per matrix cell
     winner = min(timings, key=timings.get)
     if use_cache:
-        cache = _load_autotune_cache(path)
-        cache[key] = int(winner)
-        _store_autotune_cache(path, cache)
+        _merge_autotune_entry(path, key, winner)
     return winner

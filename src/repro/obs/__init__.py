@@ -33,7 +33,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import MapStats, WorkerStats, merge_worker_stats
-from repro.obs.progress import ProgressPrinter
+from repro.obs.progress import ProgressPrinter, ProgressState
 from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "ProgressPrinter",
+    "ProgressState",
     "SpanRecord",
     "Tracer",
     "WorkerStats",

@@ -13,7 +13,45 @@ import sys
 import threading
 import time
 
-__all__ = ["ProgressPrinter"]
+__all__ = ["ProgressPrinter", "ProgressState"]
+
+
+class ProgressState:
+    """Readable ``(done, total)`` holder with the driver progress contract.
+
+    Where :class:`ProgressPrinter` renders progress to a terminal, this
+    bridges it to *another thread*: the serve daemon passes one per job as
+    the ``progress`` callback and its status endpoint reads
+    :meth:`snapshot` concurrently.  Thread-safe on both sides; also keeps
+    a throughput-derived ETA so pollers don't re-derive it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._done = 0
+        self._total = 0
+        self.n_updates = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        with self._lock:
+            self._done = int(done)
+            self._total = int(total)
+            self.n_updates += 1
+
+    def snapshot(self) -> dict:
+        """Current ``{done, total, fraction, rate, eta_seconds}`` view."""
+        with self._lock:
+            done, total = self._done, self._total
+        elapsed = max(time.perf_counter() - self._t0, 1e-9)
+        rate = done / elapsed
+        return {
+            "done": done,
+            "total": total,
+            "fraction": (done / total) if total else 0.0,
+            "rate": rate,
+            "eta_seconds": ((total - done) / rate) if (total and rate > 0) else None,
+        }
 
 
 class ProgressPrinter:

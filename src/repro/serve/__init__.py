@@ -1,0 +1,46 @@
+"""Reconstruction-as-a-service: the ``repro serve`` job daemon.
+
+The paper's whole-genome runs are hours-long batch jobs; this package
+wraps the tile-execution core in a long-running HTTP service so that
+compute can be shared by many users:
+
+* :mod:`repro.serve.jobs` — job records, lifecycle states and the
+  in-memory store (per-tenant accounting included).
+* :mod:`repro.serve.queue` — bounded FIFO-with-priority job queue with
+  admission control (depth cap, per-tenant quotas).
+* :mod:`repro.serve.cache` — persistent result cache keyed by the
+  :func:`repro.core.exec.result_cache_key` of (weight fingerprint,
+  config): identical submissions return the stored network without
+  running a single tile.
+* :mod:`repro.serve.runner` — executes jobs on the existing engines
+  through :func:`repro.core.exec.run_tile_plan` with a per-job
+  :class:`~repro.core.checkpoint.CheckpointSink`, so interrupted jobs
+  resume from the ledger on resubmission.
+* :mod:`repro.serve.progress` — bridges per-job
+  :class:`~repro.obs.tracer.Tracer` spans and the live tile counter into
+  the status endpoint's JSON.
+* :mod:`repro.serve.app` — the stdlib ``ThreadingHTTPServer`` application
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/result``) with
+  graceful drain.
+
+No dependencies beyond the standard library and what the core already
+uses.  Start one with ``python -m repro serve --state-dir ./serve-state``.
+"""
+
+from repro.serve.app import ServeApp, make_server
+from repro.serve.cache import CachedResult, ResultCache
+from repro.serve.jobs import Job, JobState, JobStore
+from repro.serve.queue import JobQueue, QueueFull, QuotaExceeded
+
+__all__ = [
+    "CachedResult",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "JobStore",
+    "QueueFull",
+    "QuotaExceeded",
+    "ResultCache",
+    "ServeApp",
+    "make_server",
+]

@@ -1,0 +1,231 @@
+"""The ``repro serve`` daemon: HTTP front-end + worker pool.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`), matching the
+repo's no-new-dependencies rule.  The HTTP threads do nothing but parse,
+validate and admit; reconstruction happens on a bounded pool of worker
+threads pulling from the :class:`~repro.serve.queue.JobQueue`, so a slow
+job can never wedge the status endpoints.
+
+Routes
+------
+* ``POST /jobs`` — submit ``{"dataset": ..., "config": {...}, ...}``;
+  ``202`` with the job id, ``400`` on validation errors, ``429`` when
+  the queue depth cap or a tenant quota rejects it, ``503`` while
+  draining.
+* ``GET /jobs`` — every job's status, submission order.
+* ``GET /jobs/<id>`` — one job's status: state, phase, per-phase wall
+  timings, live tile progress/ETA, tracer counters.
+* ``GET /jobs/<id>/result`` — the network (``409`` until the job is
+  done; for ``interrupted``/``failed`` the error explains what to do).
+* ``GET /healthz`` — daemon liveness + queue/cache/job gauges.
+
+Graceful drain: :meth:`ServeApp.drain` stops admission (new submissions
+get ``503``), lets the workers finish every admitted job, then returns.
+The CLI wires it to ``SIGTERM``/``SIGINT``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobState, JobStore
+from repro.serve.queue import JobQueue, QueueFull, QuotaExceeded
+from repro.serve.runner import ValidationError, execute_job, validate_submission
+
+__all__ = ["ServeApp", "make_server"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is already an absurd submission
+
+
+class ServeApp:
+    """Everything behind the HTTP handler: store, queue, cache, workers.
+
+    Parameters
+    ----------
+    state_dir:
+        Root for daemon persistence: ``results/`` (the fingerprint-keyed
+        cache, survives restarts) and ``checkpoints/<key>/`` (resume
+        ledgers of in-flight jobs).
+    n_workers:
+        Concurrent reconstruction jobs (worker threads).
+    max_depth, tenant_quota:
+        Admission controls, passed to :class:`~repro.serve.queue.JobQueue`.
+    """
+
+    def __init__(self, state_dir: "str | Path", n_workers: int = 2,
+                 max_depth: int = 64, tenant_quota: "int | None" = None):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore()
+        self.queue = JobQueue(self.store, max_depth=max_depth,
+                              tenant_quota=tenant_quota)
+        self.cache = ResultCache(self.state_dir / "results")
+        self._draining = False
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- worker pool -----------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.25)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            execute_job(job, self.cache, self.state_dir)
+
+    # -- operations ------------------------------------------------------
+    def submit(self, payload: dict):
+        """Validate + admit one submission; returns the queued Job.
+
+        Raises :class:`~repro.serve.runner.ValidationError` (→ 400) or an
+        :class:`~repro.serve.queue.AdmissionError` subclass (→ 429/503).
+        """
+        if self._draining:
+            raise QueueFull("daemon is draining; not accepting jobs")
+        job = validate_submission(payload)
+        self.queue.submit(job)
+        return job
+
+    def begin_drain(self) -> None:
+        """Stop admission without blocking (signal-handler safe)."""
+        self._draining = True
+        self.queue.close()
+
+    def drain(self, timeout: "float | None" = None) -> bool:
+        """Stop admitting, finish every admitted job, return completeness.
+
+        Returns True when all workers exited within ``timeout`` (None =
+        wait forever); already-queued jobs still run to completion, which
+        also flushes their checkpoints for anything interrupted later.
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else timeout / max(len(self._workers), 1)
+        clean = True
+        for w in self._workers:
+            w.join(timeout=deadline)
+            clean = clean and not w.is_alive()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queued": len(self.queue),
+            "jobs": self.store.counts(),
+            "cache": self.cache.stats(),
+            "workers": sum(1 for w in self._workers if w.is_alive()),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON router over the owning :class:`ServeApp`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence per-request noise
+        pass
+
+    # -- plumbing --------------------------------------------------------
+    def _json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValidationError("empty request body (expected JSON)")
+        if length > _MAX_BODY:
+            raise ValidationError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError:
+            raise ValidationError("request body is not valid JSON") from None
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._json(200, self.app.health())
+        elif path == "/jobs":
+            self._json(200, {"jobs": [j.status() for j in self.app.store.jobs()]})
+        elif path.startswith("/jobs/"):
+            parts = path.split("/")[2:]  # ['<id>'] or ['<id>', 'result']
+            job = self.app.store.get(parts[0])
+            if job is None:
+                self._error(404, f"no such job: {parts[0]}")
+            elif len(parts) == 1:
+                self._json(200, job.status())
+            elif parts[1] == "result":
+                self._get_result(job)
+            else:
+                self._error(404, f"unknown path: {self.path}")
+        else:
+            self._error(404, f"unknown path: {self.path}")
+
+    def _get_result(self, job) -> None:
+        if job.state == JobState.DONE:
+            self._json(200, job.result)
+        elif job.state in JobState.ACTIVE:
+            self._error(409, f"job {job.job_id} is {job.state}; poll "
+                             f"/jobs/{job.job_id} until it is done")
+        else:  # failed / interrupted
+            self._error(409, f"job {job.job_id} {job.state}: {job.error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"unknown path: {self.path}")
+            return
+        try:
+            payload = self._read_body()
+            job = self.app.submit(payload)
+        except ValidationError as exc:
+            self._error(400, str(exc))
+        except QuotaExceeded as exc:
+            self._error(429, str(exc))
+        except QueueFull as exc:
+            self._error(503 if self.app.draining else 429, str(exc))
+        else:
+            self._json(202, {"job_id": job.job_id, "state": job.state,
+                             "status_url": f"/jobs/{job.job_id}",
+                             "result_url": f"/jobs/{job.job_id}/result"})
+
+
+def make_server(app: ServeApp, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``app``.
+
+    ``port=0`` binds an ephemeral port (tests); read the real one from
+    ``server.server_address[1]``.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.app = app  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

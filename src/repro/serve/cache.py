@@ -1,0 +1,106 @@
+"""Persistent, fingerprint-keyed result cache.
+
+One cache entry is one finished reconstruction: the
+:class:`~repro.core.network.GeneNetwork` (adjacency, MI weights, genes,
+threshold) plus a JSON metadata sidecar.  The key is
+:func:`repro.core.exec.result_cache_key` — the weight-tensor fingerprint
+(which already pins the dataset and its preprocessing) hashed with the
+canonical config — so *identical (dataset, config) submissions return
+the stored network without running a single tile*, across daemon
+restarts.
+
+Entries are written npz-first, metadata-last, each through a tmp +
+atomic rename; the metadata file's existence is the commit point, so a
+crash mid-write can never leave a readable but partial entry.  Results
+with quarantined (never-computed, NaN) blocks are not cached — a
+poisoned network must not be served forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import GeneNetwork
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass
+class CachedResult:
+    """One cache hit: the stored network plus its metadata sidecar."""
+
+    key: str
+    network: GeneNetwork
+    meta: dict
+
+
+class ResultCache:
+    """Directory-backed result store, one ``(npz, json)`` pair per key."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths -----------------------------------------------------------
+    def _npz(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _meta(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- operations ------------------------------------------------------
+    def get(self, key: str) -> "CachedResult | None":
+        """The committed entry for ``key``, or ``None`` (counted as a miss)."""
+        meta_path = self._meta(key)
+        npz_path = self._npz(key)
+        if not (meta_path.exists() and npz_path.exists()):
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            network = GeneNetwork.load(npz_path)
+        except (OSError, ValueError, KeyError):
+            # A corrupt entry behaves like a miss; the re-run will rewrite it.
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return CachedResult(key=key, network=network, meta=meta)
+
+    def put(self, key: str, network: GeneNetwork, meta: "dict | None" = None) -> None:
+        """Commit ``network`` under ``key`` (atomic, last writer wins)."""
+        payload = dict(meta or {})
+        payload.setdefault("key", key)
+        payload.setdefault("created", time.time())
+        payload.setdefault("n_genes", network.n_genes)
+        payload.setdefault("n_edges", network.n_edges)
+        npz_tmp = self._npz(key).with_suffix(f".tmp{os.getpid()}.npz")
+        network.save(npz_tmp)
+        os.replace(npz_tmp, self._npz(key))
+        meta_tmp = self._meta(key).with_suffix(f".tmp{os.getpid()}.json")
+        meta_tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(meta_tmp, self._meta(key))
+
+    def contains(self, key: str) -> bool:
+        """Entry committed for ``key``?  (Does not touch hit/miss stats.)"""
+        return self._meta(key).exists() and self._npz(key).exists()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": sum(1 for _ in self.root.glob("*.json")),
+            }

@@ -1,0 +1,138 @@
+"""Job records and the in-memory job store of the serve daemon.
+
+A :class:`Job` is one reconstruction request: dataset path + config +
+scheduling attributes (tenant, priority), plus everything the daemon
+learns while running it — lifecycle state, the per-job tracer and live
+progress, the cache key, and finally the result payload.  The
+:class:`JobStore` is the daemon's registry: thread-safe id → job lookup
+with the per-tenant active counts the admission layer charges quotas
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.serve.progress import progress_payload
+
+__all__ = ["Job", "JobState", "JobStore"]
+
+
+class JobState:
+    """Lifecycle states (plain strings, JSON-friendly).
+
+    ``queued → running → {done, failed, interrupted}``.  ``interrupted``
+    means the run stopped with the checkpoint ledger mid-way (preemption,
+    daemon shutdown, or the ``interrupt_after_rows`` test hook); an
+    identical resubmission resumes from that ledger.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    INTERRUPTED = "interrupted"
+
+    ACTIVE = (QUEUED, RUNNING)
+    TERMINAL = (DONE, FAILED, INTERRUPTED)
+
+
+_submit_seq = itertools.count()
+
+
+@dataclass
+class Job:
+    """One reconstruction job and everything the daemon knows about it."""
+
+    dataset: str
+    config: dict
+    tenant: str = "default"
+    priority: int = 0
+    engine: str = "serial"
+    workers: "int | None" = None
+    interrupt_after_rows: "int | None" = None  # testing hook (simulated kill)
+    job_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    seq: int = field(default_factory=lambda: next(_submit_seq))
+    submitted_at: float = field(default_factory=time.time)
+
+    # -- filled in by the runner ----------------------------------------
+    state: str = JobState.QUEUED
+    phase: "str | None" = None
+    error: "str | None" = None
+    cache_key: "str | None" = None
+    cached: bool = False
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+    tracer: object = None
+    progress: object = None
+    result: "dict | None" = None
+    quarantined: list = field(default_factory=list)
+
+    def status(self) -> dict:
+        """JSON-safe status payload for ``GET /jobs/<id>``."""
+        payload = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "dataset": self.dataset,
+            "engine": self.engine,
+            "phase": self.phase,
+            "cached": self.cached,
+            "cache_key": self.cache_key,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "quarantined": list(self.quarantined),
+        }
+        payload.update(progress_payload(self.tracer, self.progress))
+        return payload
+
+
+class JobStore:
+    """Thread-safe registry of every job the daemon has seen.
+
+    Jobs are kept for the daemon's lifetime (status of finished jobs stays
+    queryable); :meth:`active_count` is what the admission layer charges
+    tenant quotas against — queued *and* running jobs both hold a slot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+
+    def add(self, job: Job) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+
+    def get(self, job_id: str) -> "Job | None":
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list:
+        """All jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def active_count(self, tenant: "str | None" = None) -> int:
+        """Jobs currently holding a slot (queued or running)."""
+        with self._lock:
+            return sum(
+                1
+                for j in self._jobs.values()
+                if j.state in JobState.ACTIVE
+                and (tenant is None or j.tenant == tenant)
+            )
+
+    def counts(self) -> dict:
+        """State → count summary (the health endpoint's gauge set)."""
+        with self._lock:
+            out: dict = {}
+            for j in self._jobs.values():
+                out[j.state] = out.get(j.state, 0) + 1
+            return out

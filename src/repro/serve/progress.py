@@ -1,0 +1,51 @@
+"""Bridge from a job's tracer + tile counter to status-endpoint JSON.
+
+A running job carries a per-job :class:`repro.obs.tracer.Tracer` (phase
+spans, ``tiles_done``/``pairs_done``/fault counters) and a
+:class:`repro.obs.progress.ProgressState` (the live ``(done, total)``
+tile callback).  This module renders both into the JSON the
+``GET /jobs/<id>`` endpoint returns — phase wall-clock timings straight
+from the spans, live progress/ETA straight from the counter — so the
+serve layer adds no bookkeeping of its own to the drivers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PIPELINE_PHASES", "phase_timings", "progress_payload"]
+
+#: Phase span names the serve runner emits, in execution order (the same
+#: contract as :class:`repro.core.pipeline.TingePipeline` timings).
+PIPELINE_PHASES = ("preprocess", "weights", "null", "mi", "threshold")
+
+
+def phase_timings(tracer) -> dict:
+    """Completed phase → wall seconds, from the job tracer's spans."""
+    if tracer is None:
+        return {}
+    out: dict = {}
+    for phase in PIPELINE_PHASES:
+        seconds = tracer.span_seconds(phase)
+        if tracer.find_spans(phase):
+            out[phase] = seconds
+    return out
+
+
+def progress_payload(tracer, progress) -> dict:
+    """The live-progress portion of a job status payload.
+
+    ``progress`` (the per-job :class:`~repro.obs.progress.ProgressState`)
+    supplies tile done/total/ETA; ``tracer`` supplies per-phase timings
+    and the raw counters (including ``tiles_done`` — the counter the
+    cache-hit tests assert stays at zero).  Both may be ``None`` for a
+    job that has not started.
+    """
+    payload: dict = {"phases": phase_timings(tracer)}
+    if progress is not None:
+        payload["progress"] = progress.snapshot()
+    else:
+        payload["progress"] = None
+    if tracer is not None:
+        payload["counters"] = {k: v for k, v in tracer.counters.items()}
+    else:
+        payload["counters"] = {}
+    return payload

@@ -1,0 +1,121 @@
+"""Bounded FIFO-with-priority job queue with admission control.
+
+Job-level scheduling mirrors the tile-level design one layer up: worker
+threads *pull* jobs the way the engines' dynamic self-scheduling policy
+pulls tiles (chunk-1 pull from a shared queue, the paper's load-balancing
+choice, see :class:`repro.parallel.scheduler.DynamicScheduler`).  What the
+queue adds is ordering and admission:
+
+* **priority** — higher ``Job.priority`` dispatches first;
+* **FIFO within a priority** — ties break on submission sequence, so no
+  tenant can starve an equal-priority earlier job;
+* **admission control** — a depth cap (full queue → HTTP 429) and
+  per-tenant quotas on *active* (queued + running) jobs, so one tenant
+  cannot monopolize the worker pool of a shared daemon.
+
+Within each admitted job, tile dispatch still goes through the
+:class:`~repro.parallel.scheduler.SchedulerPolicy` machinery selected by
+the job's ``schedule`` config field — the two layers compose.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.serve.jobs import Job, JobStore
+
+__all__ = ["AdmissionError", "JobQueue", "QueueFull", "QuotaExceeded"]
+
+
+class AdmissionError(RuntimeError):
+    """A submission the daemon refuses to enqueue (HTTP 429 family)."""
+
+
+class QueueFull(AdmissionError):
+    """The queue's depth cap is reached; retry later."""
+
+
+class QuotaExceeded(AdmissionError):
+    """The tenant already has its quota of active jobs."""
+
+
+class JobQueue:
+    """Priority-ordered, depth-bounded job queue.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.jobs.JobStore` quotas are charged
+        against (active = queued + running, so a tenant cannot dodge its
+        quota by keeping jobs running).
+    max_depth:
+        Maximum number of *queued* (not yet running) jobs; pushes beyond
+        it raise :class:`QueueFull`.
+    tenant_quota:
+        Maximum active jobs per tenant; ``None`` disables quotas.
+    """
+
+    def __init__(self, store: JobStore, max_depth: int = 64,
+                 tenant_quota: "int | None" = None):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
+        self.store = store
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self._heap: list = []  # (-priority, seq, job)
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def submit(self, job: Job) -> None:
+        """Admit ``job`` or raise (:class:`QueueFull` / :class:`QuotaExceeded`).
+
+        Admission and registration are one critical section, so two
+        concurrent submissions cannot both pass the same last quota slot.
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueFull("daemon is draining; not accepting jobs")
+            if len(self._heap) >= self.max_depth:
+                raise QueueFull(
+                    f"queue depth cap reached ({self.max_depth} queued jobs)")
+            if self.tenant_quota is not None:
+                active = self.store.active_count(job.tenant)
+                if active >= self.tenant_quota:
+                    raise QuotaExceeded(
+                        f"tenant {job.tenant!r} already has {active} active "
+                        f"job(s) (quota {self.tenant_quota})")
+            self.store.add(job)
+            heapq.heappush(self._heap, (-job.priority, job.seq, job))
+            self._cond.notify()
+
+    def pop(self, timeout: "float | None" = None) -> "Job | None":
+        """Next job by (priority desc, submission order), blocking.
+
+        Returns ``None`` when the queue is closed and empty (worker
+        shutdown signal) or the timeout expires.
+        """
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            return job
+
+    def close(self) -> None:
+        """Stop admitting; wake blocked workers once the heap drains."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -148,3 +148,72 @@ class TestNetworkUpdater:
             updater.remove_gene("nope")
         with pytest.raises(ValueError):
             NetworkUpdater(w, mi[:5, :5], genes, null)
+
+
+class TestNetworkUpdaterGrowth:
+    """Geometric buffer growth: same outputs, no per-add full reallocation."""
+
+    @pytest.fixture
+    def state(self):
+        rng = np.random.default_rng(91)
+        data = rng.normal(size=(8, 60))
+        w = weight_tensor(rank_transform(data))
+        mi = mi_matrix(w).mi
+        null = pooled_null(w, 10, 20, seed=0)
+        return data, w, mi, [f"g{i}" for i in range(8)], null
+
+    def test_many_adds_bit_identical_to_naive(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(17)
+        updater = NetworkUpdater(w, mi, genes, null)
+        snapshots = []
+        for k in range(10):
+            updater.add_gene(f"new{k}", rng.normal(size=60))
+            snapshots.append(updater.mi)
+        # Re-play with a fresh updater (fresh buffers, different capacity
+        # history) and compare bit-exactly at every step.
+        rng = np.random.default_rng(17)
+        replay = NetworkUpdater(w, mi, genes, null)
+        for k in range(10):
+            replay.add_gene(f"new{k}", rng.normal(size=60))
+            assert np.array_equal(replay.mi, snapshots[k])
+        assert replay.n_genes == 18
+
+    def test_capacity_grows_geometrically(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(23)
+        updater = NetworkUpdater(w, mi, genes, null)
+        reallocations = 0
+        last_cap = updater.capacity
+        for k in range(24):
+            updater.add_gene(f"n{k}", rng.normal(size=60))
+            if updater.capacity != last_cap:
+                reallocations += 1
+                assert updater.capacity >= 2 * last_cap
+                last_cap = updater.capacity
+        assert updater.n_genes == 32
+        # 8 -> 32 genes needs O(log) growth steps, not one per add.
+        assert reallocations <= 2
+
+    def test_add_after_remove_reuses_slack(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(29)
+        updater = NetworkUpdater(w, mi, genes, null)
+        updater.add_gene("a", rng.normal(size=60))
+        cap = updater.capacity
+        updater.remove_gene("a")
+        updater.add_gene("b", rng.normal(size=60))
+        assert updater.capacity == cap  # no reallocation needed
+        assert "b" in updater.network.genes
+
+    def test_rejects_nonfinite_samples(self, state):
+        data, w, mi, genes, null = state
+        updater = NetworkUpdater(w, mi, genes, null)
+        bad = np.ones(60)
+        bad[3] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            updater.add_gene("bad", bad)
+        bad[3] = np.inf
+        with pytest.raises(ValueError, match="NaN"):
+            updater.add_gene("bad", bad)
+        assert updater.n_genes == 8  # rejected adds leave state untouched

@@ -337,8 +337,17 @@ class TestCheckpointUnderFaults:
         assert recorded  # survives in the ledger on disk
         expected = {s.key for s in plan.faulted(_tiles(weights))}
         assert {f"tile:{d['i0']}:{d['j0']}" for d in recorded} == expected
+        # Quarantined (never-computed) blocks are NaN in the assembled
+        # matrix — not zeros masquerading as tested non-edges.  The
+        # diagonal keeps the no-self-edge zero convention.
         for d in recorded:
-            assert np.all(out[d["i0"]:d["i1"], d["j0"]:d["j1"]] == 0.0)
+            block = out[d["i0"]:d["i1"], d["j0"]:d["j1"]]
+            i = np.arange(d["i0"], d["i1"])[:, None]
+            j = np.arange(d["j0"], d["j1"])[None, :]
+            assert np.all(np.isnan(block[i != j]))
+            assert np.all(block[i == j] == 0.0)
+            mirrored = out[d["j0"]:d["j1"], d["i0"]:d["i1"]]
+            assert np.all(np.isnan(mirrored[j.T != i.T]))
 
 
 class TestOutOfCoreUnderFaults:

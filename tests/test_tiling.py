@@ -136,3 +136,44 @@ class TestFusedTileSize:
         t = fused_tile_size(500, 10, itemsize=8, cache_bytes=cache)
         working = 2 * t * 500 * 10 * 8 + 2 * t * t * 100 * 8
         assert working <= cache or t == 8
+
+
+class TestAutotuneCacheConcurrency:
+    """The sidecar update must merge, not overwrite (serve-daemon races)."""
+
+    def test_concurrent_writers_keep_every_entry(self, tmp_path, monkeypatch):
+        import threading
+
+        from repro.core.tiling import _load_autotune_cache, _merge_autotune_entry
+
+        path = tmp_path / "tiles.json"
+        monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(path))
+        n_writers, per_writer = 8, 5
+        barrier = threading.Barrier(n_writers)
+
+        def write(w: int) -> None:
+            barrier.wait()
+            for i in range(per_writer):
+                _merge_autotune_entry(path, f"key-{w}-{i}", 16 * (w + 1))
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(n_writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache = _load_autotune_cache(path)
+        assert len(cache) == n_writers * per_writer
+        for w in range(n_writers):
+            for i in range(per_writer):
+                assert cache[f"key-{w}-{i}"] == 16 * (w + 1)
+
+    def test_merge_preserves_existing_on_disk_state(self, tmp_path):
+        import json
+
+        from repro.core.tiling import _load_autotune_cache, _merge_autotune_entry
+
+        path = tmp_path / "tiles.json"
+        path.write_text(json.dumps({"other-host-key": 128}))
+        _merge_autotune_entry(path, "my-key", 32)
+        cache = _load_autotune_cache(path)
+        assert cache == {"other-host-key": 128, "my-key": 32}
