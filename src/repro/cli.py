@@ -74,11 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "Ignored when --tile is given")
     rec.add_argument("--dpi", type=float, default=None, metavar="TOLERANCE",
                      help="apply ARACNE DPI pruning with this tolerance")
-    rec.add_argument("--engine", choices=["serial", "thread", "process", "sharedmem"],
+    rec.add_argument("--engine",
+                     choices=["serial", "thread", "process", "sharedmem",
+                              "elastic"],
                      default="serial",
                      help="execution engine for the all-pairs MI stage; "
                           "'sharedmem' workers write the MI matrix in place "
-                          "(process/sharedmem need the fork start method)")
+                          "(process/sharedmem need the fork start method); "
+                          "'elastic' spawns --workers worker subprocesses "
+                          "behind a socket coordinator (see `repro worker`)")
     rec.add_argument("--workers", type=int, default=None)
     rec.add_argument("--schedule", choices=["static", "cyclic", "dynamic", "cost"],
                      default="dynamic",
@@ -164,6 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="max active (queued+running) jobs per tenant")
     srv.add_argument("--drain-timeout", type=float, default=None, metavar="SECONDS",
                      help="max seconds to wait for running jobs on shutdown")
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run one elastic worker against a coordinator",
+        description="Join an elastic reconstruction as a worker: dial the "
+                    "coordinator (an ElasticEngine — `repro reconstruct "
+                    "--engine elastic` or a serve job with engine=elastic), "
+                    "pull tile tasks until it says goodbye. Workers may "
+                    "join and leave at any time; the final matrix is "
+                    "bit-identical regardless.")
+    wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="coordinator address printed/configured by the run")
+    wrk.add_argument("--name", default=None,
+                     help="worker name reported to the coordinator "
+                          "(default: pid-derived)")
     return parser
 
 
@@ -253,6 +272,10 @@ def _cmd_reconstruct(args) -> int:
         except (RuntimeError, ValueError) as exc:  # no fork support / bad worker count
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if getattr(engine, "kind", None) == "elastic":
+            print(f"elastic coordinator on {engine.address} "
+                  f"({engine.n_workers} local workers; more can join: "
+                  f"repro worker --connect {engine.address})", flush=True)
     tracer = None
     if args.trace is not None or args.chrome_trace is not None:
         from repro.obs import Tracer
@@ -277,6 +300,11 @@ def _cmd_reconstruct(args) -> int:
     except FaultToleranceExceeded as exc:
         print(f"error: fault tolerance exhausted: {exc}", file=sys.stderr)
         return 3
+    finally:
+        # Only the elastic engine holds resources (worker subprocesses,
+        # a listener socket); in-process pools are per-call.
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
     elapsed = time.perf_counter() - t0
     quarantined = getattr(result, "quarantined", [])
     if quarantined:
@@ -499,6 +527,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.cluster.elastic import worker_main
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not port.isdigit():
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        return worker_main(host or "127.0.0.1", int(port), name=args.name)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach coordinator {args.connect}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "reconstruct": _cmd_reconstruct,
@@ -508,6 +552,7 @@ _COMMANDS = {
     "consensus": _cmd_consensus,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
 }
 
 

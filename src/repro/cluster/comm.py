@@ -1,29 +1,58 @@
-"""A simulated MPI communicator for in-process SPMD execution.
+"""Communicator protocol and the in-process lockstep implementation.
 
 mpi4py is unavailable in this environment (see DESIGN.md), so the
-distributed TINGe baseline runs on this substitute: ``P`` ranks execute as
-superstep-synchronous callables against a :class:`SimComm` that implements
-the collectives the algorithm needs (bcast, scatter, gather, allgather,
-allreduce) with MPI semantics, while *metering* every byte moved so the
-communication-volume numbers feeding the cost model are measured, not
-assumed.
+distributed TINGe baseline runs on a substitute: ``P`` ranks execute
+against a communicator that implements the collectives the algorithm needs
+(bcast, scatter, gather, allgather, allreduce) with MPI semantics, while
+*metering* every byte moved so the communication-volume numbers feeding the
+cost model are measured, not assumed.
 
-Execution model: :func:`run_spmd` calls each rank's function round-robin,
-one collective at a time (ranks are generators yielding at communication
-points).  This keeps the programming model honestly SPMD — each rank owns
-only its slice — without real processes.  The simpler
-:class:`LockstepComm` variant runs ranks as plain functions that all reach
-the same collective sequence, which suffices for the bulk-synchronous
-TINGe algorithm and is what :mod:`repro.cluster.distributed` uses.
+The module defines three layers:
+
+* :class:`Comm` — the communicator *protocol*: the collective and
+  point-to-point surface every backend implements.  The socket transport
+  (:mod:`repro.cluster.transport`) and the elastic scheduler
+  (:mod:`repro.cluster.elastic`) share the same :class:`CommMeter`
+  accounting, so in-process and networked runs report comparable volumes.
+* :class:`LockstepComm` — the bulk-synchronous in-process implementation:
+  the caller drives all ranks through each collective with one call
+  carrying every rank's contribution.  This is what
+  :mod:`repro.cluster.distributed` uses for the TINGe baseline.
+* :func:`run_lockstep` — runs a lockstep SPMD algorithm.  Given one
+  driver callable it behaves as before; given *per-rank* callables it runs
+  each rank on its own thread against a :class:`RankComm` view and
+  validates at every rendezvous that all ranks reached the same collective
+  in the same order, raising :class:`CommMismatchError` instead of
+  silently misaligning when a rank's callable diverges.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CommMeter", "LockstepComm", "run_lockstep"]
+__all__ = [
+    "Comm",
+    "CommMeter",
+    "CommMismatchError",
+    "LockstepComm",
+    "RankComm",
+    "run_lockstep",
+]
+
+
+class CommMismatchError(RuntimeError):
+    """Ranks of a lockstep program issued diverging collective sequences.
+
+    Raised by the threaded :func:`run_lockstep` mode when, at a
+    rendezvous, ranks disagree on which collective (or which root) comes
+    next — or when some ranks finished while others still wait at a
+    collective that can therefore never complete.  In real MPI both
+    conditions are silent deadlocks or garbage exchanges; here they are a
+    loud, attributed error.
+    """
 
 
 @dataclass
@@ -33,17 +62,102 @@ class CommMeter:
     ``volume_bytes`` counts the *wire* traffic under the standard
     implementations: ring allgather moves ``(P-1) * local_bytes`` per rank;
     recursive-doubling allreduce moves ``log2(P) * message`` per rank.
+
+    Point-to-point traffic is accounted per peer: :meth:`record_send` and
+    :meth:`record_recv` maintain ``sent_by_peer`` / ``recv_by_peer`` byte
+    totals, which :meth:`export` publishes as observability counters
+    (``comm.bytes_sent{peer=...}``) so traces show network cost per phase
+    and per peer, not just one opaque total.
     """
 
     calls: dict = field(default_factory=dict)
     volume_bytes: float = 0.0
+    sent_by_peer: dict = field(default_factory=dict)
+    recv_by_peer: dict = field(default_factory=dict)
+    _exported: dict = field(default_factory=dict, repr=False, compare=False)
 
     def record(self, op: str, nbytes: float) -> None:
         self.calls[op] = self.calls.get(op, 0) + 1
         self.volume_bytes += nbytes
 
+    # -- point-to-point ---------------------------------------------------
+    def record_send(self, peer: str, nbytes: float, op: str = "send") -> None:
+        """One point-to-point send of ``nbytes`` to ``peer``."""
+        self.record(op, nbytes)
+        self.sent_by_peer[peer] = self.sent_by_peer.get(peer, 0.0) + nbytes
 
-class LockstepComm:
+    def record_recv(self, peer: str, nbytes: float, op: str = "recv") -> None:
+        """One point-to-point receive of ``nbytes`` from ``peer``.
+
+        Received bytes are *not* added to ``volume_bytes`` — the sender
+        already counted them on the wire — but the call and the per-peer
+        volume are recorded.
+        """
+        self.calls[op] = self.calls.get(op, 0) + 1
+        self.recv_by_peer[peer] = self.recv_by_peer.get(peer, 0.0) + nbytes
+
+    def peer_counters(self) -> dict:
+        """Per-peer byte totals as observability counter names."""
+        out = {}
+        for peer, nbytes in sorted(self.sent_by_peer.items()):
+            out[f"comm.bytes_sent{{peer={peer}}}"] = nbytes
+        for peer, nbytes in sorted(self.recv_by_peer.items()):
+            out[f"comm.bytes_recv{{peer={peer}}}"] = nbytes
+        return out
+
+    def export(self, tracer) -> dict:
+        """Publish per-peer byte volumes to ``tracer`` as counters.
+
+        Only the *delta* since the previous export is added, so calling
+        once per phase yields counters whose event timeline shows network
+        cost per phase.  Returns the deltas that were published.
+        """
+        deltas = {}
+        for name, total in self.peer_counters().items():
+            delta = total - self._exported.get(name, 0.0)
+            if delta > 0:
+                tracer.add(name, delta)
+                self._exported[name] = total
+                deltas[name] = delta
+        return deltas
+
+
+class Comm:
+    """The communicator protocol: collectives plus point-to-point.
+
+    Subclasses own ``n_ranks`` and a :class:`CommMeter` and implement MPI
+    semantics for the operations below.  The lockstep formulation passes
+    *every* rank's contribution in one call (``contributions[r]`` is rank
+    ``r``'s) and returns one value per rank, which keeps data flow explicit
+    and testable without real processes.
+    """
+
+    n_ranks: int
+    meter: CommMeter
+
+    def bcast(self, value, root: int = 0):
+        raise NotImplementedError
+
+    def scatter(self, chunks: list, root: int = 0) -> list:
+        raise NotImplementedError
+
+    def gather(self, contributions: list, root: int = 0) -> list:
+        raise NotImplementedError
+
+    def allgather(self, contributions: list) -> list:
+        raise NotImplementedError
+
+    def allreduce(self, contributions: list, op=np.add):
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def send(self, value, src: int, dst: int):
+        raise NotImplementedError
+
+
+class LockstepComm(Comm):
     """Bulk-synchronous communicator: all ranks call collectives in the
     same order; rank-local state lives in the caller.
 
@@ -54,7 +168,8 @@ class LockstepComm:
     data flow — who contributes what, who receives what — explicit and
     testable.
 
-    All volumes are metered on :attr:`meter`.
+    All volumes are metered on :attr:`meter`; point-to-point
+    :meth:`send` traffic lands in the meter's per-peer accounting.
     """
 
     def __init__(self, n_ranks: int):
@@ -84,6 +199,27 @@ class LockstepComm:
                 "ranks must survive"
             )
         self.failed.add(rank)
+
+    # -- point-to-point --------------------------------------------------
+    def send(self, value, src: int, dst: int):
+        """Deliver ``value`` from rank ``src`` to rank ``dst``.
+
+        In-process delivery returns the value directly (the receiver's
+        copy); both directions are charged to the meter's per-peer
+        accounting, so point-to-point traffic shows up in
+        ``comm.bytes_sent{peer=...}`` counters exactly like the socket
+        transport's.
+        """
+        self._check_root(src)
+        self._check_root(dst)
+        if src in self.failed:
+            raise ValueError(f"cannot send from failed rank {src}")
+        if dst in self.failed:
+            raise ValueError(f"cannot send to failed rank {dst}")
+        nbytes = _nbytes(value)
+        self.meter.record_send(f"rank{dst}", nbytes)
+        self.meter.record_recv(f"rank{src}", nbytes)
+        return value
 
     # -- collectives -----------------------------------------------------
     def bcast(self, value, root: int = 0):
@@ -182,13 +318,237 @@ def _nbytes(value) -> float:
     return 64.0
 
 
+# ---------------------------------------------------------------------------
+# Threaded lockstep: per-rank callables with sequence validation
+# ---------------------------------------------------------------------------
+
+
+#: Backstop for rendezvous waits; a correct program never hits it, a buggy
+#: one fails loudly instead of deadlocking the test suite.
+_RENDEZVOUS_TIMEOUT = 120.0
+
+
+class _LockstepController:
+    """Rendezvous driving per-rank callables through one :class:`LockstepComm`.
+
+    Every rank blocks at each collective until all still-running ranks
+    arrive; the last arrival validates that everyone issued the *same*
+    operation with the same parameters, performs it once on the underlying
+    communicator (so metering is identical to the legacy single-driver
+    mode), and publishes the per-rank results.  Divergence — different
+    ops, different roots, or a rank finishing while others wait — raises
+    :class:`CommMismatchError` in every participating thread.
+    """
+
+    def __init__(self, comm: LockstepComm):
+        self.comm = comm
+        self._cond = threading.Condition()
+        self._arrived: dict = {}  # rank -> (op, key, contribution)
+        self._finished: set = set()
+        self._results: "list | None" = None
+        self._step = 0
+        self.error: "BaseException | None" = None
+
+    # Everything below runs with self._cond held.
+    def _expected(self) -> set:
+        return set(range(self.comm.n_ranks)) - self._finished
+
+    def _ready(self) -> bool:
+        expected = self._expected()
+        return bool(expected) and set(self._arrived) == expected
+
+    def _fail_locked(self, exc: BaseException) -> None:
+        if self.error is None:
+            self.error = exc
+        self._cond.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cond:
+            self._fail_locked(exc)
+
+    def _perform(self, op: str, key, contribs: list):
+        if op == "bcast":
+            return self.comm.bcast(contribs[key], root=key)
+        if op == "scatter":
+            return self.comm.scatter(contribs[key], root=key)
+        if op == "gather":
+            return self.comm.gather(contribs, root=key)
+        if op == "allgather":
+            return self.comm.allgather(contribs)
+        if op == "allreduce":
+            return self.comm.allreduce(contribs, op=key)
+        if op == "barrier":
+            self.comm.barrier()
+            return [None] * self.comm.n_ranks
+        raise ValueError(f"unknown collective {op!r}")  # pragma: no cover
+
+    def _complete_round(self) -> None:
+        step = self._step
+        if self._finished:
+            waiting = sorted(self._arrived)
+            op = self._arrived[waiting[0]][0]
+            raise CommMismatchError(
+                f"rank(s) {sorted(self._finished)} finished while rank(s) "
+                f"{waiting} wait at collective #{step} ({op!r}); all ranks "
+                "must issue the same collective sequence"
+            )
+        sigs = {(op, _keyid(key)) for op, key, _ in self._arrived.values()}
+        if len(sigs) > 1:
+            detail = ", ".join(
+                f"rank {r}: {self._arrived[r][0]}"
+                + (f"(root={self._arrived[r][1]})"
+                   if isinstance(self._arrived[r][1], int) else "")
+                for r in sorted(self._arrived)
+            )
+            raise CommMismatchError(
+                f"collective sequence diverged at step #{step}: {detail}"
+            )
+        op, key, _ = self._arrived[0] if 0 in self._arrived else next(
+            iter(self._arrived.values()))
+        contribs = [self._arrived[r][2] for r in range(self.comm.n_ranks)]
+        self._results = self._perform(op, key, contribs)
+        self._arrived.clear()
+        self._step = step + 1
+        self._cond.notify_all()
+
+    def collective(self, rank: int, op: str, key, contribution):
+        """Rank ``rank`` arrives at collective ``op``; blocks, returns its slice."""
+        with self._cond:
+            if self.error is not None:
+                raise self.error
+            my_step = self._step
+            self._arrived[rank] = (op, key, contribution)
+            if self._ready():
+                try:
+                    self._complete_round()
+                except BaseException as exc:
+                    self._fail_locked(exc)
+                    raise
+            else:
+                while self._step == my_step and self.error is None:
+                    if not self._cond.wait(timeout=_RENDEZVOUS_TIMEOUT):
+                        exc = CommMismatchError(
+                            f"rank {rank} timed out waiting at collective "
+                            f"#{my_step} ({op!r}); peers never arrived"
+                        )
+                        self._fail_locked(exc)
+                        raise exc
+                if self.error is not None:
+                    raise self.error
+            return self._results[rank]
+
+    def finish(self, rank: int) -> None:
+        """Rank ``rank``'s callable returned; detect stranded waiters."""
+        with self._cond:
+            self._finished.add(rank)
+            if self.error is not None:
+                return
+            if self._arrived and self._ready():
+                try:
+                    self._complete_round()
+                except BaseException as exc:
+                    self._fail_locked(exc)
+
+
+def _keyid(key):
+    """Hashable identity of a collective's parameter for divergence checks."""
+    try:
+        hash(key)
+        return key
+    except TypeError:  # pragma: no cover - exotic reduction ops
+        return id(key)
+
+
+class RankComm:
+    """One rank's view of the communicator in threaded lockstep mode.
+
+    The MPI-shaped per-rank API: each rank contributes only its own value
+    and receives only its own result.  All calls rendezvous through the
+    shared :class:`_LockstepController`, which validates sequence
+    alignment across ranks.
+    """
+
+    def __init__(self, controller: _LockstepController, rank: int):
+        self._controller = controller
+        self.rank = rank
+        self.n_ranks = controller.comm.n_ranks
+
+    @property
+    def meter(self) -> CommMeter:
+        return self._controller.comm.meter
+
+    def bcast(self, value=None, root: int = 0):
+        """Root passes the value; every rank receives it."""
+        return self._controller.collective(self.rank, "bcast", root, value)
+
+    def scatter(self, chunks: "list | None" = None, root: int = 0):
+        """Root passes the chunk list; rank ``r`` receives ``chunks[r]``."""
+        return self._controller.collective(self.rank, "scatter", root, chunks)
+
+    def gather(self, value, root: int = 0):
+        """Every rank contributes; root receives the list, others ``None``."""
+        return self._controller.collective(self.rank, "gather", root, value)
+
+    def allgather(self, value) -> list:
+        """Every rank contributes and receives the full list."""
+        return self._controller.collective(self.rank, "allgather", None, value)
+
+    def allreduce(self, value, op=np.add):
+        """Element-wise reduction; every rank receives the result."""
+        return self._controller.collective(self.rank, "allreduce", op, value)
+
+    def barrier(self) -> None:
+        self._controller.collective(self.rank, "barrier", None, None)
+
+
 def run_lockstep(n_ranks: int, algorithm, *args, **kwargs):
     """Run a lockstep SPMD algorithm and return ``(results, comm)``.
 
-    ``algorithm(comm, *args, **kwargs)`` receives the communicator and must
-    return the per-rank result list.  Provided for symmetry/metering; the
-    distributed TINGe driver calls it.
+    Two calling conventions:
+
+    * ``algorithm`` is one callable — the legacy driver mode:
+      ``algorithm(comm, *args, **kwargs)`` receives the full
+      :class:`LockstepComm` and must return the per-rank result list.
+    * ``algorithm`` is a sequence of ``n_ranks`` callables — true SPMD:
+      each ``algorithm[r](rank_comm, *args, **kwargs)`` runs on its own
+      thread against a :class:`RankComm` view.  Every collective is a
+      validated rendezvous: if ranks issue different operations (or one
+      rank returns while others wait), every thread raises
+      :class:`CommMismatchError` naming the diverging ranks, instead of
+      the silent misalignment the old API allowed.
     """
     comm = LockstepComm(n_ranks)
-    results = algorithm(comm, *args, **kwargs)
+    if callable(algorithm):
+        results = algorithm(comm, *args, **kwargs)
+        return results, comm
+
+    ranks = list(algorithm)
+    if len(ranks) != n_ranks:
+        raise ValueError(
+            f"need one callable per rank ({n_ranks}), got {len(ranks)}")
+    for r, fn in enumerate(ranks):
+        if not callable(fn):
+            raise TypeError(f"rank {r} entry is not callable: {fn!r}")
+
+    controller = _LockstepController(comm)
+    results: list = [None] * n_ranks
+
+    def runner(rank: int, fn) -> None:
+        try:
+            results[rank] = fn(RankComm(controller, rank), *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - released via controller
+            controller.fail(exc)
+        finally:
+            controller.finish(rank)
+
+    threads = [
+        threading.Thread(target=runner, args=(r, fn), name=f"lockstep-rank-{r}")
+        for r, fn in enumerate(ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if controller.error is not None:
+        raise controller.error
     return results, comm

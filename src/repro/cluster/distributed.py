@@ -130,6 +130,7 @@ def distributed_reconstruct(
     policy=None,
     lost_ranks=(),
     tracer=None,
+    backend: str = "lockstep",
 ) -> DistributedRunInfo:
     """Run the distributed TINGe algorithm on ``n_ranks`` simulated ranks.
 
@@ -146,7 +147,19 @@ def distributed_reconstruct(
     the survivors, their null shares are re-partitioned, and they
     contribute ``None`` to every later collective.  The network is
     bit-identical to the no-loss run; at least one rank must survive.
+
+    ``backend`` selects the distribution substrate: ``"lockstep"`` (the
+    default) runs the bulk-synchronous simulation above; ``"elastic"``
+    runs the compute superstep over ``n_ranks`` real worker *processes*
+    through :class:`repro.cluster.elastic.ElasticEngine` — dynamic
+    membership instead of fixed ranks, with ``lost_ranks`` rejected
+    (elastic loss is a runtime event, not a configuration) and the same
+    seeded null sequence, so the network is bit-identical to the
+    lockstep and serial paths.
     """
+    if backend not in ("lockstep", "elastic"):
+        raise ValueError(
+            f"backend must be 'lockstep' or 'elastic', got {backend!r}")
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
         raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
@@ -167,6 +180,20 @@ def distributed_reconstruct(
         raise ValueError(
             f"cannot lose all {n_ranks} ranks: at least one must survive"
         )
+
+    if backend == "elastic":
+        if lost:
+            raise ValueError(
+                "lost_ranks is a lockstep simulation knob; elastic worker "
+                "loss happens at runtime (kill the worker process)")
+        if engine is not None:
+            raise ValueError(
+                "backend='elastic' builds its own engine; do not pass one")
+        return _elastic_reconstruct(
+            data, genes, n_workers=n_ranks, bins=bins, order=order,
+            n_permutations=n_permutations, n_null_pairs=n_null_pairs,
+            alpha=alpha, tile=tile, dtype=dtype, seed=seed, policy=policy,
+            tracer=tracer)
 
     comm = LockstepComm(n_ranks)
     np_dtype = np.dtype(dtype)
@@ -281,5 +308,85 @@ def distributed_reconstruct(
         tiles_per_rank=tiles_per_rank,
         lost_ranks=lost,
         reassigned_tiles=reassigned,
+        quarantined=sink.quarantined,
+    )
+
+
+def _elastic_reconstruct(
+    data: np.ndarray,
+    genes: list,
+    n_workers: int,
+    bins: int,
+    order: int,
+    n_permutations: int,
+    n_null_pairs: int,
+    alpha: float,
+    tile: "int | None",
+    dtype: str,
+    seed,
+    policy,
+    tracer,
+) -> DistributedRunInfo:
+    """The elastic form of the distributed run: a thin engine configuration.
+
+    Where the lockstep backend *simulates* ranks with explicit supersteps,
+    this is just :func:`repro.core.exec.run_tile_plan` over an
+    :class:`~repro.cluster.elastic.ElasticEngine` — weights build on the
+    coordinator, the task payload (weights included) broadcasts once per
+    worker, tiles shard across live membership, and results commit by
+    plan index.  The null uses the exact seeded sequence the lockstep
+    path evaluates (pairs in sample order × permutations in draw order),
+    so MI matrix *and* threshold are bit-identical across serial,
+    lockstep, and elastic — regardless of worker churn mid-run.
+    """
+    from repro.cluster.elastic import ElasticEngine
+    from repro.core.exec import DenseSink
+
+    n, m = data.shape
+    np_dtype = np.dtype(dtype)
+    weights = weight_tensor(rank_transform(data), bins, order, np_dtype)
+    source = TensorSource(weights)
+    plan = plan_tiles(source, tile=tile, schedule="cyclic")
+
+    engine = ElasticEngine(n_workers=n_workers, tracer=tracer)
+    try:
+        sink = DenseSink(n)
+        mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
+                           policy=policy)
+        owners = engine.last_graph.owners() if engine.last_graph else {}
+        meter = engine.meter
+        comm_volume = meter.volume_bytes
+        comm_calls = dict(meter.calls)
+    finally:
+        engine.close()
+
+    # Same seeded null sequence as the lockstep path (pairs in sampling
+    # order, permutations in draw order) — same threshold, bit for bit.
+    rng = as_rng(seed)
+    n_pairs = min(n_null_pairs, pair_count(n))
+    pairs = sample_pairs(n, n_pairs, rng)
+    perms = permutation_matrix(n_permutations, m, rng)
+    vals = []
+    for i, j in pairs:
+        wi, wj = weights[i], weights[j]
+        for q in range(n_permutations):
+            joint = (wi[perms[q]].T.astype(np.float64) @ wj.astype(np.float64)) / m
+            vals.append(mi_from_joint(joint))
+    null = np.asarray(vals, dtype=np.float64)
+    threshold = upper_tail_threshold(null, alpha, n_tests=pair_count(n))
+
+    adjacency = threshold_adjacency(mi, threshold)
+    network = GeneNetwork(adjacency=adjacency, weights=mi, genes=list(genes),
+                          threshold=threshold)
+    return DistributedRunInfo(
+        network=network,
+        mi=mi,
+        threshold=threshold,
+        n_ranks=n_workers,
+        comm_volume_bytes=comm_volume,
+        comm_calls=comm_calls,
+        tiles_per_rank=[owners.get(w, 0) for w in sorted(owners)],
+        lost_ranks=(),
+        reassigned_tiles=engine.last_graph.reassigned if engine.last_graph else 0,
         quarantined=sink.quarantined,
     )

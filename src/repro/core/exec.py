@@ -28,6 +28,7 @@ fourth fork of the loop.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import threading
@@ -540,6 +541,17 @@ def default_kernel(
     return block
 
 
+def _default_kernel_task(source, h, base, kernel_dtype, t: Tile) -> np.ndarray:
+    """Picklable form of the default tile task (see :func:`run_tile_plan`)."""
+    return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
+
+
+def _custom_kernel_task(kernel, source, h, base, t: Tile) -> np.ndarray:
+    """Picklable adapter for caller-supplied kernels (picklable iff the
+    kernel is — drivers pass partials of module-level functions)."""
+    return kernel(source, h, t, base)
+
+
 def run_tile_plan(
     plan: TilePlan,
     source: WeightSource,
@@ -588,11 +600,14 @@ def run_tile_plan(
         prepare_operands(weights, dt)
 
     if kernel is None:
-        def run(t: Tile) -> np.ndarray:
-            return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
+        # functools.partial of a module-level function, not a closure, so
+        # the default task pickles — the elastic engine ships it (source
+        # tensor included, broadcast once per worker) to remote processes.
+        # Behavior is identical for every in-process engine.
+        run = functools.partial(_default_kernel_task, source, h, base,
+                                kernel_dtype)
     else:
-        def run(t: Tile) -> np.ndarray:
-            return kernel(source, h, t, base)
+        run = functools.partial(_custom_kernel_task, kernel, source, h, base)
 
     try:
         if sink.grain == "rows":

@@ -17,6 +17,7 @@ threads, which write disjoint blocks of the MI matrix in place.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -195,10 +196,8 @@ def mi_matrix(
                       kernel_dtype=kernel_dtype, autotune=autotune,
                       engine_name=engine_kind(engine))
     sink = DenseSink(source.n_genes, out=out)
-
-    def kernel(src, h, t, b):
-        return _tile_kernel(src, h, t, b, kernel_dtype=kernel_dtype)
-
+    # A partial, not a closure, so the task pickles for remote engines.
+    kernel = functools.partial(_tile_kernel, kernel_dtype=kernel_dtype)
     mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
                        progress=progress, kernel=kernel, policy=policy,
                        kernel_dtype=kernel_dtype)

@@ -24,6 +24,7 @@ p-value path are implemented; tests cross-validate them on small inputs.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -115,6 +116,12 @@ def _pooled_null_row(wi: np.ndarray, wj: np.ndarray, perm: np.ndarray,
     return batched_pair_mi(joint, base=base)
 
 
+def _pooled_null_task(wi: np.ndarray, wj: np.ndarray, perms: np.ndarray,
+                      m: int, base: str, r: int) -> np.ndarray:
+    """Picklable engine task: one permutation's row of the pooled null."""
+    return _pooled_null_row(wi, wj, perms[r], m, base)
+
+
 def pooled_null(
     weights: np.ndarray,
     n_permutations: int = 30,
@@ -164,8 +171,10 @@ def pooled_null(
     if engine is None:
         rows = [_pooled_null_row(wi, wj, perms[r], m, base) for r in range(n_permutations)]
     else:
+        # functools.partial, not a lambda, so the task pickles and the
+        # null phase dispatches through remote (elastic) engines too.
         rows = engine.map(
-            lambda r: _pooled_null_row(wi, wj, perms[r], m, base),
+            functools.partial(_pooled_null_task, wi, wj, perms, m, base),
             list(range(n_permutations)),
         )
     null = np.stack(rows, axis=0)

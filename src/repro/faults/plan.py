@@ -140,6 +140,22 @@ class FaultPlan:
         self._engine_failures_left = self.engine_failures
         self._lock = threading.Lock()
 
+    # -- pickling ------------------------------------------------------
+    # The plan crosses process boundaries (spawned elastic workers receive
+    # it inside the pickled task function), so the lock — the only
+    # unpicklable member — is dropped and recreated.  The attempt ledger
+    # *is* carried: a remote worker's ``should_fire`` then honours budgets
+    # already burned on the coordinator, mirroring how re-forked children
+    # inherit the parent's ledger.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # -- deterministic decisions -------------------------------------
     def _digest(self, key: str) -> bytes:
         return hashlib.sha256(f"{self.seed}|{key}".encode()).digest()
@@ -189,46 +205,17 @@ class FaultPlan:
 
     # -- task wrappers ------------------------------------------------
     def wrap(self, fn: Callable) -> Callable:
-        """``fn(item) -> value`` with this plan's faults injected."""
+        """``fn(item) -> value`` with this plan's faults injected.
 
-        def faulty(item):
-            spec = self.should_fire(task_key(item))
-            if spec is None:
-                return fn(item)
-            if spec.kind == "crash":
-                raise InjectedFault(f"injected crash for task {spec.key}")
-            if spec.kind == "hang":
-                time.sleep(self.hang_seconds)
-                return fn(item)
-            value = fn(item)  # corrupt: NaN-poison the returned block
-            if isinstance(value, np.ndarray):
-                bad = np.array(value, dtype=np.float64, copy=True)
-                bad.fill(np.nan)
-                return bad
-            return value
-
-        return faulty
+        The wrapper is a picklable object (not a closure), so a wrapped
+        task ships to spawned elastic workers whenever ``fn`` itself
+        pickles.
+        """
+        return _FaultyTask(self, fn)
 
     def wrap_into(self, fn: Callable) -> Callable:
         """``fn(out, item)`` with faults injected (write-in-place path)."""
-
-        def faulty(out, item):
-            spec = self.should_fire(task_key(item))
-            if spec is None:
-                return fn(out, item)
-            if spec.kind == "crash":
-                raise InjectedFault(f"injected crash for task {spec.key}")
-            if spec.kind == "hang":
-                time.sleep(self.hang_seconds)
-                return fn(out, item)
-            fn(out, item)  # corrupt: NaN-poison the block just written
-            i0, i1 = getattr(item, "i0", None), getattr(item, "i1", None)
-            j0, j1 = getattr(item, "j0", None), getattr(item, "j1", None)
-            if i0 is not None and j0 is not None:
-                out[i0:i1, j0:j1] = np.nan
-            return None
-
-        return faulty
+        return _FaultyIntoTask(self, fn)
 
     # -- env round-trip ----------------------------------------------
     def to_env(self) -> str:
@@ -264,6 +251,56 @@ class FaultPlan:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"FaultPlan(seed={self.seed}, rate={self.rate}, kinds={self.kinds}, "
                 f"max_failures={self.max_failures})")
+
+
+class _FaultyTask:
+    """Picklable ``fn(item)`` wrapper carrying its plan (see ``wrap``)."""
+
+    def __init__(self, plan: FaultPlan, fn: Callable):
+        self.plan = plan
+        self.fn = fn
+
+    def __call__(self, item):
+        plan, fn = self.plan, self.fn
+        spec = plan.should_fire(task_key(item))
+        if spec is None:
+            return fn(item)
+        if spec.kind == "crash":
+            raise InjectedFault(f"injected crash for task {spec.key}")
+        if spec.kind == "hang":
+            time.sleep(plan.hang_seconds)
+            return fn(item)
+        value = fn(item)  # corrupt: NaN-poison the returned block
+        if isinstance(value, np.ndarray):
+            bad = np.array(value, dtype=np.float64, copy=True)
+            bad.fill(np.nan)
+            return bad
+        return value
+
+
+class _FaultyIntoTask:
+    """Picklable ``fn(out, item)`` wrapper (see ``wrap_into``)."""
+
+    def __init__(self, plan: FaultPlan, fn: Callable):
+        self.plan = plan
+        self.fn = fn
+
+    def __call__(self, out, item):
+        plan, fn = self.plan, self.fn
+        spec = plan.should_fire(task_key(item))
+        if spec is None:
+            return fn(out, item)
+        if spec.kind == "crash":
+            raise InjectedFault(f"injected crash for task {spec.key}")
+        if spec.kind == "hang":
+            time.sleep(plan.hang_seconds)
+            return fn(out, item)
+        fn(out, item)  # corrupt: NaN-poison the block just written
+        i0, i1 = getattr(item, "i0", None), getattr(item, "i1", None)
+        j0, j1 = getattr(item, "j0", None), getattr(item, "j1", None)
+        if i0 is not None and j0 is not None:
+            out[i0:i1, j0:j1] = np.nan
+        return None
 
 
 def plan_from_env(environ=None) -> FaultPlan | None:

@@ -72,7 +72,7 @@ __all__ = [
 
 #: Valid ``make_engine`` kinds, in fallback-chain order (most to least
 #: capable): ``sharedmem → process → thread → serial``.
-ENGINE_KINDS = ("serial", "thread", "process", "sharedmem")
+ENGINE_KINDS = ("serial", "thread", "process", "sharedmem", "elastic")
 
 #: Supervised-pool message poll interval; bounds timeout-detection latency.
 _POLL_SECONDS = 0.02
@@ -118,7 +118,9 @@ def engine_kind(engine) -> str:
         return "process"
     if isinstance(engine, ThreadEngine):
         return "thread"
-    return type(engine).__name__
+    # Engines defined outside this module (e.g. the elastic cluster
+    # engine) declare their factory name via a ``kind`` class attribute.
+    return getattr(engine, "kind", type(engine).__name__)
 
 
 class EngineFailure(RuntimeError):
@@ -883,7 +885,8 @@ class SharedMemoryEngine(ProcessEngine):
 
 
 #: Degradation order: each kind's next-best substitute.
-_FALLBACK_NEXT = {"sharedmem": "process", "process": "thread", "thread": "serial"}
+_FALLBACK_NEXT = {"elastic": "sharedmem", "sharedmem": "process",
+                  "process": "thread", "thread": "serial"}
 
 
 def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None,
@@ -920,6 +923,12 @@ def make_engine(kind: str = "serial", n_workers: int | None = None, tracer=None,
             if kind == "process":
                 return ProcessEngine(n_workers=n_workers, policy=policy, tracer=tracer,
                                      faults=faults)
+            if kind == "elastic":
+                # Imported lazily: repro.cluster imports this module.
+                from repro.cluster.elastic import ElasticEngine
+
+                return ElasticEngine(n_workers=n_workers, policy=policy,
+                                     tracer=tracer, faults=faults, **kwargs)
             return SharedMemoryEngine(n_workers=n_workers, policy=policy, tracer=tracer,
                                       faults=faults)
         except RuntimeError:
@@ -936,6 +945,15 @@ def fallback_engine(engine):
     fault plan (so a chaos run keeps injecting task faults after a
     fallback — only the injected *engine* failures are consumed).
     """
+    if getattr(engine, "kind", None) == "elastic":
+        # The elastic pool is gone; degrade to local shared memory with
+        # the membership the pool was sized for, not the (empty) live one.
+        engine.close()
+        return make_engine("sharedmem",
+                           n_workers=getattr(engine, "_initial_workers", None),
+                           tracer=engine.tracer,
+                           policy=getattr(engine, "policy", None),
+                           faults=engine.faults, fallback=True)
     if isinstance(engine, SharedMemoryEngine):
         kind = "process"
     elif isinstance(engine, ProcessEngine):

@@ -126,6 +126,14 @@ class ServeApp:
         return {
             "status": "draining" if self._draining else "ok",
             "queued": len(self.queue),
+            # Admission pressure, visible without scraping logs: current
+            # queue depth against its cap, and which tenants hold active
+            # (queued + running) slots against their quotas.
+            "queue_depth": {
+                "current": len(self.queue),
+                "max": self.queue.max_depth,
+            },
+            "tenants": self.store.active_by_tenant(),
             "jobs": self.store.counts(),
             "cache": self.cache.stats(),
             "workers": sum(1 for w in self._workers if w.is_alive()),

@@ -136,3 +136,16 @@ class JobStore:
             for j in self._jobs.values():
                 out[j.state] = out.get(j.state, 0) + 1
             return out
+
+    def active_by_tenant(self) -> dict:
+        """Tenant → active (queued + running) job count, sorted by tenant.
+
+        The health endpoint's admission-pressure view: which tenants are
+        holding slots against their quota right now.
+        """
+        with self._lock:
+            out: dict = {}
+            for j in self._jobs.values():
+                if j.state in JobState.ACTIVE:
+                    out[j.tenant] = out.get(j.tenant, 0) + 1
+            return dict(sorted(out.items()))

@@ -44,7 +44,7 @@ from repro.serve.jobs import Job, JobState
 
 __all__ = ["execute_job", "load_job_dataset", "validate_submission"]
 
-_ENGINE_KINDS = ("serial", "thread", "process", "sharedmem")
+_ENGINE_KINDS = ("serial", "thread", "process", "sharedmem", "elastic")
 
 
 class ValidationError(ValueError):
@@ -195,27 +195,39 @@ def _execute(job: Job, cache: ResultCache, state_dir: Path) -> None:
         return
 
     engine = None
-    if job.engine != "serial":
-        engine = make_engine(job.engine, n_workers=job.workers,
-                             tracer=tracer, fallback=cfg.on_fault != "raise")
+    try:
+        if job.engine != "serial":
+            # An elastic job spawns (job.workers or 3) local worker
+            # subprocesses; remote workers can additionally join the
+            # printed coordinator address at any time via `repro worker`.
+            engine = make_engine(job.engine, n_workers=job.workers,
+                                 tracer=tracer,
+                                 fallback=cfg.on_fault != "raise")
 
-    job.phase = "null"
-    with tracer.span("null"):
-        null = pooled_null(weights, cfg.n_permutations,
-                           min(cfg.n_null_pairs, pair_count(n)),
-                           cfg.seed, cfg.base, engine)
+        job.phase = "null"
+        with tracer.span("null"):
+            null = pooled_null(weights, cfg.n_permutations,
+                               min(cfg.n_null_pairs, pair_count(n)),
+                               cfg.seed, cfg.base, engine)
 
-    job.phase = "mi"
-    plan = plan_tiles(source, tile=cfg.tile, base=cfg.base, schedule=cfg.schedule,
-                      kernel_dtype=cfg.kernel_dtype, autotune=cfg.autotune,
-                      engine_name=engine_kind(engine))
-    ck_dir = state_dir / "checkpoints" / key
-    sink = CheckpointSink(ck_dir, plan, source.fingerprint(),
-                          interrupt_after_rows=job.interrupt_after_rows)
-    with tracer.span("mi", n_genes=n, n_tiles=plan.n_tiles):
-        mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
-                           progress=job.progress, policy=cfg.fault_policy(),
-                           kernel_dtype=cfg.kernel_dtype)
+        job.phase = "mi"
+        plan = plan_tiles(source, tile=cfg.tile, base=cfg.base,
+                          schedule=cfg.schedule,
+                          kernel_dtype=cfg.kernel_dtype, autotune=cfg.autotune,
+                          engine_name=engine_kind(engine))
+        ck_dir = state_dir / "checkpoints" / key
+        sink = CheckpointSink(ck_dir, plan, source.fingerprint(),
+                              interrupt_after_rows=job.interrupt_after_rows)
+        with tracer.span("mi", n_genes=n, n_tiles=plan.n_tiles):
+            mi = run_tile_plan(plan, source, sink, engine=engine,
+                               tracer=tracer, progress=job.progress,
+                               policy=cfg.fault_policy(),
+                               kernel_dtype=cfg.kernel_dtype)
+    finally:
+        # Only the elastic engine holds resources (worker subprocesses,
+        # a listener socket); in-process pools are per-call.
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
     job.quarantined = [q.as_dict() for q in sink.quarantined]
     if mi is None:
         # Interrupted mid-run (simulated kill or preemption): the ledger

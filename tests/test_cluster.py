@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import TingeConfig, reconstruct_network
-from repro.cluster.comm import LockstepComm
+from repro.cluster.comm import CommMismatchError, LockstepComm, run_lockstep
 from repro.cluster.distributed import distributed_reconstruct
 from repro.data import yeast_subset
 
@@ -84,6 +84,134 @@ class TestCommMetering:
         comm.bcast(1)
         comm.bcast(2)
         assert comm.meter.calls == {"barrier": 1, "bcast": 2}
+
+    def test_p2p_send_metered_per_peer(self):
+        comm = LockstepComm(3)
+        out = comm.send(np.zeros(10), src=0, dst=2)
+        assert np.array_equal(out, np.zeros(10))
+        assert comm.meter.volume_bytes == 80.0
+        counters = comm.meter.peer_counters()
+        assert counters["comm.bytes_sent{peer=rank2}"] == 80.0
+        assert counters["comm.bytes_recv{peer=rank0}"] == 80.0
+
+    def test_send_to_failed_rank_rejected(self):
+        comm = LockstepComm(3)
+        comm.mark_failed(1)
+        with pytest.raises(ValueError, match="failed rank"):
+            comm.send(1.0, src=0, dst=1)
+        with pytest.raises(ValueError, match="failed rank"):
+            comm.send(1.0, src=1, dst=0)
+
+
+class TestLockstepEdgeCases:
+    """P=1 degenerate worlds, empty arrays, dtype preservation."""
+
+    def test_single_rank_collectives(self):
+        comm = LockstepComm(1)
+        assert comm.bcast(np.arange(4))[0].tolist() == [0, 1, 2, 3]
+        assert comm.scatter([np.ones(2)])[0].tolist() == [1.0, 1.0]
+        gathered = comm.gather([7])
+        assert gathered == [[7]]
+        reduced = comm.allreduce([np.full(3, 5.0)])
+        assert np.array_equal(reduced[0], np.full(3, 5.0))
+        # A world of one moves nothing: no wire volume for any of it.
+        assert comm.meter.volume_bytes == 0.0
+
+    def test_empty_arrays_through_collectives(self):
+        comm = LockstepComm(3)
+        empty = np.empty(0, dtype=np.float64)
+        out = comm.allgather([empty, empty, empty])
+        assert all(v.size == 0 for view in out for v in view)
+        reduced = comm.allreduce([empty.copy() for _ in range(3)])
+        assert reduced[0].size == 0
+        assert comm.meter.volume_bytes == 0.0  # zero bytes, still counted
+        assert comm.meter.calls == {"allgather": 1, "allreduce": 1}
+
+    def test_allreduce_preserves_dtype(self):
+        comm = LockstepComm(4)
+        f32 = [np.ones(5, dtype=np.float32) for _ in range(4)]
+        out = comm.allreduce(f32)
+        assert out[0].dtype == np.float32
+        assert np.array_equal(out[0], np.full(5, 4.0, dtype=np.float32))
+        i64 = [np.arange(3, dtype=np.int64) for _ in range(4)]
+        assert comm.allreduce(i64)[0].dtype == np.int64
+
+
+class TestThreadedRunLockstep:
+    """Per-rank callables: rendezvous, results, and sequence validation."""
+
+    def test_spmd_allreduce(self):
+        def rank_prog(comm):
+            local = np.full(4, float(comm.rank))
+            total = comm.allreduce(local)
+            comm.barrier()
+            return total
+
+        results, comm = run_lockstep(3, [rank_prog] * 3)
+        for r in results:
+            assert np.array_equal(r, np.full(4, 3.0))  # 0+1+2
+        # Metered exactly like the legacy single-driver formulation.
+        assert comm.meter.calls["allreduce"] == 1
+        assert comm.meter.calls["barrier"] == 1
+
+    def test_spmd_bcast_and_gather(self):
+        def rank_prog(comm):
+            seed = comm.bcast(42 if comm.rank == 0 else None, root=0)
+            gathered = comm.gather(seed + comm.rank, root=1)
+            return gathered
+
+        results, _ = run_lockstep(3, [rank_prog] * 3)
+        assert results[1] == [42, 43, 44]
+        assert results[0] is None and results[2] is None
+
+    def test_diverged_collectives_raise(self):
+        def good(comm):
+            comm.allgather(comm.rank)
+
+        def rogue(comm):
+            comm.allreduce(np.zeros(2))  # different op at the same step
+
+        with pytest.raises(CommMismatchError, match="diverged"):
+            run_lockstep(2, [good, rogue])
+
+    def test_diverged_roots_raise(self):
+        def rank_prog(comm):
+            comm.bcast(1, root=comm.rank)  # each rank names a different root
+
+        with pytest.raises(CommMismatchError, match="diverged"):
+            run_lockstep(2, [rank_prog] * 2)
+
+    def test_early_finish_strands_waiters(self):
+        def quitter(comm):
+            return "done"  # returns without joining the collective
+
+        def waiter(comm):
+            comm.barrier()
+
+        with pytest.raises(CommMismatchError, match="finished while"):
+            run_lockstep(2, [quitter, waiter])
+
+    def test_rank_exception_propagates(self):
+        def boom(comm):
+            raise RuntimeError("rank exploded")
+
+        def waiter(comm):
+            comm.barrier()  # must not deadlock waiting for the dead rank
+
+        with pytest.raises(RuntimeError, match="rank exploded"):
+            run_lockstep(2, [boom, waiter])
+
+    def test_wrong_callable_count(self):
+        with pytest.raises(ValueError, match="one callable per rank"):
+            run_lockstep(3, [lambda c: None] * 2)
+
+    def test_legacy_driver_mode_unchanged(self):
+        def driver(comm):
+            return comm.allreduce([np.ones(2)] * comm.n_ranks)
+
+        results, comm = run_lockstep(4, driver)
+        assert np.array_equal(results[0], np.full(2, 4.0))
+        assert comm.meter.calls["allreduce"] == 1
 
 
 class TestDistributedReconstruct:

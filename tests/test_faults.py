@@ -287,11 +287,12 @@ class TestMakeEngineValidation:
             make_engine("gpu")
         assert str(exc.value) == (
             "unknown engine kind 'gpu'; valid kinds: "
-            "serial, thread, process, sharedmem"
+            "serial, thread, process, sharedmem, elastic"
         )
 
     def test_engine_kinds_exported(self):
-        assert ENGINE_KINDS == ("serial", "thread", "process", "sharedmem")
+        assert ENGINE_KINDS == ("serial", "thread", "process", "sharedmem",
+                                "elastic")
 
     def test_env_hook_attaches_plan(self, monkeypatch):
         plan = FaultPlan(seed=21, rate=0.25)

@@ -345,6 +345,20 @@ class TestAdmissionOverHTTP:
         assert code == 429 and "depth cap" in body["error"]
         release.set()
 
+    def test_health_reports_queue_depth_and_tenants(self, gated_daemon,
+                                                    dataset_path):
+        client, release, started = gated_daemon
+        _, health = client.get("/healthz")
+        assert health["queue_depth"] == {"current": 0, "max": 1}
+        assert health["tenants"] == {}
+        _submit(client, dataset_path)                  # occupies the worker
+        assert started.wait(timeout=10)
+        _submit(client, dataset_path, tenant="other")  # sits in the queue
+        _, health = client.get("/healthz")
+        assert health["queue_depth"] == {"current": 1, "max": 1}
+        assert health["tenants"] == {"default": 1, "other": 1}
+        release.set()
+
     def test_quota_rejection(self, gated_daemon, dataset_path):
         client, release, started = gated_daemon
         _submit(client, dataset_path)

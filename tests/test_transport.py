@@ -1,0 +1,160 @@
+"""Tests for repro.cluster.transport — framing, partial reads, metering."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import CommMeter
+from repro.cluster.transport import (
+    BYE,
+    Channel,
+    FrameError,
+    HEADER_SIZE,
+    MAGIC,
+    MSG,
+    PING,
+    connect,
+    recv_exactly,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        wire = send_frame(a, MSG, b"hello")
+        ftype, payload, n = recv_frame(b)
+        assert (ftype, payload) == (MSG, b"hello")
+        assert n == wire == HEADER_SIZE + 5
+
+    def test_empty_payload(self, pair):
+        a, b = pair
+        send_frame(a, PING)
+        ftype, payload, n = recv_frame(b)
+        assert (ftype, payload, n) == (PING, b"", HEADER_SIZE)
+
+    def test_partial_reads_reassembled(self, pair):
+        """TCP may deliver any byte-split; recv_exactly must loop."""
+        a, b = pair
+        header = struct.Struct(">4sBQ").pack(MAGIC, MSG, 6)
+        blob = header + b"abcdef"
+
+        def dribble():
+            for i in range(len(blob)):  # one byte per send
+                a.sendall(blob[i : i + 1])
+
+        t = threading.Thread(target=dribble)
+        t.start()
+        ftype, payload, _ = recv_frame(b)
+        t.join()
+        assert (ftype, payload) == (MSG, b"abcdef")
+
+    def test_eof_mid_read_raises(self, pair):
+        a, b = pair
+        a.sendall(b"RP")  # half a header, then hang up
+        a.close()
+        with pytest.raises(ConnectionError, match="mid-read"):
+            recv_frame(b)
+
+    def test_bad_magic_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.Struct(">4sBQ").pack(b"EVIL", MSG, 0))
+        with pytest.raises(FrameError, match="magic"):
+            recv_frame(b)
+
+    def test_unknown_type_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.Struct(">4sBQ").pack(MAGIC, 99, 0))
+        with pytest.raises(FrameError, match="unknown frame type"):
+            recv_frame(b)
+
+    def test_oversized_frame_rejected_before_payload(self, pair):
+        """A hostile length field must be rejected from the header alone —
+        no payload bytes are read (none were even sent)."""
+        a, b = pair
+        a.sendall(struct.Struct(">4sBQ").pack(MAGIC, MSG, 1 << 40))
+        with pytest.raises(FrameError, match="max_frame"):
+            recv_frame(b, max_frame=1024)
+
+    def test_recv_exactly_zero(self, pair):
+        _, b = pair
+        assert recv_exactly(b, 0) == b""
+
+
+class TestChannel:
+    def test_object_roundtrip_with_numpy(self, pair):
+        a, b = pair
+        meter = CommMeter()
+        ca = Channel(a, peer="right", meter=meter)
+        cb = Channel(b, peer="left")
+        msg = {"type": "result", "value": np.arange(7, dtype=np.float32)}
+        sent = ca.send(msg)
+        got = cb.recv()
+        assert got["type"] == "result"
+        assert np.array_equal(got["value"], msg["value"])
+        assert got["value"].dtype == np.float32
+        assert meter.sent_by_peer["right"] == float(sent)
+
+    def test_ping_answered_transparently(self, pair):
+        a, b = pair
+        ca, cb = Channel(a, peer="b"), Channel(b, peer="a")
+        ca.ping()
+        ca.send("after-ping")
+        # cb.recv answers the PING inline and returns only the data frame.
+        assert cb.recv() == "after-ping"
+        # The PONG is sitting in ca's stream, skipped before the next MSG.
+        cb.send("reply")
+        assert ca.recv() == "reply"
+        assert cb.meter.calls.get("pong") == 1
+
+    def test_bye_returns_none(self, pair):
+        a, b = pair
+        ca, cb = Channel(a, peer="b"), Channel(b, peer="a")
+        ca.bye()
+        assert cb.recv() is None
+
+    def test_send_respects_max_frame(self, pair):
+        a, _ = pair
+        ca = Channel(a, peer="b", max_frame=64)
+        with pytest.raises(FrameError, match="refusing to send"):
+            ca.send(np.zeros(1024))
+
+    def test_recv_metering_per_peer(self, pair):
+        a, b = pair
+        meter = CommMeter()
+        ca = Channel(a, peer="w0")
+        cb = Channel(b, peer="w9", meter=meter)
+        ca.send([1, 2, 3])
+        cb.recv()
+        counters = meter.peer_counters()
+        assert counters["comm.bytes_recv{peer=w9}"] > 0
+        # Received bytes never inflate wire volume (sender owns that).
+        assert meter.volume_bytes == 0.0
+
+
+class TestConnect:
+    def test_dial_listener(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        ch = connect(host, port, peer="srv")
+        server_sock, _ = listener.accept()
+        cs = Channel(server_sock, peer="cli")
+        ch.send("hi")
+        assert cs.recv() == "hi"
+        ch.close()
+        cs.close()
+        listener.close()
