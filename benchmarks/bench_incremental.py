@@ -1,0 +1,93 @@
+"""E31 — streaming sample-increment vs. full rerun (table).
+
+A live updater absorbing a batch of new experiment columns only replays
+the tiles whose pairs could have crossed the threshold (the calibrated
+drift screen in :mod:`repro.core.incremental`), so the interesting
+numbers are the recomputed-pair fraction and the wall-clock win over
+rerunning the whole pipeline on the grown dataset.  Both are reported
+for batch sizes dm in {1, 4, 16} at n in {400, 2000} genes; every cell
+is audited bit-identical to the from-scratch run before it is timed.
+
+Smoke mode (REPRO_BENCH_SMOKE=1) shrinks to the n=400, dm=1 cell and
+drops the speedup floor (shared CI runners cannot hold a timing bound)
+but keeps the bit-identity and proper-subset guards.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_seconds
+from repro.core.incremental import NetworkUpdater
+from repro.core.pipeline import TingeConfig, reconstruct_network
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+M_SAMPLES = 300
+GENE_COUNTS = [400] if SMOKE else [400, 2000]
+BATCH_SIZES = [1] if SMOKE else [1, 4, 16]
+CONFIG = dict(n_permutations=10, n_null_pairs=100, alpha=0.01, seed=3)
+
+
+def _data(n: int, m: int) -> np.ndarray:
+    """Mostly-null expression with n/20 coupled pairs, so the network has
+    real edges whose neighbourhood the screen must keep dirty."""
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=(n, m))
+    for k in range(n // 20):
+        data[2 * k + 1] = data[2 * k] + 0.3 * rng.normal(size=m)
+    return data
+
+
+def test_incremental_vs_full_rerun(report):
+    cfg = TingeConfig(**CONFIG)
+    rows, metrics = [], {}
+    for n in GENE_COUNTS:
+        full = _data(n, M_SAMPLES + max(BATCH_SIZES))
+        base = full[:, :M_SAMPLES]
+        res = reconstruct_network(base, config=cfg)
+        for dm in BATCH_SIZES:
+            grown = full[:, : M_SAMPLES + dm]
+
+            updater = NetworkUpdater.from_result(res, base)
+            t0 = time.perf_counter()
+            delta = updater.add_samples(full[:, M_SAMPLES : M_SAMPLES + dm])
+            t_inc = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            ref = reconstruct_network(grown, config=cfg)
+            t_full = time.perf_counter() - t0
+
+            # The speedup is only worth reporting if the shortcut is exact.
+            net, refnet = updater.network, ref.network
+            assert net.threshold == refnet.threshold
+            assert np.array_equal(net.adjacency, refnet.adjacency)
+            assert np.array_equal(net.weights[refnet.adjacency],
+                                  refnet.weights[refnet.adjacency])
+            # Big batches may legitimately dirty everything (the threshold
+            # itself moves with m); a single-sample batch must not.
+            assert 0 < delta.pairs_recomputed <= delta.pairs_total
+            if dm == 1:
+                assert delta.pairs_recomputed < delta.pairs_total
+
+            frac = delta.pairs_recomputed / delta.pairs_total
+            speedup = t_full / t_inc
+            rows.append({
+                "genes": n, "dm": dm,
+                "pairs recomputed": f"{delta.pairs_recomputed}/{delta.pairs_total}",
+                "fraction": f"{100 * frac:.2f}%",
+                "incremental": format_seconds(t_inc),
+                "full rerun": format_seconds(t_full),
+                "speedup": f"{speedup:.1f}x",
+            })
+            metrics[f"recompute_fraction_n{n}_dm{dm}"] = frac
+            metrics[f"speedup_n{n}_dm{dm}"] = speedup
+
+    report("E31", "sample-increment dirty-tile update vs full rerun",
+           rows, metrics=metrics)
+
+    if not SMOKE:
+        # Headline acceptance: a single-sample batch at whole-network
+        # scale must beat rerunning the pipeline by at least 2x.
+        assert metrics["speedup_n2000_dm1"] >= 2.0

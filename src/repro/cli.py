@@ -166,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="queued-job depth cap; submissions beyond it get 429")
     srv.add_argument("--tenant-quota", type=int, default=None,
                      help="max active (queued+running) jobs per tenant")
+    srv.add_argument("--max-datasets", type=int, default=64,
+                     help="cap on registered streaming datasets "
+                          "(POST /datasets beyond it gets 400)")
     srv.add_argument("--drain-timeout", type=float, default=None, metavar="SECONDS",
                      help="max seconds to wait for running jobs on shutdown")
 
@@ -497,7 +500,8 @@ def _cmd_serve(args) -> int:
 
     try:
         app = ServeApp(args.state_dir, n_workers=args.workers,
-                       max_depth=args.max_queue, tenant_quota=args.tenant_quota)
+                       max_depth=args.max_queue, tenant_quota=args.tenant_quota,
+                       max_datasets=args.max_datasets)
         server = make_server(app, host=args.host, port=args.port)
     except (OSError, ValueError) as exc:  # bad bind address / bad limits
         print(f"error: {exc}", file=sys.stderr)

@@ -27,7 +27,12 @@ from repro.core.exec import (
 from repro.core.mi_matrix import compute_tile
 from repro.faults.policy import QuarantinedTile
 
-__all__ = ["CheckpointSink", "mi_matrix_checkpointed", "checkpoint_status"]
+__all__ = [
+    "CheckpointSink",
+    "DeltaCheckpointSink",
+    "mi_matrix_checkpointed",
+    "checkpoint_status",
+]
 
 _LEDGER = "ledger.json"
 
@@ -169,6 +174,81 @@ class CheckpointSink(MatrixSink):
         # masquerade as confidently-tested non-edges, so mark them NaN
         # (NaN > threshold is False, so they still can't become edges, but
         # downstream consumers can tell "absent" from "measured zero").
+        for q in self._quarantined or []:
+            mi[q.i0 : q.i1, q.j0 : q.j1] = np.nan
+        iu = np.triu_indices(self.n, k=1)
+        mi[(iu[1], iu[0])] = mi[iu]
+        np.fill_diagonal(mi, 0.0)
+        return mi
+
+
+class DeltaCheckpointSink(CheckpointSink):
+    """Checkpointed *selective* recompute: dirty tiles patched into a base.
+
+    The incremental updater's persistence layer.  The plan passed in is a
+    :func:`~repro.core.exec.filter_plan` sub-plan holding only the dirty
+    tiles of a sample-increment update; every completed block-row lands in
+    the same ``row_{i0}.npz`` + ledger format as a full checkpointed run,
+    plus a ``"delta"`` ledger section recording the dirty-tile set and the
+    grown sample count.  An interrupted update therefore resumes exactly
+    like a full run does — ``skip_row`` drops already-committed rows, so a
+    resume replays only the *still-dirty* tiles — and the fingerprint
+    check refuses to resume against a different grown tensor (e.g. a
+    second batch of samples arriving before the first finished).
+
+    :meth:`finalize` starts from the symmetric ``base`` MI matrix (the
+    pre-update network's) instead of zeros: clean tiles keep their base
+    blocks, dirty tiles are overwritten with the recomputed ones, and
+    quarantined tiles are NaN-marked exactly like the parent sink.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        plan: TilePlan,
+        fingerprint: str,
+        base: np.ndarray,
+        m_samples: "int | None" = None,
+        interrupt_after_rows: "int | None" = None,
+    ):
+        base = np.asarray(base, dtype=np.float64)
+        if base.shape != (plan.n_genes, plan.n_genes):
+            raise ValueError(
+                f"base matrix shape {base.shape} does not match "
+                f"{plan.n_genes} genes"
+            )
+        super().__init__(directory, plan, fingerprint,
+                         interrupt_after_rows=interrupt_after_rows)
+        self._base = base
+        delta = {
+            "kind": "sample-increment",
+            "m_samples": m_samples,
+            "dirty_tiles": [[t.i0, t.j0] for t in plan.tiles],
+        }
+        recorded = self.ledger.get("delta")
+        if recorded is None:
+            self.ledger["delta"] = delta
+            _store_ledger(self.directory, self.ledger)
+        elif recorded.get("dirty_tiles") != delta["dirty_tiles"]:
+            # Same weight fingerprint implies the same screen output; a
+            # mismatch means the caller rebuilt the dirty set against
+            # different thresholds/config, and resuming would leave some
+            # of its tiles stale.
+            raise ValueError(
+                f"checkpoint at {self.directory} records a different "
+                "dirty-tile set; remove it or rebuild the same update"
+            )
+
+    def finalize(self, completed: bool = True) -> "np.ndarray | None":
+        if not completed:
+            return None
+        mi = np.array(self._base, dtype=np.float64)
+        for i0 in self.rows:
+            with np.load(self.directory / f"row_{i0:07d}.npz") as z:
+                for key in z.files:
+                    j0 = int(key[1:])
+                    block = z[key]
+                    mi[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
         for q in self._quarantined or []:
             mi[q.i0 : q.i1, q.j0 : q.j1] = np.nan
         iu = np.triu_indices(self.n, k=1)

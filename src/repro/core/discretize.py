@@ -24,7 +24,14 @@ import scipy.stats
 
 from repro.stats.histogram import bin_indices
 
-__all__ = ["rank_transform", "zscore", "bin_matrix", "preprocess"]
+__all__ = [
+    "rank_transform",
+    "zscore",
+    "bin_matrix",
+    "preprocess",
+    "extend_columns",
+    "rank_drift_bound",
+]
 
 
 def rank_transform(data: np.ndarray, method: str = "average") -> np.ndarray:
@@ -88,6 +95,62 @@ def bin_matrix(data: np.ndarray, bins: int) -> np.ndarray:
     for g in range(arr.shape[0]):
         out[g] = bin_indices(arr[g], bins)
     return out
+
+
+def extend_columns(data: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Append new sample columns to an ``(n, m)`` expression matrix.
+
+    The sample-increment entry point (:meth:`repro.core.incremental.
+    NetworkUpdater.add_samples`) funnels every batch of arriving arrays
+    through here: ``new`` is ``(n, dm)`` (or 1-D, one value per gene for a
+    single new array) and must be finite — rank-transforming NaN/inf would
+    corrupt the copula silently, exactly like the pipeline's up-front
+    check.  Returns a fresh ``(n, m + dm)`` float64 matrix; neither input
+    is modified.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (genes, samples) matrix, got shape {data.shape}")
+    new = np.asarray(new, dtype=np.float64)
+    if new.ndim == 1:
+        new = new[:, None]
+    if new.ndim != 2 or new.shape[0] != data.shape[0]:
+        raise ValueError(
+            f"expected ({data.shape[0]}, dm) new sample columns, got shape {new.shape}"
+        )
+    if new.shape[1] == 0:
+        raise ValueError("no new samples to append")
+    if not np.isfinite(new).all():
+        raise ValueError(
+            "new samples contain NaN/inf; impute first "
+            "(rank-transforming non-finite values would corrupt the "
+            "weight tensor silently)"
+        )
+    return np.concatenate([data, new], axis=1)
+
+
+def rank_drift_bound(m_old: int, m_new: int) -> float:
+    """Max shift of an existing sample's rank position when columns arrive.
+
+    With the copula transform ``(rank - 1) / (m - 1)``, appending
+    ``dm = m_new - m_old`` samples moves an old sample's position by at
+    most ``dm / (m_new - 1)`` (its rank grows by at most ``dm`` while the
+    denominator grows from ``m_old - 1``): the transform is *stable* under
+    sample increments.  The dirty-tile screen's probe calibration
+    (see :mod:`repro.core.incremental`) exploits this — per-pair MI drift
+    shrinks like ``O(dm / m)``, so most tiles provably cannot cross the
+    significance threshold and are skipped.
+    """
+    if m_new <= m_old:
+        raise ValueError(f"m_new ({m_new}) must exceed m_old ({m_old})")
+    if m_old < 2:
+        raise ValueError(f"need at least 2 existing samples, got {m_old}")
+    dm = m_new - m_old
+    # Old position r/(m_old-1) with r in [0, m_old-1] maps to a new position
+    # in [r/(m_new-1), (r+dm)/(m_new-1)]; the extremal shift is attained at
+    # r = m_old - 1 (denominator growth) or by dm insertions below (rank
+    # growth), both bounded by dm / (m_new - 1).
+    return dm / (m_new - 1.0)
 
 
 def preprocess(data: np.ndarray, transform: str = "rank") -> np.ndarray:

@@ -73,6 +73,7 @@ __all__ = [
     "TensorSource",
     "TilePlan",
     "WeightSource",
+    "filter_plan",
     "plan_tiles",
     "result_cache_key",
     "run_tile_plan",
@@ -379,6 +380,36 @@ def plan_tiles(
         base=base,
         tiles=tile_grid(source.n_genes, tile),
         policy=schedule_policy(schedule),
+    )
+
+
+def filter_plan(plan: TilePlan, tiles: list) -> TilePlan:
+    """A sub-plan of ``plan`` executing only ``tiles`` (same grid geometry).
+
+    The selective-recompute primitive: the incremental updater screens the
+    full grid for tiles whose MI could have crossed the significance
+    threshold and replays just those through :func:`run_tile_plan`.  The
+    sub-plan keeps the parent's tile size, base and scheduling policy, so
+    each surviving tile runs through exactly the kernel invocation a full
+    pass would have used — recomputed blocks are bit-identical to a
+    from-scratch run's.  ``tiles`` must come from ``plan.tiles`` (the grid
+    geometry is what guarantees kernel-call identity); an empty selection
+    yields a valid no-op plan.
+    """
+    kept = list(tiles)
+    grid = {(t.i0, t.j0) for t in plan.tiles}
+    for t in kept:
+        if (t.i0, t.j0) not in grid:
+            raise ValueError(
+                f"tile ({t.i0}, {t.j0}) is not on the parent plan's grid "
+                f"(tile size {plan.tile})"
+            )
+    return TilePlan(
+        n_genes=plan.n_genes,
+        tile=plan.tile,
+        base=plan.base,
+        tiles=kept,
+        policy=plan.policy,
     )
 
 

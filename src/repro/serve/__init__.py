@@ -19,9 +19,13 @@ compute can be shared by many users:
 * :mod:`repro.serve.progress` — bridges per-job
   :class:`~repro.obs.tracer.Tracer` spans and the live tile counter into
   the status endpoint's JSON.
+* :mod:`repro.serve.datasets` — streaming datasets: registration,
+  staged sample batches and the seq-numbered network-delta event log
+  behind the subscription endpoints (``POST /datasets``,
+  ``POST /datasets/<id>/samples``, ``GET /datasets/<id>/events``).
 * :mod:`repro.serve.app` — the stdlib ``ThreadingHTTPServer`` application
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/result``) with
-  graceful drain.
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/result``, the
+  dataset routes) with graceful drain.
 
 No dependencies beyond the standard library and what the core already
 uses.  Start one with ``python -m repro serve --state-dir ./serve-state``.
@@ -29,11 +33,15 @@ uses.  Start one with ``python -m repro serve --state-dir ./serve-state``.
 
 from repro.serve.app import ServeApp, make_server
 from repro.serve.cache import CachedResult, ResultCache
+from repro.serve.datasets import DatasetError, DatasetRegistry, DatasetState
 from repro.serve.jobs import Job, JobState, JobStore
 from repro.serve.queue import JobQueue, QueueFull, QuotaExceeded
 
 __all__ = [
     "CachedResult",
+    "DatasetError",
+    "DatasetRegistry",
+    "DatasetState",
     "Job",
     "JobQueue",
     "JobState",

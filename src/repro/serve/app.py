@@ -18,6 +18,13 @@ Routes
 * ``GET /jobs/<id>/result`` — the network (``409`` until the job is
   done; for ``interrupted``/``failed`` the error explains what to do).
 * ``GET /healthz`` — daemon liveness + queue/cache/job gauges.
+* ``POST /datasets`` — register a streaming dataset (genes + data +
+  config); idempotent on identical content, enqueues the initial build.
+* ``POST /datasets/<id>/samples`` — stage new sample columns + enqueue
+  the incremental dirty-tile job (empty ``data`` = resume/retry).
+* ``GET /datasets`` / ``GET /datasets/<id>`` — dataset status.
+* ``GET /datasets/<id>/events?since=N`` — seq-numbered network-delta
+  events (edges added/removed, threshold drift, tile counters).
 
 Graceful drain: :meth:`ServeApp.drain` stops admission (new submissions
 get ``503``), lets the workers finish every admitted job, then returns.
@@ -30,9 +37,16 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs, urlparse
 
 from repro.serve.cache import ResultCache
-from repro.serve.jobs import JobState, JobStore
+from repro.serve.datasets import (
+    DatasetError,
+    DatasetRegistry,
+    validate_dataset_payload,
+    validate_samples_payload,
+)
+from repro.serve.jobs import Job, JobState, JobStore
 from repro.serve.queue import JobQueue, QueueFull, QuotaExceeded
 from repro.serve.runner import ValidationError, execute_job, validate_submission
 
@@ -57,7 +71,8 @@ class ServeApp:
     """
 
     def __init__(self, state_dir: "str | Path", n_workers: int = 2,
-                 max_depth: int = 64, tenant_quota: "int | None" = None):
+                 max_depth: int = 64, tenant_quota: "int | None" = None,
+                 max_datasets: int = 64):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.state_dir = Path(state_dir)
@@ -66,6 +81,8 @@ class ServeApp:
         self.queue = JobQueue(self.store, max_depth=max_depth,
                               tenant_quota=tenant_quota)
         self.cache = ResultCache(self.state_dir / "results")
+        self.datasets = DatasetRegistry(self.state_dir / "datasets",
+                                        max_datasets=max_datasets)
         self._draining = False
         self._workers = [
             threading.Thread(target=self._worker, name=f"serve-worker-{i}",
@@ -83,7 +100,8 @@ class ServeApp:
                 if self.queue.closed:
                     return
                 continue
-            execute_job(job, self.cache, self.state_dir)
+            execute_job(job, self.cache, self.state_dir,
+                        datasets=self.datasets)
 
     # -- operations ------------------------------------------------------
     def submit(self, payload: dict):
@@ -97,6 +115,59 @@ class ServeApp:
         job = validate_submission(payload)
         self.queue.submit(job)
         return job
+
+    def register_dataset(self, payload: dict):
+        """Validate + register a streaming dataset; enqueue its initial
+        build unless an identical registration already produced one.
+
+        Returns ``(state, job_or_None, created)``.  Raises
+        :class:`~repro.serve.datasets.DatasetError` (→ 400) or an
+        admission error (→ 429/503).
+        """
+        if self._draining:
+            raise QueueFull("daemon is draining; not accepting datasets")
+        genes, data, config, engine = validate_dataset_payload(payload)
+        if engine not in ("serial", "thread", "process", "sharedmem",
+                          "elastic"):
+            raise DatasetError(f"unknown engine {engine!r}")
+        state, created = self.datasets.register(genes, data, config, engine)
+        job = None
+        if created or state.updater is None:
+            job = Job(dataset=f"dataset:{state.dataset_id}",
+                      config=dict(state.config),
+                      tenant=payload.get("tenant", "default"),
+                      priority=payload.get("priority", 0),
+                      engine=engine, kind="dataset_init",
+                      dataset_id=state.dataset_id)
+            self.queue.submit(job)
+        return state, job, created
+
+    def append_samples(self, dataset_id: str, payload: dict):
+        """Stage a batch of new sample columns + enqueue the incremental
+        job.  An empty ``data`` stages nothing (the retry/resume form).
+
+        Returns ``(state, job)``.
+        """
+        if self._draining:
+            raise QueueFull("daemon is draining; not accepting samples")
+        state = self.datasets.get(dataset_id)
+        if state is None:
+            raise KeyError(dataset_id)
+        batch = validate_samples_payload(payload, len(state.genes))
+        if batch is None and not state.pending and state.updater is not None:
+            raise DatasetError(
+                "empty batch with nothing pending; post 'data' with at "
+                "least one new sample column")
+        if batch is not None:
+            state.stage(batch)
+        job = Job(dataset=f"dataset:{dataset_id}", config=dict(state.config),
+                  tenant=payload.get("tenant", "default"),
+                  priority=payload.get("priority", 0),
+                  engine=payload.get("engine", state.engine),
+                  interrupt_after_rows=payload.get("interrupt_after_rows"),
+                  kind="dataset_samples", dataset_id=dataset_id)
+        self.queue.submit(job)
+        return state, job
 
     def begin_drain(self) -> None:
         """Stop admission without blocking (signal-handler safe)."""
@@ -135,6 +206,7 @@ class ServeApp:
             },
             "tenants": self.store.active_by_tenant(),
             "jobs": self.store.counts(),
+            "datasets": len(self.datasets),
             "cache": self.cache.stats(),
             "workers": sum(1 for w in self._workers if w.is_alive()),
         }
@@ -179,7 +251,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
-        path = self.path.rstrip("/") or "/"
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
         if path == "/healthz":
             self._json(200, self.app.health())
         elif path == "/jobs":
@@ -195,6 +268,30 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_result(job)
             else:
                 self._error(404, f"unknown path: {self.path}")
+        elif path == "/datasets":
+            self._json(200, {"datasets": [d.status()
+                                          for d in self.app.datasets.list()]})
+        elif path.startswith("/datasets/"):
+            parts = path.split("/")[2:]  # ['<id>'] or ['<id>', 'events']
+            ds = self.app.datasets.get(parts[0])
+            if ds is None:
+                self._error(404, f"no such dataset: {parts[0]}")
+            elif len(parts) == 1:
+                self._json(200, ds.status())
+            elif parts[1] == "events":
+                try:
+                    since = int(parse_qs(parsed.query).get("since", ["0"])[0])
+                except ValueError:
+                    self._error(400, "'since' must be an integer event seq")
+                    return
+                events = ds.events_since(since)
+                self._json(200, {"dataset_id": ds.dataset_id,
+                                 "since": since,
+                                 "latest": (events[-1]["seq"] if events
+                                            else since),
+                                 "events": events})
+            else:
+                self._error(404, f"unknown path: {self.path}")
         else:
             self._error(404, f"unknown path: {self.path}")
 
@@ -208,22 +305,49 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(409, f"job {job.job_id} {job.state}: {job.error}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
-        if self.path.rstrip("/") != "/jobs":
-            self._error(404, f"unknown path: {self.path}")
-            return
+        path = urlparse(self.path).path.rstrip("/")
         try:
-            payload = self._read_body()
-            job = self.app.submit(payload)
-        except ValidationError as exc:
+            if path == "/jobs":
+                payload = self._read_body()
+                job = self.app.submit(payload)
+                self._json(202, {"job_id": job.job_id, "state": job.state,
+                                 "status_url": f"/jobs/{job.job_id}",
+                                 "result_url": f"/jobs/{job.job_id}/result"})
+            elif path == "/datasets":
+                payload = self._read_body()
+                state, job, created = self.app.register_dataset(payload)
+                self._json(202 if job is not None else 200, {
+                    "dataset_id": state.dataset_id,
+                    "created": created,
+                    "version": state.version,
+                    "job_id": job.job_id if job is not None else None,
+                    "status_url": f"/datasets/{state.dataset_id}",
+                    "events_url": f"/datasets/{state.dataset_id}/events",
+                })
+            elif (path.startswith("/datasets/")
+                  and path.endswith("/samples")):
+                dataset_id = path.split("/")[2]
+                payload = self._read_body()
+                try:
+                    state, job = self.app.append_samples(dataset_id, payload)
+                except KeyError:
+                    self._error(404, f"no such dataset: {dataset_id}")
+                    return
+                self._json(202, {
+                    "dataset_id": state.dataset_id,
+                    "job_id": job.job_id,
+                    "pending_batches": state.status()["pending_batches"],
+                    "status_url": f"/jobs/{job.job_id}",
+                    "events_url": f"/datasets/{state.dataset_id}/events",
+                })
+            else:
+                self._error(404, f"unknown path: {self.path}")
+        except (ValidationError, DatasetError) as exc:
             self._error(400, str(exc))
         except QuotaExceeded as exc:
             self._error(429, str(exc))
         except QueueFull as exc:
             self._error(503 if self.app.draining else 429, str(exc))
-        else:
-            self._json(202, {"job_id": job.job_id, "state": job.state,
-                             "status_url": f"/jobs/{job.job_id}",
-                             "result_url": f"/jobs/{job.job_id}/result"})
 
 
 def make_server(app: ServeApp, host: str = "127.0.0.1",

@@ -97,6 +97,20 @@ class ResultCache:
         """Entry committed for ``key``?  (Does not touch hit/miss stats.)"""
         return self._meta(key).exists() and self._npz(key).exists()
 
+    def meta(self, key: str) -> "dict | None":
+        """The metadata sidecar alone, without loading the network npz.
+
+        The dataset status path uses this to surface what is known about
+        a version's cached entry (who produced it, quarantine state)
+        cheaply; does not touch hit/miss stats.
+        """
+        if not self.contains(key):
+            return None
+        try:
+            return json.loads(self._meta(key).read_text())
+        except (OSError, ValueError):
+            return None
+
     def stats(self) -> dict:
         with self._lock:
             return {

@@ -46,7 +46,14 @@ _submit_seq = itertools.count()
 
 @dataclass
 class Job:
-    """One reconstruction job and everything the daemon knows about it."""
+    """One job and everything the daemon knows about it.
+
+    ``kind`` selects the runner path: ``"reconstruct"`` (the classic
+    dataset-path job), ``"dataset_init"`` (first build of a registered
+    streaming dataset) or ``"dataset_samples"`` (incremental fold-in of
+    staged sample batches); the dataset kinds carry ``dataset_id``
+    instead of a filesystem path in ``dataset``.
+    """
 
     dataset: str
     config: dict
@@ -55,6 +62,8 @@ class Job:
     engine: str = "serial"
     workers: "int | None" = None
     interrupt_after_rows: "int | None" = None  # testing hook (simulated kill)
+    kind: str = "reconstruct"
+    dataset_id: "str | None" = None
     job_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
     seq: int = field(default_factory=lambda: next(_submit_seq))
     submitted_at: float = field(default_factory=time.time)
@@ -76,6 +85,8 @@ class Job:
         """JSON-safe status payload for ``GET /jobs/<id>``."""
         payload = {
             "job_id": self.job_id,
+            "kind": self.kind,
+            "dataset_id": self.dataset_id,
             "state": self.state,
             "tenant": self.tenant,
             "priority": self.priority,

@@ -138,12 +138,15 @@ def _result_payload(job: Job, network: GeneNetwork, cached: bool) -> dict:
     }
 
 
-def execute_job(job: Job, cache: ResultCache, state_dir: "str | Path") -> None:
+def execute_job(job: Job, cache: ResultCache, state_dir: "str | Path",
+                datasets=None) -> None:
     """Run one job end to end, mutating it in place.
 
     Never raises: failures land in ``job.state == "failed"`` with the
     error message, interruptions in ``"interrupted"`` with the ledger
-    kept for resumption.
+    kept for resumption.  ``datasets`` is the daemon's
+    :class:`~repro.serve.datasets.DatasetRegistry`, required for the
+    ``dataset_init`` / ``dataset_samples`` job kinds.
     """
     state_dir = Path(state_dir)
     job.state = JobState.RUNNING
@@ -151,7 +154,14 @@ def execute_job(job: Job, cache: ResultCache, state_dir: "str | Path") -> None:
     job.tracer = Tracer(meta={"job_id": job.job_id, "dataset": job.dataset})
     job.progress = ProgressState()
     try:
-        _execute(job, cache, state_dir)
+        if job.kind == "reconstruct":
+            _execute(job, cache, state_dir)
+        elif job.kind in ("dataset_init", "dataset_samples"):
+            if datasets is None:
+                raise ValueError(f"{job.kind} job without a dataset registry")
+            _execute_dataset(job, cache, state_dir, datasets)
+        else:
+            raise ValueError(f"unknown job kind {job.kind!r}")
     except Exception as exc:  # noqa: BLE001 - the daemon must survive any job
         job.state = JobState.FAILED
         job.error = f"{type(exc).__name__}: {exc}"
@@ -259,4 +269,215 @@ def _execute(job: Job, cache: ResultCache, state_dir: Path) -> None:
         # purpose and a whole-genome ledger is not small.
         shutil.rmtree(ck_dir, ignore_errors=True)
     job.result = _result_payload(job, network, cached=False)
+    job.state = JobState.DONE
+
+
+# ---------------------------------------------------------------------------
+# Streaming dataset jobs
+# ---------------------------------------------------------------------------
+
+def _dataset_engine(job, cfg, tracer):
+    """The (possibly None) engine a dataset job runs tiles/null through."""
+    if job.engine == "serial":
+        return None
+    return make_engine(job.engine, n_workers=job.workers, tracer=tracer,
+                       fallback=cfg.on_fault != "raise")
+
+
+def _bootstrap_updater(job, ds, cache, state_dir: Path, engine):
+    """Build (or rebuild, after a daemon restart) the dataset's updater.
+
+    Cache-first: if the committed data's network is already cached, the
+    stored MI matrix is adopted and only the cheap deterministic parts
+    (weights, entropies, null) are rebuilt — zero tiles run.  Otherwise
+    this is a full checkpointed reconstruction, exactly the classic job
+    path.  Returns ``None`` if interrupted mid-build.
+    """
+    from repro.core.incremental import NetworkUpdater
+
+    cfg = TingeConfig(**ds.config)
+    tracer = job.tracer
+    data = ds.data
+    n = data.shape[0]
+
+    job.phase = "preprocess"
+    with tracer.span("preprocess"):
+        transformed = preprocess(data, cfg.transform)
+    job.phase = "weights"
+    with tracer.span("weights"):
+        weights = weight_tensor(transformed, cfg.bins, cfg.order,
+                                np.dtype(cfg.dtype))
+    source = TensorSource(weights)
+    key = result_cache_key(source.fingerprint(), cfg)
+    job.cache_key = key
+
+    hit = cache.get(key)
+    if hit is not None:
+        job.cached = True
+        job.phase = "null"
+        with tracer.span("null"):
+            null = pooled_null(weights, cfg.n_permutations,
+                               min(cfg.n_null_pairs, pair_count(n)),
+                               cfg.seed, cfg.base, engine)
+        updater = NetworkUpdater(weights, hit.network.weights, list(ds.genes),
+                                 null, data=data, config=cfg)
+    else:
+        job.phase = "null"
+        with tracer.span("null"):
+            null = pooled_null(weights, cfg.n_permutations,
+                               min(cfg.n_null_pairs, pair_count(n)),
+                               cfg.seed, cfg.base, engine)
+        job.phase = "mi"
+        plan = plan_tiles(source, tile=cfg.tile, base=cfg.base,
+                          schedule=cfg.schedule, kernel_dtype=cfg.kernel_dtype,
+                          autotune=cfg.autotune,
+                          engine_name=engine_kind(engine))
+        ck_dir = state_dir / "checkpoints" / key
+        sink = CheckpointSink(ck_dir, plan, source.fingerprint(),
+                              interrupt_after_rows=job.interrupt_after_rows)
+        with tracer.span("mi", n_genes=n, n_tiles=plan.n_tiles):
+            mi = run_tile_plan(plan, source, sink, engine=engine,
+                               tracer=tracer, progress=job.progress,
+                               policy=cfg.fault_policy(),
+                               kernel_dtype=cfg.kernel_dtype)
+        job.quarantined = [q.as_dict() for q in sink.quarantined]
+        if mi is None:
+            return None
+        updater = NetworkUpdater(weights, mi, list(ds.genes), null,
+                                 data=data, config=cfg)
+        if not job.quarantined:
+            cache.put(key, updater.network, meta={
+                "fingerprint": source.fingerprint(),
+                "config": dict(ds.config),
+                "dataset_id": ds.dataset_id,
+                "quarantined": [],
+            })
+            shutil.rmtree(ck_dir, ignore_errors=True)
+    ds.updater = updater
+    ds.latest_key = key
+    if ds.version == 0:
+        network = updater.network
+        thr = network.threshold
+        ds.commit(ds.data, 0)  # version 0 -> 1, no data change
+        ds.emit("snapshot", {
+            "job_id": job.job_id,
+            "n_samples": int(ds.data.shape[1]),
+            "n_edges": network.n_edges,
+            "threshold": None if np.isnan(thr) else float(thr),
+            "cached": job.cached,
+        })
+        ds.save()
+    return updater
+
+
+def _dataset_payload(job, ds, event=None) -> dict:
+    network = ds.updater.network
+    thr = network.threshold
+    payload = {
+        "job_id": job.job_id,
+        "dataset_id": ds.dataset_id,
+        "version": ds.version,
+        "cache_key": job.cache_key,
+        "cached": job.cached,
+        "n_genes": network.n_genes,
+        "n_samples": int(ds.data.shape[1]),
+        "n_edges": network.n_edges,
+        "threshold": None if np.isnan(thr) else float(thr),
+        "quarantined": list(job.quarantined),
+    }
+    if event is not None:
+        payload["event"] = event
+    return payload
+
+
+def _execute_dataset(job: Job, cache: ResultCache, state_dir: Path,
+                     datasets) -> None:
+    """Run one ``dataset_init`` / ``dataset_samples`` job."""
+    ds = datasets.get(job.dataset_id)
+    if ds is None:
+        raise ValueError(f"no such dataset: {job.dataset_id}")
+    cfg = TingeConfig(**ds.config)
+    engine = None
+    # One dataset, one job at a time: two sample batches posted
+    # back-to-back serialize here, each folding in whatever is staged
+    # when its turn comes.
+    with ds.exec_lock:
+        try:
+            engine = _dataset_engine(job, cfg, job.tracer)
+            if ds.updater is None:
+                if _bootstrap_updater(job, ds, cache, state_dir, engine) is None:
+                    job.state = JobState.INTERRUPTED
+                    job.error = ("interrupted mid-build; post to "
+                                 f"/datasets/{ds.dataset_id}/samples "
+                                 "to resume from the ledger")
+                    return
+            if job.kind == "dataset_init":
+                job.result = _dataset_payload(job, ds)
+                job.state = JobState.DONE
+                return
+            _execute_dataset_samples(job, ds, cache, state_dir, cfg, engine)
+        finally:
+            if engine is not None and hasattr(engine, "close"):
+                engine.close()
+
+
+def _execute_dataset_samples(job: Job, ds, cache: ResultCache,
+                             state_dir: Path, cfg, engine) -> None:
+    from repro.core.discretize import extend_columns
+
+    new, n_batches = ds.pending_columns()
+    if new is None:
+        # Nothing staged (an extra retry after the batch already
+        # committed): idempotent no-op serving the current state.
+        job.result = _dataset_payload(job, ds)
+        job.state = JobState.DONE
+        return
+
+    # Key the *grown* dataset's cache entry before running anything: if
+    # another daemon (or an earlier life of this one) already computed
+    # this exact version, adopt its matrix with zero tiles.
+    job.phase = "weights"
+    grown = extend_columns(ds.data, new)
+    with job.tracer.span("weights"):
+        weights = weight_tensor(preprocess(grown, cfg.transform),
+                                cfg.bins, cfg.order, np.dtype(cfg.dtype))
+    key = result_cache_key(TensorSource(weights).fingerprint(), cfg)
+    job.cache_key = key
+
+    hit = cache.get(key)
+    if hit is not None:
+        job.phase = "adopt"
+        delta = ds.updater.adopt_samples(new, hit.network.weights,
+                                         tracer=job.tracer)
+        job.cached = True
+    else:
+        job.phase = "mi"
+        ck_dir = state_dir / "checkpoints" / key
+        delta = ds.updater.add_samples(
+            new, engine=engine, tracer=job.tracer, progress=job.progress,
+            checkpoint_dir=ck_dir,
+            interrupt_after_rows=job.interrupt_after_rows)
+        if delta is None:
+            # The staged batch and the replay ledger both survive; the
+            # next (even empty) samples post resumes from the ledger.
+            job.state = JobState.INTERRUPTED
+            job.error = ("interrupted mid-replay; post to "
+                         f"/datasets/{ds.dataset_id}/samples "
+                         "to resume from the ledger")
+            return
+        job.quarantined = list(delta.quarantined)
+        if not delta.quarantined:
+            cache.put(key, ds.updater.network, meta={
+                "config": dict(ds.config),
+                "dataset_id": ds.dataset_id,
+                "quarantined": [],
+            })
+            shutil.rmtree(ck_dir, ignore_errors=True)
+
+    job.phase = "commit"
+    ds.commit(grown, n_batches)
+    ds.latest_key = key
+    event = ds.emit("delta", {"job_id": job.job_id, **delta.as_dict()})
+    ds.save()
+    job.result = _dataset_payload(job, ds, event=event)
     job.state = JobState.DONE

@@ -87,3 +87,77 @@ class TestOutOfCoreEquivalence:
     def test_bit_identical(self, kind, engine, store, ooc_reference, tmp_path):
         out = mi_matrix_outofcore(store, tmp_path / "mi", tile=8, engine=engine)
         assert np.array_equal(np.load(out), ooc_reference), f"{kind} diverged"
+
+
+class TestIncrementalDeltaEquivalence:
+    """The sample-increment dirty-tile replay is engine-independent: the
+    delta path (null rebuild + selective tile replay) must yield the same
+    network as a serial update — bitwise — on every engine, elastic
+    included."""
+
+    @pytest.fixture(scope="class")
+    def streaming(self):
+        from repro.core.incremental import NetworkUpdater
+        from repro.core.pipeline import TingeConfig, reconstruct_network
+
+        rng = np.random.default_rng(42)
+        n, m, dm = 30, 100, 2
+        full = rng.normal(size=(n, m + dm))
+        for k in range(n // 6):
+            full[2 * k + 1] = full[2 * k] + 0.3 * rng.normal(size=m + dm)
+        data, new = full[:, :m], full[:, m:]
+        cfg = TingeConfig(n_permutations=8, n_null_pairs=50, alpha=0.05,
+                          seed=3, tile=8)
+        res_old = reconstruct_network(data, config=cfg)
+
+        def updater():
+            return NetworkUpdater.from_result(res_old, data)
+
+        serial = updater()
+        ref_delta = serial.add_samples(new)
+        assert ref_delta is not None
+        return updater, new, serial.network, ref_delta
+
+    @pytest.mark.parametrize("kind,engine", engines(),
+                             ids=[k for k, _ in engines()])
+    def test_delta_bit_identical(self, kind, engine, streaming):
+        updater, new, ref_net, ref_delta = streaming
+        u = updater()
+        delta = u.add_samples(new, engine=engine)
+        net = u.network
+        assert net.threshold == ref_net.threshold, f"{kind} threshold diverged"
+        assert np.array_equal(net.adjacency, ref_net.adjacency), f"{kind} diverged"
+        assert np.array_equal(net.weights, ref_net.weights), f"{kind} diverged"
+        # Same screen, same replay set, whatever runs the tiles.
+        assert delta.pairs_recomputed == ref_delta.pairs_recomputed
+        assert delta.tiles_dirty == ref_delta.tiles_dirty
+
+    def test_delta_bit_identical_elastic(self, streaming):
+        import threading
+
+        from repro.cluster.elastic import ElasticEngine, worker_main
+
+        updater, new, ref_net, ref_delta = streaming
+        eng = ElasticEngine(n_workers=2, spawn=False, heartbeat=0.5)
+        threads = [
+            threading.Thread(
+                target=worker_main,
+                args=(eng.coordinator.host, eng.coordinator.port),
+                kwargs={"name": f"t{i}"}, daemon=True)
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            eng.coordinator.wait_for_workers(2, timeout=10)
+            u = updater()
+            delta = u.add_samples(new, engine=eng)
+            net = u.network
+            assert net.threshold == ref_net.threshold
+            assert np.array_equal(net.adjacency, ref_net.adjacency)
+            assert np.array_equal(net.weights, ref_net.weights)
+            assert delta.pairs_recomputed == ref_delta.pairs_recomputed
+        finally:
+            eng.close()
+            for t in threads:
+                t.join(timeout=5)

@@ -217,3 +217,81 @@ class TestNetworkUpdaterGrowth:
         with pytest.raises(ValueError, match="NaN"):
             updater.add_gene("bad", bad)
         assert updater.n_genes == 8  # rejected adds leave state untouched
+
+
+class TestRepeatedAddRemove:
+    """Regression: repeated add/remove of the *same* gene name must leave
+    the weight/entropy/MI bookkeeping exactly consistent — in particular
+    removing the last-added gene twice in a row (remove, re-add, remove
+    again), where a stale vacated slot could alias the next add."""
+
+    @pytest.fixture
+    def state(self):
+        rng = np.random.default_rng(91)
+        data = rng.normal(size=(8, 60))
+        w = weight_tensor(rank_transform(data))
+        mi = mi_matrix(w).mi
+        null = pooled_null(w, 10, 20, seed=0)
+        return data, w, mi, [f"g{i}" for i in range(8)], null
+
+    def test_remove_last_added_twice_in_a_row(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(3)
+        u = NetworkUpdater(w, mi, genes, null)
+        samples = rng.normal(size=60)
+        for _ in range(3):  # add -> remove, thrice, same name each time
+            u.add_gene("churn", samples)
+            assert u.n_genes == 9
+            u.remove_gene("churn")
+            assert u.n_genes == 8
+        assert np.array_equal(u.mi, mi)
+        assert u.network.genes == genes
+        # The vacated slot holds no stale weights/entropies: a different
+        # gene added now must see exactly a fresh 8-gene state.
+        other = rng.normal(size=60)
+        u.add_gene("fresh", other)
+        ref = mi_matrix(weight_tensor(rank_transform(
+            np.vstack([data, other])))).mi
+        assert np.allclose(u.mi, ref, atol=1e-12)
+
+    def test_same_name_different_samples_reuses_name_cleanly(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(5)
+        u = NetworkUpdater(w, mi, genes, null)
+        a, b = rng.normal(size=60), rng.normal(size=60)
+        u.add_gene("x", a)
+        u.remove_gene("x")
+        u.add_gene("x", b)  # same name, new data: must use b, not stale a
+        ref = mi_matrix(weight_tensor(rank_transform(np.vstack([data, b])))).mi
+        assert np.allclose(u.mi, ref, atol=1e-12)
+
+    def test_interleaved_churn_matches_scratch(self, state):
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(7)
+        u = NetworkUpdater(w, mi, genes, null)
+        v1, v2 = rng.normal(size=60), rng.normal(size=60)
+        u.add_gene("a", v1)
+        u.add_gene("b", v2)
+        u.remove_gene("b")  # last-added
+        u.remove_gene("a")  # new last slot, removed back-to-back
+        assert u.n_genes == 8
+        assert np.array_equal(u.mi, mi)
+        u.add_gene("a", v2)
+        ref = mi_matrix(weight_tensor(rank_transform(np.vstack([data, v2])))).mi
+        assert np.allclose(u.mi, ref, atol=1e-12)
+
+    def test_entropy_cache_tracks_live_prefix(self, state):
+        """The `_n == len(_genes)` invariant plus a cleared vacated slot:
+        internal caches describe exactly the live genes after churn."""
+        from repro.core.entropy import marginal_entropies
+
+        data, w, mi, genes, null = state
+        rng = np.random.default_rng(11)
+        u = NetworkUpdater(w, mi, genes, null)
+        u.add_gene("t", rng.normal(size=60))
+        u.remove_gene("t")
+        u.remove_gene("g7")
+        assert u._n == len(u._genes) == 7
+        assert np.array_equal(u._h, marginal_entropies(u._weights))
+        assert np.all(u._hbuf[u._n:] == 0.0)
+        assert np.all(u._wbuf[u._n:] == 0.0)

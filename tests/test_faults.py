@@ -472,3 +472,75 @@ class TestDriverPaths:
         assert TingeConfig().fault_policy() is None
         p = TingeConfig(max_retries=2, on_fault="quarantine").fault_policy()
         assert p.max_retries == 2 and p.on_fault == "quarantine"
+
+
+class TestIncrementalChaos:
+    """Chaos on the sample-increment path: injected faults during the
+    dirty-tile replay retry to a network bit-identical to a clean update
+    (and hence to a from-scratch run on the grown dataset)."""
+
+    @pytest.fixture(scope="class")
+    def streaming(self):
+        from repro.core.incremental import NetworkUpdater
+        from repro.core.pipeline import TingeConfig, reconstruct_network
+
+        rng = np.random.default_rng(5)
+        n, m, dm = N_GENES, 40, 2
+        full = rng.normal(size=(n, m + dm))
+        for k in range(4):
+            full[2 * k + 1] = full[2 * k] + 0.35 * rng.normal(size=m + dm)
+        data, new = full[:, :m], full[:, m:]
+        cfg = TingeConfig(n_permutations=8, n_null_pairs=40, alpha=0.05,
+                          seed=3, tile=TILE, max_retries=3, on_fault="retry")
+        res_old = reconstruct_network(data, config=cfg)
+        res_full = reconstruct_network(full, config=cfg)
+
+        def updater():
+            return NetworkUpdater.from_result(res_old, data)
+
+        return updater, new, res_full
+
+    @pytest.mark.parametrize("fault", ["crash", "corrupt"])
+    def test_faulted_replay_recovers_bit_identical(self, streaming, fault):
+        updater, new, res_full = streaming
+        plan = _chaos_plan(fault, fork=False)
+        tracer = Tracer()
+        u = updater()
+        delta = u.add_samples(new, engine=_engine("thread", faults=plan),
+                              tracer=tracer)
+        assert delta is not None
+        assert delta.quarantined == []
+        net = u.network
+        assert net.threshold == res_full.network.threshold
+        assert np.array_equal(net.adjacency, res_full.network.adjacency)
+        counter = ("task_retries" if fault == "crash" else "task_corruptions")
+        assert tracer.counters.get(counter, 0) >= 1
+
+    def test_env_plan_reaches_replay(self, streaming, monkeypatch):
+        """REPRO_FAULTS injects into the update exactly like any other
+        tile run (forked engine workers read the same env)."""
+        updater, new, res_full = streaming
+        plan = FaultPlan(seed=CHAOS_SEED, rate=CHAOS_RATE, kinds=("crash",))
+        monkeypatch.setenv(REPRO_FAULTS_ENV, plan.to_env())
+        u = updater()
+        delta = u.add_samples(new, engine=_engine("thread"))
+        assert delta is not None
+        net = u.network
+        assert net.threshold == res_full.network.threshold
+        assert np.array_equal(net.adjacency, res_full.network.adjacency)
+
+    def test_sticky_fault_quarantines_tile_not_update(self, streaming):
+        from repro.core.pipeline import TingeConfig
+
+        updater, new, res_full = streaming
+        plan = FaultPlan(seed=CHAOS_SEED, rate=CHAOS_RATE, kinds=("crash",),
+                         max_failures=None)  # never recovers
+        u = updater()
+        u._config = TingeConfig(
+            n_permutations=8, n_null_pairs=40, alpha=0.05, seed=3, tile=TILE,
+            max_retries=1, on_fault="quarantine")
+        delta = u.add_samples(new, engine=_engine("thread", faults=plan))
+        # Either the poisoned tiles were among the dirty set (quarantine
+        # recorded) or they were screened clean (nothing to poison);
+        # both are valid — the update itself must survive.
+        assert delta is not None

@@ -315,7 +315,7 @@ class TestAdmissionOverHTTP:
         release = threading.Event()
         started = threading.Event()
 
-        def fake_execute(job, cache, state_dir):
+        def fake_execute(job, cache, state_dir, datasets=None):
             job.state = "running"
             started.set()
             release.wait(timeout=30)
@@ -463,3 +463,249 @@ class TestChaosThroughDaemon:
         assert status2["cached"] is False
         assert status2["quarantined"] == status["quarantined"]
         assert app.cache.stats()["entries"] == 0
+
+
+# -- streaming dataset subscriptions -------------------------------------
+
+# Sized so the dirty-tile screen genuinely skips work (tiny fixtures mark
+# every pair dirty, which would defeat the proper-subset assertions).
+STREAM_N, STREAM_M, STREAM_DM = 60, 200, 2
+STREAM_CONFIG = {"n_permutations": 10, "n_null_pairs": 80, "alpha": 0.01,
+                 "tile": 8, "seed": 3}
+
+
+@pytest.fixture(scope="module")
+def stream_data():
+    """A mostly-null expression block with a few coupled gene pairs, split
+    into the registered matrix and the to-be-streamed columns."""
+    rng = np.random.default_rng(5)
+    full = rng.normal(size=(STREAM_N, STREAM_M + STREAM_DM))
+    for k in range(STREAM_N // 6):
+        full[2 * k + 1] = full[2 * k] + 0.3 * rng.normal(
+            size=STREAM_M + STREAM_DM)
+    genes = [f"g{i:03d}" for i in range(STREAM_N)]
+    return genes, full[:, :STREAM_M], full[:, STREAM_M:]
+
+
+@pytest.fixture(scope="module")
+def stream_reference(stream_data):
+    """Offline ground truth for the registered and the grown dataset."""
+    genes, data, new = stream_data
+    cfg = TingeConfig(**STREAM_CONFIG)
+    base = reconstruct_network(data, genes, cfg).network
+    grown = reconstruct_network(np.hstack([data, new]), genes, cfg).network
+    return base, grown
+
+
+def _ds_payload(genes, data, **overrides):
+    payload = {"genes": list(genes),
+               "data": [[float(v) for v in row] for row in data],
+               "config": dict(STREAM_CONFIG)}
+    payload.update(overrides)
+    return payload
+
+
+def _register(client, genes, data, **overrides):
+    """POST /datasets and wait for the bootstrap job; returns (id, status)."""
+    code, body = client.post("/datasets", _ds_payload(genes, data, **overrides))
+    assert code == 202, body
+    assert body["created"] is True
+    status = client.wait(body["job_id"], deadline=60)
+    assert status["state"] == "done", status["error"]
+    return body["dataset_id"], status
+
+
+class TestDatasetEndpoints:
+    def test_register_snapshot_and_events(self, daemon, stream_data,
+                                          stream_reference):
+        app, client = daemon
+        genes, data, _ = stream_data
+        base, _grown = stream_reference
+        ds_id, status = _register(client, genes, data)
+        assert status["kind"] == "dataset_init"
+        assert status["dataset_id"] == ds_id
+
+        code, ds = client.get(f"/datasets/{ds_id}")
+        assert code == 200
+        assert ds["ready"] is True
+        assert ds["version"] == 1
+        assert ds["n_samples"] == STREAM_M
+        assert ds["pending_batches"] == 0
+
+        # The bootstrap snapshot event carries the offline-identical network.
+        _, feed = client.get(f"/datasets/{ds_id}/events")
+        assert feed["latest"] == 1
+        (event,) = feed["events"]
+        assert event["kind"] == "snapshot"
+        assert event["threshold"] == float(base.threshold)
+        assert event["n_edges"] == base.n_edges
+
+        _, listing = client.get("/datasets")
+        assert [d["dataset_id"] for d in listing["datasets"]] == [ds_id]
+        _, health = client.get("/healthz")
+        assert health["datasets"] == 1
+
+    def test_register_is_idempotent(self, daemon, stream_data):
+        _app, client = daemon
+        genes, data, _ = stream_data
+        ds_id, _ = _register(client, genes, data)
+        # Same genes+data+config hash to the same fingerprint: no new
+        # dataset, no new job — the daemon just points at the live state.
+        code, body = client.post("/datasets", _ds_payload(genes, data))
+        assert code == 200
+        assert body["created"] is False
+        assert body["dataset_id"] == ds_id
+        assert body["job_id"] is None
+
+    def test_samples_increment_bit_identical(self, daemon, stream_data,
+                                             stream_reference):
+        app, client = daemon
+        genes, data, new = stream_data
+        _base, grown = stream_reference
+        ds_id, _ = _register(client, genes, data)
+
+        code, body = client.post(
+            f"/datasets/{ds_id}/samples",
+            {"data": [[float(v) for v in row] for row in new]})
+        assert code == 202
+        assert body["pending_batches"] == 1
+        status = client.wait(body["job_id"], deadline=60)
+        assert status["state"] == "done", status["error"]
+        result_code, result = client.get(f"/jobs/{body['job_id']}/result")
+        assert result_code == 200
+
+        # The served network must be the offline grown-dataset run, bit
+        # for bit — threshold via the API, adjacency via the cache entry.
+        assert result["version"] == 2
+        assert result["n_samples"] == STREAM_M + STREAM_DM
+        assert result["threshold"] == float(grown.threshold)
+        assert result["n_edges"] == grown.n_edges
+        hit = app.cache.get(result["cache_key"])
+        assert hit is not None
+        assert np.array_equal(hit.network.adjacency, grown.adjacency)
+        assert np.array_equal(hit.network.weights[grown.adjacency],
+                              grown.weights[grown.adjacency])
+
+        # The delta event is the subscription's payload: edge churn plus
+        # proof that only a proper subset of pairs was replayed.
+        event = result["event"]
+        assert event["kind"] == "delta"
+        assert 0 < event["pairs_recomputed"] < event["pairs_total"]
+        assert event["n_samples_after"] == STREAM_M + STREAM_DM
+        # Cursor semantics: seq 1 is the snapshot, seq 2 the delta.
+        _, feed = client.get(f"/datasets/{ds_id}/events?since=1")
+        assert [e["seq"] for e in feed["events"]] == [2]
+        assert feed["events"][0]["kind"] == "delta"
+        _, empty = client.get(f"/datasets/{ds_id}/events?since=2")
+        assert empty["events"] == [] and empty["latest"] == 2
+
+    def test_registry_state_survives_on_disk(self, daemon, stream_data):
+        """A fresh registry over the same state dir sees the committed
+        version and the event log (the daemon-restart contract)."""
+        from repro.serve.datasets import DatasetRegistry
+
+        app, client = daemon
+        genes, data, new = stream_data
+        ds_id, _ = _register(client, genes, data)
+        _, body = client.post(
+            f"/datasets/{ds_id}/samples",
+            {"data": [[float(v) for v in row] for row in new]})
+        client.wait(body["job_id"], deadline=60)
+
+        reloaded = DatasetRegistry(app.state_dir / "datasets")
+        ds = reloaded.get(ds_id)
+        assert ds is not None
+        assert ds.version == 2
+        assert ds.data.shape == (STREAM_N, STREAM_M + STREAM_DM)
+        assert [e["kind"] for e in ds.events] == ["snapshot", "delta"]
+        assert ds.updater is None  # rebuilt lazily by the next job
+
+    def test_validation_rejections(self, daemon, stream_data):
+        _app, client = daemon
+        genes, data, _ = stream_data
+        # BH needs every p-value: incompatible with streaming recompute.
+        code, body = client.post("/datasets", _ds_payload(
+            genes, data, config=dict(STREAM_CONFIG, correction="bh")))
+        assert code == 400 and "correction" in body["error"]
+        code, _ = client.post("/datasets/nope/samples", {"data": [[0.0]]})
+        assert code == 404
+        code, body = client.get("/datasets/nope")
+        assert code == 404
+        ds_id, _ = _register(client, genes, data)
+        # An empty post is only meaningful as a resume of staged work.
+        code, body = client.post(f"/datasets/{ds_id}/samples", {})
+        assert code == 400 and "pending" in body["error"]
+        code, _ = client.get(f"/datasets/{ds_id}/events?since=abc")
+        assert code == 400
+
+
+class TestDatasetResume:
+    def test_interrupted_increment_resumes_from_ledger(self, daemon,
+                                                       stream_data,
+                                                       stream_reference):
+        app, client = daemon
+        genes, data, new = stream_data
+        _base, grown = stream_reference
+        ds_id, _ = _register(client, genes, data)
+
+        # Kill the replay after one dirty row: the job parks as
+        # interrupted, the staged batch and the ledger both survive, and
+        # nothing is committed.
+        _, body = client.post(
+            f"/datasets/{ds_id}/samples",
+            {"data": [[float(v) for v in row] for row in new],
+             "interrupt_after_rows": 1})
+        status = client.wait(body["job_id"], deadline=60)
+        assert status["state"] == "interrupted"
+        assert "resume" in status["error"]
+        _, ds = client.get(f"/datasets/{ds_id}")
+        assert ds["version"] == 1
+        assert ds["pending_batches"] == 1
+        assert ds["n_samples"] == STREAM_M
+
+        # An empty follow-up post resumes: the ledger replays only the
+        # still-dirty rows and the commit is bit-identical to offline.
+        code, retry = client.post(f"/datasets/{ds_id}/samples", {})
+        assert code == 202
+        status = client.wait(retry["job_id"], deadline=60)
+        assert status["state"] == "done", status["error"]
+        _, result = client.get(f"/jobs/{retry['job_id']}/result")
+        assert result["version"] == 2
+        assert result["threshold"] == float(grown.threshold)
+        assert result["n_edges"] == grown.n_edges
+        hit = app.cache.get(result["cache_key"])
+        assert np.array_equal(hit.network.adjacency, grown.adjacency)
+        _, ds = client.get(f"/datasets/{ds_id}")
+        assert ds["pending_batches"] == 0 and ds["version"] == 2
+
+
+class TestDatasetChaos:
+    def test_faulted_increment_retries_to_identical_result(self, daemon,
+                                                           stream_data,
+                                                           stream_reference,
+                                                           monkeypatch):
+        """REPRO_FAULTS through the daemon's dataset path: injected
+        crashes in the dirty-tile replay are retried by the dataset's
+        fault policy and the committed delta is bitwise unaffected."""
+        app, client = daemon
+        genes, data, new = stream_data
+        _base, grown = stream_reference
+        ds_id, _ = _register(
+            client, genes, data,
+            config=dict(STREAM_CONFIG, max_retries=3, on_fault="retry"),
+            engine="thread")
+
+        monkeypatch.setenv(REPRO_FAULTS_ENV,
+                           FaultPlan(seed=3, rate=0.5, kinds=("crash",)).to_env())
+        _, body = client.post(
+            f"/datasets/{ds_id}/samples",
+            {"data": [[float(v) for v in row] for row in new]})
+        status = client.wait(body["job_id"], deadline=60)
+        assert status["state"] == "done", status["error"]
+        assert status["counters"].get("task_retries", 0) > 0
+        assert status["quarantined"] == []
+        _, result = client.get(f"/jobs/{body['job_id']}/result")
+        assert result["threshold"] == float(grown.threshold)
+        assert result["n_edges"] == grown.n_edges
+        hit = app.cache.get(result["cache_key"])
+        assert np.array_equal(hit.network.adjacency, grown.adjacency)
