@@ -67,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(bit-identical to previous releases), float32 "
                           "runs the mixed-precision kernel (float32 GEMM, "
                           "float64 entropy accumulation, MI error ~1e-6)")
+    rec.add_argument("--kernel", choices=["legacy", "fused", "sparse", "auto"],
+                     default="fused",
+                     help="MI tile kernel variant: fused (default, GEMM "
+                          "workspace kernel), legacy (plain mi_tile), "
+                          "sparse (compiled packed-weight kernel exploiting "
+                          "B-spline sparsity; float64 within ~1 ulp of "
+                          "mi_tile), or auto (measure all variants on a "
+                          "slab sample and cache the per-host winner). "
+                          "Composes with --kernel-dtype")
     rec.add_argument("--autotune", action="store_true",
                      help="measure candidate MI tile sizes on a slab sample "
                           "and use the empirically fastest; the winner is "
@@ -252,7 +261,7 @@ def _cmd_reconstruct(args) -> int:
             testing=args.testing, schedule=args.schedule,
             max_retries=args.max_retries, task_timeout=args.task_timeout,
             on_fault=args.on_fault, kernel_dtype=args.kernel_dtype,
-            autotune=args.autotune,
+            autotune=args.autotune, kernel=args.kernel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

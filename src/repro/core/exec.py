@@ -40,7 +40,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.entropy import marginal_entropies
-from repro.core.mi import TileWorkspace, mi_tile_into, prepare_operands
+from repro.core.mi import (
+    KERNEL_NAMES,
+    TileWorkspace,
+    _resolve_kernel_dtype,
+    mi_tile,
+    mi_tile_into,
+    mi_tile_sparse,
+    mi_tile_sparse_packed,
+    prepare_operands,
+)
+from repro.core.sparsekernel import PACK_LANES, prepare_packed
 from repro.core.tiling import (
     Tile,
     autotune_tile_size,
@@ -70,11 +80,13 @@ __all__ = [
     "DenseSink",
     "MatrixSink",
     "MmapSource",
+    "PackedWeightSource",
     "TensorSource",
     "TilePlan",
     "WeightSource",
     "filter_plan",
     "plan_tiles",
+    "resolve_kernel",
     "result_cache_key",
     "run_tile_plan",
     "schedule_policy",
@@ -275,6 +287,114 @@ class MmapSource(WeightSource):
             handle.close()
 
 
+class PackedWeightSource(WeightSource):
+    """Weight source carrying only the sparse packed layout.
+
+    Each sample has at most ``span`` (the spline order ``k``) non-zero
+    weights, so the packed ``(values, first)`` form is
+    ``(span * itemsize + 4) / (b * itemsize)`` the size of the dense
+    tensor — 28/80 at the paper's ``b=10, k=3`` float64 config.  The MI
+    driver wraps a :class:`TensorSource` in this class for serializing
+    engines (elastic) when the sparse kernel is selected, so remote task
+    closures ship the small layout (metered by the transport's
+    ``comm.bytes_sent`` counters) and workers scatter from it directly;
+    no worker ever reconstructs the dense tensor on the kernel path.
+
+    Marginal entropies and the dense tensor's fingerprint are computed at
+    wrap time and carried along, so cache keys and thresholds are
+    identical to the dense run's.  :meth:`slab` reconstructs dense rows on
+    demand — only non-sparse fallback paths (e.g. a quarantine retry
+    through the fused kernel) pay that cost.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        first: np.ndarray,
+        span: int,
+        bins: int,
+        entropies: "dict | None" = None,
+        fingerprint: "str | None" = None,
+    ):
+        super().__init__()
+        values = np.asarray(values)
+        first = np.asarray(first, dtype=np.int32)
+        if values.ndim != 3 or first.shape != values.shape[:2]:
+            raise ValueError(
+                f"inconsistent packed source: values {values.shape}, first {first.shape}")
+        if not 1 <= span <= values.shape[2] <= PACK_LANES:
+            raise ValueError(f"span {span} / lane count {values.shape[2]} out of range")
+        self.n_genes, self.m_samples = values.shape[:2]
+        self.bins = int(bins)
+        self.span = int(span)
+        self.dtype = values.dtype
+        # Transport form: tight lanes only.  The padded kernel form is
+        # materialized lazily per process (and dropped from pickles).
+        self._values = np.ascontiguousarray(values[:, :, : self.span])
+        self._first = np.ascontiguousarray(first)
+        self._padded: "np.ndarray | None" = None
+        if entropies:
+            self._entropies.update(entropies)
+        self._fingerprint = fingerprint
+
+    @classmethod
+    def from_source(cls, source: WeightSource, base: str = "nat", dtype=None):
+        """Pack a dense source, carrying its entropies and fingerprint."""
+        weights = getattr(source, "weights", None)
+        if weights is None:
+            weights = source.slab(0, source.n_genes)
+        dt, _ = _resolve_kernel_dtype(dtype, weights.dtype)
+        values, first, span = prepare_packed(weights, dt)
+        return cls(values, first, span, source.bins,
+                   entropies={base: source.entropies(base)},
+                   fingerprint=source.fingerprint())
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_padded"] = None  # rebuilt per worker; never shipped
+        return state
+
+    def packed(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """The padded kernel operands ``(values, first, span)``."""
+        if self._padded is None:
+            if self._values.shape[2] == PACK_LANES:
+                self._padded = self._values
+            else:
+                padded = np.zeros(
+                    (self.n_genes, self.m_samples, PACK_LANES), dtype=self.dtype)
+                padded[:, :, : self.span] = self._values
+                self._padded = padded
+        return self._padded, self._first, self.span
+
+    def slab(self, a: int, b: int) -> np.ndarray:
+        """Dense reconstruction of rows ``[a, b)`` (fallback paths only)."""
+        rows = b - a
+        w = np.zeros((rows, self.m_samples, self.bins), dtype=self.dtype)
+        cols = (self._first[a:b, :, None]
+                + np.arange(self.span, dtype=np.int32)[None, None, :])
+        np.put_along_axis(w, cols.astype(np.intp), self._values[a:b], axis=2)
+        return w
+
+    def _compute_entropies(self, base: str) -> np.ndarray:
+        h = np.empty(self.n_genes, dtype=np.float64)
+        step = 256
+        for s in range(0, self.n_genes, step):
+            e = min(s + step, self.n_genes)
+            h[s:e] = marginal_entropies(self.slab(s, e), base=base)
+        return h
+
+    def _compute_fingerprint(self) -> str:
+        # Normally carried from the dense source at wrap time; a source
+        # built directly from packed arrays hashes the packed layout
+        # (tagged so it can never collide with a dense fingerprint).
+        h = hashlib.sha256(b"packed\x00")
+        h.update(str((self.n_genes, self.m_samples, self.bins, self.span)).encode())
+        h.update(str(self.dtype).encode())
+        h.update(self._values.tobytes())
+        h.update(self._first.tobytes())
+        return h.hexdigest()[:32]
+
+
 # ---------------------------------------------------------------------------
 # Tile plans
 # ---------------------------------------------------------------------------
@@ -347,30 +467,35 @@ def plan_tiles(
     kernel_dtype=None,
     autotune: bool = False,
     engine_name: str = "serial",
+    kernel=None,
 ) -> TilePlan:
     """Build the :class:`TilePlan` for ``source``.
 
     When ``tile`` is ``None`` it is chosen in this order: ``autotune=True``
     measures candidate sizes on a real slab sample
     (:func:`repro.core.tiling.autotune_tile_size`, persisted per
-    ``(m, b, dtype, engine, host)``); an explicit ``kernel_dtype`` selects
-    the fused kernel's calibrated cache model
-    (:func:`repro.core.tiling.fused_tile_size`); otherwise the legacy
-    :func:`repro.core.tiling.default_tile_size` applies, keeping default
-    runs tile-for-tile identical to previous releases.  ``schedule`` is a
-    name from :data:`SCHEDULE_NAMES`, a policy instance, or ``None``
-    (grid order).
+    ``(m, b, dtype, engine, kernel, host)``); an explicit ``kernel_dtype``
+    or the sparse kernel selects the fused cache model
+    (:func:`repro.core.tiling.fused_tile_size` — the sparse count buffer
+    has the same footprint shape as the fused joint buffer); otherwise the
+    legacy :func:`repro.core.tiling.default_tile_size` applies, keeping
+    default runs tile-for-tile identical to previous releases.
+    ``schedule`` is a name from :data:`SCHEDULE_NAMES`, a policy instance,
+    or ``None`` (grid order).  ``kernel`` is a variant name from
+    :data:`repro.core.mi.KERNEL_NAMES` (``"auto"`` must be resolved by
+    :func:`resolve_kernel` before planning).
     """
     if tile is None:
         if autotune:
             sample = source.slab(0, min(source.n_genes, 256))
             tile = autotune_tile_size(
                 np.ascontiguousarray(sample), dtype=kernel_dtype,
-                engine=engine_name, base=base)
-        elif kernel_dtype is not None:
+                engine=engine_name, base=base, kernel=kernel or "fused")
+        elif kernel == "sparse" or kernel_dtype is not None:
+            itemsize = (np.dtype(kernel_dtype).itemsize
+                        if kernel_dtype is not None else source.itemsize)
             tile = fused_tile_size(
-                source.m_samples, source.bins,
-                itemsize=np.dtype(kernel_dtype).itemsize)
+                source.m_samples, source.bins, itemsize=itemsize)
         else:
             tile = default_tile_size(
                 source.m_samples, source.bins, itemsize=source.itemsize)
@@ -381,6 +506,33 @@ def plan_tiles(
         tiles=tile_grid(source.n_genes, tile),
         policy=schedule_policy(schedule),
     )
+
+
+def resolve_kernel(
+    source: WeightSource,
+    kernel,
+    kernel_dtype=None,
+    engine_name: str = "serial",
+    base: str = "nat",
+) -> "tuple[str | None, int | None]":
+    """Resolve the kernel-variant knob to ``(variant, tile_override)``.
+
+    Explicit variants pass through with no tile override.  ``"auto"`` runs
+    the cross-variant autotuner
+    (:func:`repro.core.tiling.autotune_kernel`) on a real slab sample,
+    returning the per-host winning ``(variant, tile)`` — persisted in the
+    sidecar so later runs skip the measurement.
+    """
+    if kernel in (None, "legacy", "fused", "sparse"):
+        return kernel, None
+    if kernel != "auto":
+        raise ValueError(
+            f"kernel must be one of {sorted(KERNEL_NAMES)} or None, got {kernel!r}")
+    from repro.core.tiling import autotune_kernel
+
+    sample = np.ascontiguousarray(source.slab(0, min(source.n_genes, 256)))
+    return autotune_kernel(sample, dtype=kernel_dtype, engine=engine_name,
+                           base=base)
 
 
 def filter_plan(plan: TilePlan, tiles: list) -> TilePlan:
@@ -550,31 +702,60 @@ def worker_workspace() -> TileWorkspace:
 
 
 def default_kernel(
-    source: WeightSource, h: np.ndarray, t: Tile, base: str, kernel_dtype=None
+    source: WeightSource, h: np.ndarray, t: Tile, base: str, kernel_dtype=None,
+    kernel=None,
 ) -> np.ndarray:
     """One tile's MI block from the source's slabs (diagonal masked).
 
-    Runs the fused workspace kernel (:func:`repro.core.mi.mi_tile_into`)
-    with this worker's reused buffers; bit-identical to the legacy
-    ``mi_tile`` path unless ``kernel_dtype`` selects mixed precision.
+    ``kernel`` selects the variant: ``None``/``"fused"`` runs the fused
+    workspace kernel (:func:`repro.core.mi.mi_tile_into`; bit-identical to
+    the legacy path unless ``kernel_dtype`` selects mixed precision),
+    ``"legacy"`` the allocating :func:`repro.core.mi.mi_tile`, and
+    ``"sparse"`` the packed scatter kernel — straight from the source's
+    packed operands when it carries them (:class:`PackedWeightSource`),
+    otherwise packing the dense slabs per tile.
     """
-    block = mi_tile_into(
-        source.slab(t.i0, t.i1),
-        source.slab(t.j0, t.j1),
-        h_i=h[t.i0 : t.i1],
-        h_j=h[t.j0 : t.j1],
-        base=base,
-        workspace=worker_workspace(),
-        dtype=kernel_dtype,
-    )
+    if kernel == "sparse":
+        packed = getattr(source, "packed", None)
+        if callable(packed):
+            values, first, span = packed()
+            block = mi_tile_sparse_packed(
+                values[t.i0 : t.i1], first[t.i0 : t.i1],
+                values[t.j0 : t.j1], first[t.j0 : t.j1],
+                span, source.bins, source.m_samples,
+                h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base,
+                workspace=worker_workspace(), dtype=kernel_dtype,
+            )
+        else:
+            block = mi_tile_sparse(
+                source.slab(t.i0, t.i1), source.slab(t.j0, t.j1),
+                h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base,
+                workspace=worker_workspace(), dtype=kernel_dtype,
+            )
+    elif kernel == "legacy":
+        block = mi_tile(
+            source.slab(t.i0, t.i1), source.slab(t.j0, t.j1),
+            h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base,
+        )
+    else:
+        block = mi_tile_into(
+            source.slab(t.i0, t.i1),
+            source.slab(t.j0, t.j1),
+            h_i=h[t.i0 : t.i1],
+            h_j=h[t.j0 : t.j1],
+            base=base,
+            workspace=worker_workspace(),
+            dtype=kernel_dtype,
+        )
     if t.is_diagonal:
         block[~t.pair_mask()] = 0.0
     return block
 
 
-def _default_kernel_task(source, h, base, kernel_dtype, t: Tile) -> np.ndarray:
+def _default_kernel_task(source, h, base, kernel_dtype, kernel, t: Tile) -> np.ndarray:
     """Picklable form of the default tile task (see :func:`run_tile_plan`)."""
-    return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
+    return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype,
+                          kernel=kernel)
 
 
 def _custom_kernel_task(kernel, source, h, base, t: Tile) -> np.ndarray:
@@ -593,6 +774,7 @@ def run_tile_plan(
     kernel=None,
     policy: "FaultPolicy | None" = None,
     kernel_dtype=None,
+    kernel_variant=None,
 ):
     """Execute ``plan``: every tile through ``kernel`` into ``sink``.
 
@@ -623,12 +805,20 @@ def run_tile_plan(
     h = source.entropies(plan.base)
     base = plan.base
 
-    # Warm the hoisted-operand cache in the parent: thread workers share
-    # the one repacking, fork workers inherit it copy-on-write.
+    # Warm the per-variant operand caches in the parent: thread workers
+    # share the one repacking, fork workers inherit it copy-on-write.
     weights = getattr(source, "weights", None)
     if weights is not None and weights.ndim == 3 and weights.shape[0] >= 2:
         dt = np.dtype(kernel_dtype) if kernel_dtype is not None else None
-        prepare_operands(weights, dt)
+        if kernel_variant == "sparse":
+            prepare_packed(weights, _resolve_kernel_dtype(kernel_dtype,
+                                                          weights.dtype)[0])
+        elif kernel_variant != "legacy":
+            prepare_operands(weights, dt)
+    elif kernel_variant == "sparse":
+        packed = getattr(source, "packed", None)
+        if callable(packed):
+            packed()  # materialize the padded lanes pre-fork (COW)
 
     if kernel is None:
         # functools.partial of a module-level function, not a closure, so
@@ -636,7 +826,7 @@ def run_tile_plan(
         # tensor included, broadcast once per worker) to remote processes.
         # Behavior is identical for every in-process engine.
         run = functools.partial(_default_kernel_task, source, h, base,
-                                kernel_dtype)
+                                kernel_dtype, kernel_variant)
     else:
         run = functools.partial(_custom_kernel_task, kernel, source, h, base)
 

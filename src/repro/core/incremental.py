@@ -55,7 +55,14 @@ import numpy as np
 from repro.core.bspline import BsplineBasis, weight_tensor
 from repro.core.discretize import extend_columns, preprocess, rank_transform
 from repro.core.entropy import marginal_entropies
-from repro.core.exec import DenseSink, TensorSource, filter_plan, plan_tiles, run_tile_plan
+from repro.core.exec import (
+    DenseSink,
+    TensorSource,
+    filter_plan,
+    plan_tiles,
+    resolve_kernel,
+    run_tile_plan,
+)
 from repro.core.mi_matrix import compute_tile, mi_pairs, mi_row
 from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution, pooled_null
@@ -129,10 +136,12 @@ class UpdateDelta:
         }
 
 
-def _delta_kernel(source, h: np.ndarray, t, base: str, kernel_dtype=None) -> np.ndarray:
+def _delta_kernel(source, h: np.ndarray, t, base: str, kernel_dtype=None,
+                  kernel=None) -> np.ndarray:
     """Dirty-tile kernel: the same patchable :func:`compute_tile` the full
     drivers run, so recomputed blocks are bit-identical to a full pass."""
-    return compute_tile(source.weights, h, t, base, kernel_dtype=kernel_dtype)
+    return compute_tile(source.weights, h, t, base, kernel_dtype=kernel_dtype,
+                        kernel=kernel)
 
 
 class NetworkUpdater:
@@ -508,9 +517,13 @@ class NetworkUpdater:
         dirty = (upper > thr_new) | adj_old
         np.fill_diagonal(dirty, False)
 
+        kernel_variant, _tile_override = resolve_kernel(
+            source, cfg.kernel, kernel_dtype=cfg.kernel_dtype,
+            engine_name=engine_kind(engine), base=cfg.base)
         plan = plan_tiles(source, tile=cfg.tile, base=cfg.base,
                           schedule=cfg.schedule, kernel_dtype=cfg.kernel_dtype,
-                          autotune=cfg.autotune, engine_name=engine_kind(engine))
+                          autotune=cfg.autotune, engine_name=engine_kind(engine),
+                          kernel=kernel_variant)
         dirty_tiles = [t for t in plan.tiles
                        if dirty[t.i0 : t.i1, t.j0 : t.j1].any()]
         dirty_upper = np.triu(dirty, k=1)
@@ -534,7 +547,8 @@ class NetworkUpdater:
         tracer.add("tiles_dirty", len(dirty_tiles))
         tracer.add("tiles_skipped", plan.n_tiles - len(dirty_tiles))
 
-        kernel = functools.partial(_delta_kernel, kernel_dtype=cfg.kernel_dtype)
+        kernel = functools.partial(_delta_kernel, kernel_dtype=cfg.kernel_dtype,
+                                   kernel=kernel_variant)
         if checkpoint_dir is None:
             staged = np.array(self._mi)
             sink = DenseSink(n, out=staged)
@@ -548,7 +562,8 @@ class NetworkUpdater:
         mi_new = run_tile_plan(sub, source, sink, engine=engine, tracer=tracer,
                                progress=progress, kernel=kernel,
                                policy=cfg.fault_policy(),
-                               kernel_dtype=cfg.kernel_dtype)
+                               kernel_dtype=cfg.kernel_dtype,
+                               kernel_variant=kernel_variant)
         quarantined = [q.as_dict() for q in sink.quarantined]
         if mi_new is None:
             # Interrupted mid-replay: the ledger survives, the updater's

@@ -57,6 +57,10 @@ __all__ = [
     "mi_tile",
     "mi_tile_into",
     "mi_tile_block",
+    "mi_tile_sparse",
+    "mi_tile_sparse_block",
+    "mi_tile_sparse_packed",
+    "KERNEL_NAMES",
     "TileWorkspace",
     "prepare_operands",
     "batched_pair_mi",
@@ -372,9 +376,26 @@ def _fused_block(
             np.divide(joint, m, out=joint)
         xlogy(joint, joint, out=joint)
         np.sum(joint, axis=(-2, -1), out=hj)
-    # hj now holds -H_xy * divisor; finish as h_i + h_j + hj/divisor, which
-    # is bitwise equal to h_i + h_j - H_xy (IEEE: a - (-s) == a + s, and
-    # (-s)/d == -(s/d)).
+    return _finish_block(hj, h_i, h_j, ti, tj, base, out)
+
+
+def _finish_block(
+    hj: np.ndarray,
+    h_i: np.ndarray,
+    h_j: np.ndarray,
+    ti: int,
+    tj: int,
+    base: str,
+    out: np.ndarray | None,
+) -> np.ndarray:
+    """Shared MI finish: ``max(h_i + h_j - H_xy, 0)`` from a raw xlogy sum.
+
+    ``hj`` holds ``-H_xy * divisor``; finishing as ``h_i + h_j +
+    hj/divisor`` is bitwise equal to ``h_i + h_j - H_xy`` (IEEE:
+    ``a - (-s) == a + s``, and ``(-s)/d == -(s/d)``).  Used by both the
+    fused GEMM kernel and the sparse scatter kernel so the two tails
+    cannot drift apart.
+    """
     divisor = _base_divisor(base)
     if divisor != 1.0:
         np.divide(hj, divisor, out=hj)
@@ -505,6 +526,212 @@ def mi_tile_block(
         row_ops[i0:i1].reshape(ti * b, m), col_ops[:, j0 * b:j1 * b],
         ti, tj, b, m, h_i, h_j, base, ws, out, mixed,
     )
+
+
+# ---------------------------------------------------------------------------
+# Sparse scatter kernel
+# ---------------------------------------------------------------------------
+#
+# Third tier of the kernel ladder (--kernel sparse): instead of the dense
+# b x b GEMM, accumulate only the <= k*k cells each sample actually touches,
+# through the packed (values, first) layout and the compiled backends of
+# repro.core.sparsekernel (numba > cc > numpy, bitwise identical in float64
+# — see that module's bit-consistency contract).  The entropy reduction runs
+# over the padded (b, b + PACK_LANES - 1) count buffer; pad cells are exact
+# +0.0 so xlogy contributes exact zeros and only the summation *tree* over
+# the extra cells differs from the fused kernel's.  Consequence: sparse
+# float64 MI is deterministic and bitwise identical across engines and
+# backends, but ~1 ulp from mi_tile (whose BLAS GEMM uses FMA contraction
+# the no-FMA sparse contract cannot reproduce).
+
+# Kernel-variant names accepted by config/CLI ("auto" lets the autotuner
+# pick the per-host winner across variants x tile sizes).
+KERNEL_NAMES = ("legacy", "fused", "sparse", "auto")
+
+
+def _sparse_block(
+    vi: np.ndarray,
+    fi: np.ndarray,
+    vj: np.ndarray,
+    fj: np.ndarray,
+    span: int,
+    b: int,
+    m: int,
+    h_i: np.ndarray,
+    h_j: np.ndarray,
+    base: str,
+    ws: TileWorkspace,
+    out: np.ndarray | None,
+    mixed: bool,
+) -> np.ndarray:
+    """MI block from packed operands via the sparse scatter backends."""
+    from repro.core.sparsekernel import accumulate_tile, joint_pad
+
+    ti, tj = vi.shape[0], vj.shape[0]
+    bp = joint_pad(b)
+    counts = ws.array("sparse_counts", (ti, tj, b, bp), vi.dtype)
+    accumulate_tile(vi, fi, vj, fj, span, b, counts)
+    hj = ws.array("hj", (ti, tj))
+    if counts.dtype == np.float64:
+        np.divide(counts, m, out=counts)
+        xlogy(counts, counts, out=counts)
+        np.sum(counts, axis=(-2, -1), out=hj)
+    elif mixed:
+        # Mirror the fused mixed-precision contract: float32 xlogy terms,
+        # float64 accumulation of the entropy sum.
+        np.divide(counts, counts.dtype.type(m), out=counts)
+        xlogy(counts, counts, out=counts)
+        np.sum(counts, axis=(-2, -1), dtype=np.float64, out=hj)
+    else:
+        # float32 tensor without the mixed knob: upcast before dividing,
+        # matching the fused kernel's exact-style float32 path.
+        joint = ws.array("sparse_joint", (ti, tj, b, bp))
+        np.copyto(joint, counts)
+        np.divide(joint, m, out=joint)
+        xlogy(joint, joint, out=joint)
+        np.sum(joint, axis=(-2, -1), out=hj)
+    return _finish_block(hj, h_i, h_j, ti, tj, base, out)
+
+
+def mi_tile_sparse(
+    wi: np.ndarray,
+    wj: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    h_i: np.ndarray | None = None,
+    h_j: np.ndarray | None = None,
+    base: str = "nat",
+    workspace: TileWorkspace | None = None,
+    dtype=None,
+) -> np.ndarray:
+    """Sparse-scatter MI of every pair in a tile, from dense weight slabs.
+
+    Packs both slabs into the ``(values, first)`` layout per call (callers
+    holding a resident tensor should use :func:`mi_tile_sparse_block`,
+    which packs once per process) and drives the compiled scatter
+    backends.  Float64 results are bitwise identical across backends and
+    engines, and agree with :func:`mi_tile` to ~1 ulp (the dense GEMM's
+    FMA contraction is the only difference; see the module comment).
+    ``dtype="float32"`` accumulates counts in float32 with a float64
+    entropy sum (~1e-6, same contract as the fused kernel).
+    """
+    from repro.core.sparsekernel import pack_slab
+
+    wi = np.asarray(wi)
+    wj = np.asarray(wj)
+    if wi.ndim != 3 or wj.ndim != 3 or wi.shape[1] != wj.shape[1] or wi.shape[2] != wj.shape[2]:
+        raise ValueError(
+            f"expected (T, m, b) slabs sharing m and b, got {wi.shape} and {wj.shape}"
+        )
+    ti, m, b = wi.shape
+    tj = wj.shape[0]
+    if m == 0:
+        raise ValueError("no samples")
+    if h_i is None:
+        h_i = marginal_entropies(wi, base=base)
+    if h_j is None:
+        h_j = marginal_entropies(wj, base=base)
+    h_i = np.asarray(h_i, dtype=np.float64)
+    h_j = np.asarray(h_j, dtype=np.float64)
+    if h_i.shape != (ti,) or h_j.shape != (tj,):
+        raise ValueError("marginal entropy vectors do not match slab sizes")
+    dt, mixed = _resolve_kernel_dtype(dtype, wi.dtype)
+    vi, fi, span_i = pack_slab(wi, dt)
+    vj, fj, span_j = pack_slab(wj, dt)
+    ws = workspace if workspace is not None else TileWorkspace()
+    # Row lanes iterate the wider of the two spans; extra zero lanes add
+    # exact +0.0, so mixed-span tiles stay bitwise stable (see pack_slab).
+    return _sparse_block(vi, fi, vj, fj, max(span_i, span_j), b, m,
+                         h_i, h_j, base, ws, out, mixed)
+
+
+def mi_tile_sparse_block(
+    weights: np.ndarray,
+    i0: int,
+    i1: int,
+    j0: int,
+    j1: int,
+    *,
+    h_i: np.ndarray | None = None,
+    h_j: np.ndarray | None = None,
+    base: str = "nat",
+    workspace: TileWorkspace | None = None,
+    dtype=None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sparse-scatter MI block of ``weights[i0:i1] x weights[j0:j1]``.
+
+    The all-pairs driver hot path for ``--kernel sparse``: the packed
+    operands are process-cached views
+    (:func:`repro.core.sparsekernel.prepare_packed`, warmed pre-fork for
+    copy-on-write sharing), so the per-tile cost is one scatter pass over
+    ``m * span * PACK_LANES`` cells per pair plus the fused entropy
+    reduction.  Same precision contract as :func:`mi_tile_sparse`.
+    """
+    from repro.core.sparsekernel import prepare_packed
+
+    weights = np.asarray(weights)
+    if weights.ndim != 3:
+        raise ValueError(f"expected an (n, m, b) weight tensor, got shape {weights.shape}")
+    n, m, b = weights.shape
+    if m == 0:
+        raise ValueError("no samples")
+    dt, mixed = _resolve_kernel_dtype(dtype, weights.dtype)
+    ti, tj = i1 - i0, j1 - j0
+    if h_i is None:
+        h_i = marginal_entropies(weights[i0:i1], base=base)
+    if h_j is None:
+        h_j = marginal_entropies(weights[j0:j1], base=base)
+    h_i = np.asarray(h_i, dtype=np.float64)
+    h_j = np.asarray(h_j, dtype=np.float64)
+    values, first, span = prepare_packed(weights, dt)
+    ws = workspace if workspace is not None else TileWorkspace()
+    return _sparse_block(values[i0:i1], first[i0:i1], values[j0:j1], first[j0:j1],
+                         span, b, m, h_i, h_j, base, ws, out, mixed)
+
+
+def mi_tile_sparse_packed(
+    vi: np.ndarray,
+    fi: np.ndarray,
+    vj: np.ndarray,
+    fj: np.ndarray,
+    span: int,
+    bins: int,
+    m: int,
+    *,
+    h_i: np.ndarray,
+    h_j: np.ndarray,
+    base: str = "nat",
+    workspace: TileWorkspace | None = None,
+    dtype=None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """MI block directly from padded packed operands.
+
+    The :class:`repro.core.exec.PackedWeightSource` route: remote/elastic
+    workers receive the ~``span/b``-sized packed slabs instead of dense
+    ones and feed them straight to the scatter backends — no dense
+    reconstruction.  The operand dtype must already match what ``dtype``
+    resolves to (the source packs at wrap time).
+    """
+    from repro.core.sparsekernel import PACK_LANES
+
+    vi = np.asarray(vi)
+    vj = np.asarray(vj)
+    if vi.ndim != 3 or vi.shape[2] != PACK_LANES or vj.ndim != 3 or vj.shape[2] != PACK_LANES:
+        raise ValueError("expected (T, m, PACK_LANES) padded packed values")
+    if m <= 0:
+        raise ValueError("no samples")
+    h_i = np.asarray(h_i, dtype=np.float64)
+    h_j = np.asarray(h_j, dtype=np.float64)
+    dt, mixed = _resolve_kernel_dtype(dtype, vi.dtype)
+    if dt != vi.dtype:
+        raise ValueError(
+            f"packed operands are {vi.dtype}, kernel dtype resolves to {dt}; "
+            "pack the source at the kernel dtype")
+    ws = workspace if workspace is not None else TileWorkspace()
+    return _sparse_block(vi, fi, vj, fj, span, bins, m,
+                         h_i, h_j, base, ws, out, mixed)
 
 
 def batched_pair_mi(joint: np.ndarray, base: str = "nat") -> np.ndarray:

@@ -25,13 +25,15 @@ import numpy as np
 from repro.core.entropy import joint_entropy_from_probs, marginal_entropies
 from repro.core.exec import (
     DenseSink,
+    PackedWeightSource,
     TensorSource,
     WeightSource,
     plan_tiles,
+    resolve_kernel,
     run_tile_plan,
     worker_workspace,
 )
-from repro.core.mi import mi_tile, mi_tile_block
+from repro.core.mi import mi_tile, mi_tile_block, mi_tile_sparse_block
 from repro.core.tiling import Tile, pair_count
 from repro.parallel.engine import engine_kind
 
@@ -76,41 +78,55 @@ def compute_tile(
     base: str = "nat",
     workspace=None,
     kernel_dtype=None,
+    kernel=None,
 ) -> np.ndarray:
     """Kernel for one tile: the ``(rows, cols)`` MI block.
 
     Module-level (not a closure) so process-based engines can pickle a
     reference to it and look the weight tensor up in worker-shared memory.
-    Runs the fused workspace kernel (:func:`repro.core.mi.mi_tile_block`)
-    against the process-cached hoisted operands; bit-identical to the
-    legacy ``mi_tile`` path unless ``kernel_dtype`` selects mixed
-    precision.  ``workspace`` defaults to this worker's reused buffers.
+    ``kernel`` picks the tile variant: ``None``/``"fused"`` runs the fused
+    workspace kernel (:func:`repro.core.mi.mi_tile_block`) against the
+    process-cached hoisted operands, bit-identical to the legacy
+    ``mi_tile`` path unless ``kernel_dtype`` selects mixed precision;
+    ``"sparse"`` runs the packed compiled kernel
+    (:func:`repro.core.mi.mi_tile_sparse_block`, ~1 ulp from ``mi_tile``
+    in float64); ``"legacy"`` runs the plain GEMM path.  ``workspace``
+    defaults to this worker's reused buffers.
     """
-    block = mi_tile_block(
-        weights,
-        t.i0,
-        t.i1,
-        t.j0,
-        t.j1,
-        h_i=h[t.i0 : t.i1],
-        h_j=h[t.j0 : t.j1],
-        base=base,
-        workspace=workspace if workspace is not None else worker_workspace(),
-        dtype=kernel_dtype,
-    )
+    ws = workspace if workspace is not None else worker_workspace()
+    if kernel == "sparse":
+        block = mi_tile_sparse_block(
+            weights, t.i0, t.i1, t.j0, t.j1,
+            h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1],
+            base=base, workspace=ws, dtype=kernel_dtype,
+        )
+    elif kernel == "legacy":
+        block = mi_tile(
+            weights[t.i0 : t.i1], weights[t.j0 : t.j1],
+            h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1], base=base,
+        )
+    else:
+        block = mi_tile_block(
+            weights, t.i0, t.i1, t.j0, t.j1,
+            h_i=h[t.i0 : t.i1], h_j=h[t.j0 : t.j1],
+            base=base, workspace=ws, dtype=kernel_dtype,
+        )
     if t.is_diagonal:
         block[~t.pair_mask()] = 0.0
     return block
 
 
-def _tile_kernel(source, h: np.ndarray, t: Tile, base: str, kernel_dtype=None) -> np.ndarray:
+def _tile_kernel(source, h: np.ndarray, t: Tile, base: str, kernel_dtype=None,
+                 kernel=None) -> np.ndarray:
     """Executor kernel routing through the patchable :func:`compute_tile`."""
     weights = getattr(source, "weights", None)
     if weights is None:  # non-tensor sources slab through the default kernel
         from repro.core.exec import default_kernel
 
-        return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype)
-    return compute_tile(weights, h, t, base, kernel_dtype=kernel_dtype)
+        return default_kernel(source, h, t, base, kernel_dtype=kernel_dtype,
+                              kernel=kernel)
+    return compute_tile(weights, h, t, base, kernel_dtype=kernel_dtype,
+                        kernel=kernel)
 
 
 def mi_matrix(
@@ -125,6 +141,7 @@ def mi_matrix(
     policy=None,
     kernel_dtype=None,
     autotune: bool = False,
+    kernel=None,
 ) -> MiMatrixResult:
     """Compute the full symmetric MI matrix of a gene set.
 
@@ -184,23 +201,44 @@ def mi_matrix(
         Measure candidate tile sizes on a slab sample before the run and
         use the empirically fastest
         (:func:`repro.core.tiling.autotune_tile_size`); the winner is
-        persisted per ``(m, b, dtype, engine, host)`` so later runs skip
-        the measurement.  Ignored when ``tile`` is given explicitly.
+        persisted per ``(m, b, dtype, engine, kernel, host)`` so later
+        runs skip the measurement.  Ignored when ``tile`` is given
+        explicitly.
+    kernel:
+        Tile kernel variant: ``None``/``"fused"`` (default, the GEMM
+        workspace kernel), ``"legacy"`` (plain ``mi_tile``), ``"sparse"``
+        (the compiled packed-weight kernel exploiting B-spline sparsity;
+        float64 results within ~1 ulp of ``mi_tile``), or ``"auto"``
+        (autotune the per-host winner across variants and tile sizes,
+        persisted in the same sidecar).  Composes with ``kernel_dtype``.
 
     Returns
     -------
     MiMatrixResult
     """
     source = weights if isinstance(weights, WeightSource) else TensorSource(weights)
+    engine_name = engine_kind(engine)
+    kernel, tile_override = resolve_kernel(source, kernel,
+                                           kernel_dtype=kernel_dtype,
+                                           engine_name=engine_name, base=base)
+    if tile is None and tile_override is not None:
+        tile = tile_override
+    if (kernel == "sparse" and engine_name == "elastic"
+            and isinstance(source, TensorSource)):
+        # Elastic workers receive the source by value: ship the ~k/b-sized
+        # packed slabs instead of the dense tensor (metered by comm.bytes_sent).
+        source = PackedWeightSource.from_source(source, base=base,
+                                                dtype=kernel_dtype)
     plan = plan_tiles(source, tile=tile, base=base, schedule=schedule,
                       kernel_dtype=kernel_dtype, autotune=autotune,
-                      engine_name=engine_kind(engine))
+                      engine_name=engine_name, kernel=kernel)
     sink = DenseSink(source.n_genes, out=out)
     # A partial, not a closure, so the task pickles for remote engines.
-    kernel = functools.partial(_tile_kernel, kernel_dtype=kernel_dtype)
+    task = functools.partial(_tile_kernel, kernel_dtype=kernel_dtype,
+                             kernel=kernel)
     mi = run_tile_plan(plan, source, sink, engine=engine, tracer=tracer,
-                       progress=progress, kernel=kernel, policy=policy,
-                       kernel_dtype=kernel_dtype)
+                       progress=progress, kernel=task, policy=policy,
+                       kernel_dtype=kernel_dtype, kernel_variant=kernel)
     return MiMatrixResult(
         mi=mi,
         marginal_entropy=source.entropies(base),

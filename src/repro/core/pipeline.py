@@ -24,6 +24,7 @@ from repro.core.bspline import weight_tensor
 from repro.core.discretize import preprocess
 from repro.core.exact import exact_mi_pvalues
 from repro.core.exec import SCHEDULE_NAMES, TensorSource
+from repro.core.mi import KERNEL_NAMES
 from repro.core.mi_matrix import mi_matrix
 from repro.core.network import GeneNetwork
 from repro.core.permutation import NullDistribution, pooled_null
@@ -107,6 +108,13 @@ class TingeConfig:
         and use the empirically fastest
         (:func:`repro.core.tiling.autotune_tile_size`); ignored when
         ``tile`` is set explicitly.
+    kernel:
+        MI tile kernel variant: ``"fused"`` (default, the GEMM workspace
+        kernel), ``"legacy"`` (plain ``mi_tile``), ``"sparse"`` (the
+        compiled packed-weight kernel exploiting B-spline sparsity —
+        float64 results within ~1 ulp of ``mi_tile``), or ``"auto"``
+        (measure all variants on a slab sample and use the per-host
+        winner).  Composes with ``kernel_dtype``.
     """
 
     bins: int = 10
@@ -129,6 +137,7 @@ class TingeConfig:
     on_fault: str = "raise"
     kernel_dtype: "str | None" = None
     autotune: bool = False
+    kernel: str = "fused"
 
     def __post_init__(self) -> None:
         if self.correction not in ("bonferroni", "none", "bh"):
@@ -162,6 +171,10 @@ class TingeConfig:
         if self.kernel_dtype not in (None, "float32", "float64"):
             raise ValueError(
                 f"kernel_dtype must be None/float32/float64, got {self.kernel_dtype!r}"
+            )
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"kernel must be one of {sorted(KERNEL_NAMES)}, got {self.kernel!r}"
             )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
@@ -298,7 +311,7 @@ class TingePipeline:
                 "mi", mi_matrix, source, cfg.tile, cfg.base, self.engine,
                 self.progress, None, self.tracer, cfg.schedule,
                 policy=cfg.fault_policy(), kernel_dtype=cfg.kernel_dtype,
-                autotune=cfg.autotune,
+                autotune=cfg.autotune, kernel=cfg.kernel,
             )
 
             def build():

@@ -186,6 +186,8 @@ def fused_tile_size(
 
 _AUTOTUNE_ENV = "REPRO_AUTOTUNE_CACHE"
 _AUTOTUNE_CANDIDATES = (16, 32, 64, 128)
+_AUTOTUNE_VERSION = 2
+_AUTOTUNE_KERNELS = ("legacy", "fused", "sparse")
 
 
 def autotune_cache_path() -> Path:
@@ -201,25 +203,57 @@ def autotune_cache_path() -> Path:
     return Path.home() / ".cache" / "repro" / "autotune_tiles.json"
 
 
-def _autotune_key(m_samples: int, bins: int, dtype: str, engine: str) -> str:
-    return f"m={m_samples};b={bins};dtype={dtype};engine={engine};host={socket.gethostname()}"
+def _autotune_key(m_samples: int, bins: int, dtype: str, engine: str,
+                  kernel: str = "fused") -> str:
+    return (f"m={m_samples};b={bins};dtype={dtype};engine={engine};"
+            f"kernel={kernel};host={socket.gethostname()}")
+
+
+def _migrate_autotune_v1(data: dict) -> dict:
+    """Lift a flat v1 sidecar (``{key: tile}``) into v2 entries.
+
+    v1 keys carry no kernel field; every v1 measurement timed the fused
+    kernel (the only one the PR 5 autotuner knew), so old entries remain
+    valid verbatim under ``kernel=fused`` — inserted before the trailing
+    ``host=`` field to keep the key grammar ordered.
+    """
+    entries: dict = {}
+    for key, value in data.items():
+        if not isinstance(key, str) or ";kernel=" in key:
+            entries[key] = value
+            continue
+        head, sep, host = key.rpartition(";host=")
+        if sep:
+            entries[f"{head};kernel=fused;host={host}"] = value
+        else:  # not the v1 key grammar; preserve verbatim
+            entries[key] = value
+    return entries
 
 
 def _load_autotune_cache(path: Path) -> dict:
+    """The sidecar's entry map, migrating v1 (flat) files transparently."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-        return data if isinstance(data, dict) else {}
     except (OSError, ValueError):
         return {}
+    if not isinstance(data, dict):
+        return {}
+    if data.get("version") == _AUTOTUNE_VERSION:
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+    if "version" in data:  # a future schema this build can't interpret
+        return {}
+    return _migrate_autotune_v1(data)
 
 
-def _store_autotune_cache(path: Path, cache: dict) -> None:
+def _store_autotune_cache(path: Path, entries: dict) -> None:
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(cache, fh, indent=0, sort_keys=True)
+            json.dump({"version": _AUTOTUNE_VERSION, "entries": entries},
+                      fh, indent=0, sort_keys=True)
         os.replace(tmp, path)
     except OSError:
         pass  # a cold cache next run is the only consequence
@@ -267,8 +301,53 @@ def _merge_autotune_entry(path: Path, key: str, value: int) -> None:
     """
     with _autotune_lock(path):
         cache = _load_autotune_cache(path)
-        cache[key] = int(value)
+        cache[key] = dict(value) if isinstance(value, dict) else int(value)
         _store_autotune_cache(path, cache)
+
+
+def _kernel_block_timer(kernel: str):
+    """The ``(sample, t, base, ws, dtype) -> block`` call timed per variant."""
+    from repro.core.mi import mi_tile, mi_tile_block, mi_tile_sparse_block
+
+    if kernel == "sparse":
+        def run(sample, t, base, ws, dtype):
+            return mi_tile_sparse_block(sample, 0, t, t, 2 * t, base=base,
+                                        workspace=ws, dtype=dtype)
+    elif kernel == "legacy":
+        def run(sample, t, base, ws, dtype):
+            return mi_tile(sample[0:t], sample[t : 2 * t], base=base)
+    elif kernel in (None, "fused"):
+        def run(sample, t, base, ws, dtype):
+            return mi_tile_block(sample, 0, t, t, 2 * t, base=base,
+                                 workspace=ws, dtype=dtype)
+    else:
+        raise ValueError(f"unknown kernel variant {kernel!r}")
+    return run
+
+
+def _time_candidates(sample, usable, base, dtype, kernel, repeats):
+    """Best-of-``repeats`` per-cell timings of one kernel variant."""
+    from repro.core.mi import TileWorkspace, prepare_operands
+    from repro.core.sparsekernel import prepare_packed
+
+    ws = TileWorkspace()
+    if kernel == "sparse":
+        dt = np.dtype(dtype) if dtype is not None else sample.dtype
+        prepare_packed(sample, dt)
+    elif kernel != "legacy":
+        prepare_operands(sample, np.dtype(dtype) if dtype is not None else None)
+    run = _kernel_block_timer(kernel)
+    timings: dict[int, float] = {}
+    for t in usable:
+        # One warm-up call sizes the workspace buffers outside the timing.
+        run(sample, t, base, ws, dtype)
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            run(sample, t, base, ws, dtype)
+            best = min(best, time.perf_counter() - start)
+        timings[t] = best / (t * t)  # per matrix cell
+    return timings
 
 
 def autotune_tile_size(
@@ -281,24 +360,26 @@ def autotune_tile_size(
     sample_genes: int = 256,
     repeats: int = 3,
     use_cache: bool = True,
+    kernel: str = "fused",
 ) -> int:
     """Measure candidate tile sizes on a real slab sample; pick the fastest.
 
-    Times the fused kernel (:func:`repro.core.mi.mi_tile_block`) over one
-    representative off-diagonal tile per candidate size, on a prefix sample
-    of the actual weight tensor, and returns the argmin — normalized per
-    matrix cell so different tile sizes compare fairly.  The winner is
-    persisted in a JSON sidecar keyed by ``(m, b, dtype, engine, host)``
-    (see :func:`autotune_cache_path`) so subsequent runs skip measurement.
+    Times the selected kernel variant (fused GEMM by default; ``legacy``
+    or ``sparse`` per the ``kernel`` knob) over one representative
+    off-diagonal tile per candidate size, on a prefix sample of the actual
+    weight tensor, and returns the argmin — normalized per matrix cell so
+    different tile sizes compare fairly.  The winner is persisted in a
+    JSON sidecar keyed by ``(m, b, dtype, engine, kernel, host)`` (see
+    :func:`autotune_cache_path`) so subsequent runs skip measurement;
+    pre-existing v1 sidecar entries (no kernel field) are read as
+    ``kernel=fused`` and remain valid.
     """
-    from repro.core.mi import TileWorkspace, mi_tile_block, prepare_operands
-
     weights = np.asarray(weights)
     if weights.ndim != 3:
         raise ValueError(f"expected an (n, m, b) weight tensor, got shape {weights.shape}")
     n, m, b = weights.shape
     dtype_name = np.dtype(dtype).name if dtype is not None else weights.dtype.name
-    key = _autotune_key(m, b, dtype_name, engine)
+    key = _autotune_key(m, b, dtype_name, engine, kernel)
     path = autotune_cache_path()
     if use_cache:
         cached = _load_autotune_cache(path).get(key)
@@ -313,19 +394,67 @@ def autotune_tile_size(
     usable = tuple(t for t in candidates if 2 * t <= sample.shape[0])
     if not usable:
         return fused_tile_size(m, b)
-    ws = TileWorkspace()
-    prepare_operands(sample, np.dtype(dtype) if dtype is not None else None)
-    timings: dict[int, float] = {}
-    for t in usable:
-        # One warm-up call sizes the workspace buffers outside the timing.
-        mi_tile_block(sample, 0, t, t, 2 * t, base=base, workspace=ws, dtype=dtype)
-        best = float("inf")
-        for _ in range(max(repeats, 1)):
-            start = time.perf_counter()
-            mi_tile_block(sample, 0, t, t, 2 * t, base=base, workspace=ws, dtype=dtype)
-            best = min(best, time.perf_counter() - start)
-        timings[t] = best / (t * t)  # per matrix cell
+    timings = _time_candidates(sample, usable, base, dtype, kernel, repeats)
     winner = min(timings, key=timings.get)
     if use_cache:
         _merge_autotune_entry(path, key, winner)
     return winner
+
+
+def autotune_kernel(
+    weights: np.ndarray,
+    *,
+    dtype=None,
+    engine: str = "serial",
+    base: str = "nat",
+    candidates: "tuple[int, ...] | None" = None,
+    sample_genes: int = 256,
+    repeats: int = 3,
+    use_cache: bool = True,
+) -> "tuple[str, int]":
+    """Pick the per-host winner across {legacy, fused, sparse} x tile size.
+
+    The cross-variant extension of :func:`autotune_tile_size` behind
+    ``--kernel auto``: every variant is timed at every candidate tile on
+    the same slab sample, and the jointly fastest ``(variant, tile)`` is
+    returned and persisted under a ``kernel=auto`` sidecar entry (a
+    ``{"kernel": ..., "tile": ...}`` value — the v2 schema allows dict
+    entries).  Variants a sample cannot run (e.g. sparse with a spline
+    order above the packed lane count) are skipped, never fatal.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 3:
+        raise ValueError(f"expected an (n, m, b) weight tensor, got shape {weights.shape}")
+    n, m, b = weights.shape
+    dtype_name = np.dtype(dtype).name if dtype is not None else weights.dtype.name
+    key = _autotune_key(m, b, dtype_name, engine, "auto")
+    path = autotune_cache_path()
+    if use_cache:
+        cached = _load_autotune_cache(path).get(key)
+        if (isinstance(cached, dict) and cached.get("kernel") in _AUTOTUNE_KERNELS
+                and isinstance(cached.get("tile"), int) and cached["tile"] > 0):
+            return cached["kernel"], cached["tile"]
+
+    sample = np.ascontiguousarray(weights[: min(n, sample_genes)])
+    if candidates is None:
+        candidates = _AUTOTUNE_CANDIDATES
+    usable = tuple(t for t in candidates if 2 * t <= sample.shape[0])
+    if not usable:
+        return "fused", fused_tile_size(m, b)
+    best: "tuple[float, str, int] | None" = None
+    for variant in _AUTOTUNE_KERNELS:
+        try:
+            timings = _time_candidates(sample, usable, base, dtype, variant,
+                                       repeats)
+        except ValueError:
+            continue  # variant unavailable for this tensor (e.g. span > lanes)
+        t = min(timings, key=timings.get)
+        if best is None or timings[t] < best[0]:
+            best = (timings[t], variant, t)
+    if best is None:
+        return "fused", fused_tile_size(m, b)
+    _, winner_kernel, winner_tile = best
+    if use_cache:
+        _merge_autotune_entry(path, key,
+                              {"kernel": winner_kernel, "tile": winner_tile})
+    return winner_kernel, winner_tile

@@ -30,7 +30,13 @@ import numpy as np
 from repro.core.bspline import weight_tensor
 from repro.core.checkpoint import CheckpointSink
 from repro.core.discretize import preprocess
-from repro.core.exec import TensorSource, plan_tiles, result_cache_key, run_tile_plan
+from repro.core.exec import (
+    TensorSource,
+    plan_tiles,
+    resolve_kernel,
+    result_cache_key,
+    run_tile_plan,
+)
 from repro.core.network import GeneNetwork
 from repro.core.permutation import pooled_null
 from repro.core.pipeline import TingeConfig
@@ -221,10 +227,14 @@ def _execute(job: Job, cache: ResultCache, state_dir: Path) -> None:
                                cfg.seed, cfg.base, engine)
 
         job.phase = "mi"
-        plan = plan_tiles(source, tile=cfg.tile, base=cfg.base,
-                          schedule=cfg.schedule,
+        kernel, tile_override = resolve_kernel(
+            source, cfg.kernel, kernel_dtype=cfg.kernel_dtype,
+            engine_name=engine_kind(engine), base=cfg.base)
+        plan = plan_tiles(source,
+                          tile=cfg.tile if cfg.tile is not None else tile_override,
+                          base=cfg.base, schedule=cfg.schedule,
                           kernel_dtype=cfg.kernel_dtype, autotune=cfg.autotune,
-                          engine_name=engine_kind(engine))
+                          engine_name=engine_kind(engine), kernel=kernel)
         ck_dir = state_dir / "checkpoints" / key
         sink = CheckpointSink(ck_dir, plan, source.fingerprint(),
                               interrupt_after_rows=job.interrupt_after_rows)
@@ -232,7 +242,8 @@ def _execute(job: Job, cache: ResultCache, state_dir: Path) -> None:
             mi = run_tile_plan(plan, source, sink, engine=engine,
                                tracer=tracer, progress=job.progress,
                                policy=cfg.fault_policy(),
-                               kernel_dtype=cfg.kernel_dtype)
+                               kernel_dtype=cfg.kernel_dtype,
+                               kernel_variant=kernel)
     finally:
         # Only the elastic engine holds resources (worker subprocesses,
         # a listener socket); in-process pools are per-call.
@@ -328,10 +339,14 @@ def _bootstrap_updater(job, ds, cache, state_dir: Path, engine):
                                min(cfg.n_null_pairs, pair_count(n)),
                                cfg.seed, cfg.base, engine)
         job.phase = "mi"
-        plan = plan_tiles(source, tile=cfg.tile, base=cfg.base,
-                          schedule=cfg.schedule, kernel_dtype=cfg.kernel_dtype,
-                          autotune=cfg.autotune,
-                          engine_name=engine_kind(engine))
+        kernel, tile_override = resolve_kernel(
+            source, cfg.kernel, kernel_dtype=cfg.kernel_dtype,
+            engine_name=engine_kind(engine), base=cfg.base)
+        plan = plan_tiles(source,
+                          tile=cfg.tile if cfg.tile is not None else tile_override,
+                          base=cfg.base, schedule=cfg.schedule,
+                          kernel_dtype=cfg.kernel_dtype, autotune=cfg.autotune,
+                          engine_name=engine_kind(engine), kernel=kernel)
         ck_dir = state_dir / "checkpoints" / key
         sink = CheckpointSink(ck_dir, plan, source.fingerprint(),
                               interrupt_after_rows=job.interrupt_after_rows)
@@ -339,7 +354,8 @@ def _bootstrap_updater(job, ds, cache, state_dir: Path, engine):
             mi = run_tile_plan(plan, source, sink, engine=engine,
                                tracer=tracer, progress=job.progress,
                                policy=cfg.fault_policy(),
-                               kernel_dtype=cfg.kernel_dtype)
+                               kernel_dtype=cfg.kernel_dtype,
+                               kernel_variant=kernel)
         job.quarantined = [q.as_dict() for q in sink.quarantined]
         if mi is None:
             return None

@@ -201,3 +201,127 @@ class TestPackedWeights:
             unpack_weights(np.ones((3, 2)), np.array([0, 0]), 5)
         with pytest.raises(ValueError):
             unpack_weights(np.ones((2, 3)), np.array([0, 4]), 5)
+
+    def test_roundtrip_bitwise_exact(self, rng):
+        w = weight_matrix(rng.normal(size=200), bins=10, order=3)
+        values, first = packed_weights(w, 3)
+        assert np.array_equal(unpack_weights(values, first, 10), w)
+
+    def test_all_zero_rows_roundtrip(self):
+        w = np.zeros((4, 10))
+        values, first = packed_weights(w, 3)
+        assert (values == 0).all() and (first == 0).all()
+        assert np.array_equal(unpack_weights(values, first, 10), w)
+
+    def test_boundary_sample_last_knot_span(self):
+        # The domain maximum puts all mass on the last basis function; its
+        # window must be clamped into the matrix, not run off the edge.
+        w = basis_matrix(np.array([8.0, 7.5, 0.0]), 10, 3)
+        values, first = packed_weights(w, 3)
+        assert first.max() <= 10 - 3
+        assert np.array_equal(unpack_weights(values, first, 10), w)
+        assert w[0, 9] == 1.0  # closed right edge: mass on the last function
+
+    def test_dropped_mass_raises(self):
+        w = np.zeros((2, 10))
+        w[1, 0] = 0.5
+        w[1, 6] = 0.5  # disjoint support: cannot fit one 3-wide window
+        with pytest.raises(ValueError, match="outside"):
+            packed_weights(w, 3)
+
+    def test_support_longer_than_order_raises(self):
+        w = np.zeros((1, 10))
+        w[0, 2:7] = 0.2  # 5-long run does not fit a 3-wide window
+        with pytest.raises(ValueError, match="outside"):
+            packed_weights(w, 3)
+
+    def test_unpack_width_exceeding_bins_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            unpack_weights(np.ones((2, 6)), np.array([0, 0]), 5)
+
+    def test_empty_matrix_roundtrip(self):
+        w = np.zeros((0, 10))
+        values, first = packed_weights(w, 3)
+        assert values.shape == (0, 3)
+        assert np.array_equal(unpack_weights(values, first, 10), w)
+
+
+class TestPackedWeightTensor:
+    def test_matches_weight_tensor_plus_pack(self, rng):
+        from repro.core.bspline import packed_weight_tensor
+
+        data = rng.normal(size=(8, 50))
+        values, first = packed_weight_tensor(data, bins=10, order=3)
+        assert values.shape == (8, 50, 3) and first.dtype == np.int32
+        w = weight_tensor(data, bins=10, order=3)
+        ref_v, ref_f = packed_weights(w.reshape(-1, 10), 3)
+        assert np.array_equal(values.reshape(-1, 3), ref_v)
+        assert np.array_equal(first.reshape(-1), ref_f)
+
+    def test_constant_gene(self):
+        from repro.core.bspline import packed_weight_tensor
+
+        data = np.full((2, 20), 3.25)
+        values, first = packed_weight_tensor(data, bins=10, order=3)
+        # A constant gene maps to domain 0: all mass in the first window.
+        assert (first == 0).all()
+        assert np.allclose(values.sum(axis=2), 1.0)  # partition of unity
+
+    def test_float32_output(self, rng):
+        from repro.core.bspline import packed_weight_tensor
+
+        values, first = packed_weight_tensor(rng.normal(size=(3, 30)),
+                                             bins=10, order=3,
+                                             dtype=np.float32)
+        assert values.dtype == np.float32
+
+    def test_forced_numba_without_numba_raises(self, rng, monkeypatch):
+        from repro.core import bspline as bs
+
+        try:
+            import numba  # noqa: F401
+            pytest.skip("Numba installed; the forced tier is available")
+        except ImportError:
+            pass
+        monkeypatch.setenv("REPRO_BSPLINE_JIT", "numba")
+        bs._reset_bspline_jit_cache()
+        try:
+            with pytest.raises(RuntimeError, match="Numba"):
+                bs.packed_weight_tensor(rng.normal(size=(2, 10)))
+        finally:
+            bs._reset_bspline_jit_cache()
+
+    def test_numpy_tier_forced(self, rng, monkeypatch):
+        from repro.core import bspline as bs
+
+        monkeypatch.setenv("REPRO_BSPLINE_JIT", "numpy")
+        bs._reset_bspline_jit_cache()
+        try:
+            data = rng.normal(size=(4, 40))
+            values, first = bs.packed_weight_tensor(data)
+            w = weight_tensor(data, bins=10, order=3)
+            ref_v, ref_f = packed_weights(w.reshape(-1, 10), 3)
+            assert np.array_equal(values.reshape(-1, 3), ref_v)
+            assert np.array_equal(first.reshape(-1), ref_f)
+        finally:
+            bs._reset_bspline_jit_cache()
+
+    def test_jit_tier_matches_numpy_tier_bitwise(self, rng, monkeypatch):
+        from repro.core import bspline as bs
+
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            pytest.skip("Numba not installed; single-tier environment")
+        data = rng.normal(size=(6, 60))
+        monkeypatch.setenv("REPRO_BSPLINE_JIT", "numba")
+        bs._reset_bspline_jit_cache()
+        jit_v, jit_f = bs.packed_weight_tensor(data)
+        monkeypatch.setenv("REPRO_BSPLINE_JIT", "numpy")
+        bs._reset_bspline_jit_cache()
+        try:
+            np_v, np_f = bs.packed_weight_tensor(data)
+            assert np.array_equal(jit_v, np_v)
+            assert np.array_equal(jit_f, np_f)
+        finally:
+            bs._reset_bspline_jit_cache()

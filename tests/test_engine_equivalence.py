@@ -53,6 +53,62 @@ class TestMiMatrixEquivalence:
             mi_matrix(small_weights, tile=8, out=np.zeros((3, 3)))
 
 
+class TestSparseKernelEquivalence:
+    """The sparse kernel is pure per pair, so every engine must reproduce
+    the serial sparse matrix bit for bit — including elastic, which ships
+    the packed slabs (:class:`repro.core.exec.PackedWeightSource`) instead
+    of the dense tensor."""
+
+    @pytest.fixture(scope="class")
+    def sparse_reference(self, small_weights):
+        return mi_matrix(small_weights, tile=8, kernel="sparse").mi
+
+    @pytest.mark.parametrize("kind,engine", engines(), ids=[k for k, _ in engines()])
+    def test_bit_identical_to_serial(self, kind, engine, small_weights,
+                                     sparse_reference):
+        out = mi_matrix(small_weights, tile=8, kernel="sparse",
+                        engine=engine).mi
+        assert np.array_equal(out, sparse_reference), f"{kind} diverged"
+
+    def test_bit_identical_elastic(self, small_weights, sparse_reference):
+        import threading
+
+        from repro.cluster.elastic import ElasticEngine, worker_main
+
+        eng = ElasticEngine(n_workers=2, spawn=False, heartbeat=0.5)
+        threads = [
+            threading.Thread(
+                target=worker_main,
+                args=(eng.coordinator.host, eng.coordinator.port),
+                kwargs={"name": f"t{i}"}, daemon=True)
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            eng.coordinator.wait_for_workers(2, timeout=10)
+            out = mi_matrix(small_weights, tile=8, kernel="sparse",
+                            engine=eng).mi
+            assert np.array_equal(out, sparse_reference)
+        finally:
+            eng.close()
+            for t in threads:
+                t.join(timeout=5)
+
+    def test_close_to_dense_reference(self, sparse_reference, reference):
+        # The documented sparse-vs-GEMM summation-order bound (~1 ulp).
+        np.testing.assert_allclose(sparse_reference, reference,
+                                   rtol=0, atol=1e-13)
+
+    def test_float32_identical_across_engines(self, small_weights):
+        ref = mi_matrix(small_weights, tile=8, kernel="sparse",
+                        kernel_dtype="float32").mi
+        for kind, engine in engines()[1:]:
+            out = mi_matrix(small_weights, tile=8, kernel="sparse",
+                            kernel_dtype="float32", engine=engine).mi
+            assert np.array_equal(out, ref), f"{kind} diverged (float32)"
+
+
 class TestCheckpointedEquivalence:
     @pytest.mark.parametrize("kind,engine", engines(), ids=[k for k, _ in engines()])
     def test_bit_identical(self, kind, engine, small_weights, reference, tmp_path):

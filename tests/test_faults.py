@@ -174,6 +174,25 @@ class TestChaosMatrix:
         elif fork:  # hang on a killable engine -> timeout + replacement
             assert tracer.counters.get("task_timeouts", 0) >= 1
 
+    @pytest.mark.parametrize("kind", ENGINES)
+    @pytest.mark.parametrize("fault", ["crash", "corrupt"])
+    def test_sparse_kernel_recovers_bit_identical(self, weights, kind, fault):
+        """Chaos through the sparse tile path: retries replay the packed
+        scatter kernel and must land on the clean sparse matrix exactly."""
+        fork = kind in FORK_ENGINES
+        sparse_baseline = mi_matrix(weights, tile=TILE, kernel="sparse").mi
+        plan = _chaos_plan(fault, fork)
+        assert plan.faulted(_tiles(weights))
+        eng = _engine(kind, faults=plan)
+        tracer = Tracer()
+        policy = FaultPolicy(max_retries=3, backoff=0.01)
+        res = mi_matrix(weights, tile=TILE, kernel="sparse", engine=eng,
+                        tracer=tracer, policy=policy)
+        assert np.array_equal(res.mi, sparse_baseline)
+        assert res.quarantined == []
+        counter = "task_retries" if fault == "crash" else "task_corruptions"
+        assert tracer.counters.get(counter, 0) >= 1
+
     def test_no_policy_crash_propagates(self, weights):
         plan = _chaos_plan("crash", fork=False)
         eng = _engine("thread", faults=plan)

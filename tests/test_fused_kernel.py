@@ -220,9 +220,11 @@ class TestAutotuner:
         assert first in (4, 8)
         assert target.exists()
         cache = json.loads(target.read_text())
-        (key,) = cache.keys()
+        assert cache["version"] == 2
+        (key,) = cache["entries"].keys()
         m, b = small_weights.shape[1], small_weights.shape[2]
         assert f"m={m};b={b};" in key
+        assert ";kernel=fused;" in key
         # Second call must hit the cache, not remeasure.
         second = autotune_tile_size(small_weights, candidates=(4, 8), repeats=1)
         assert second == first
