@@ -638,10 +638,19 @@ def mi_tile_sparse(
     dt, mixed = _resolve_kernel_dtype(dtype, wi.dtype)
     vi, fi, span_i = pack_slab(wi, dt)
     vj, fj, span_j = pack_slab(wj, dt)
+    # The kernels iterate the shared (max) span of row lanes from each
+    # slab's clamped `first`; a slab packed at a narrower span has `first`
+    # clamped only to b - span_own, which would let row indices run past
+    # b - 1 (numpy: bincount shape error; compiled: out-of-bounds writes).
+    # Repack the narrower slab at the shared span — the extra lanes hold
+    # exact +0.0, so the MI bits are unchanged (see pack_slab).
+    span = max(span_i, span_j)
+    if span_i < span:
+        vi, fi, _ = pack_slab(wi, dt, span=span)
+    if span_j < span:
+        vj, fj, _ = pack_slab(wj, dt, span=span)
     ws = workspace if workspace is not None else TileWorkspace()
-    # Row lanes iterate the wider of the two spans; extra zero lanes add
-    # exact +0.0, so mixed-span tiles stay bitwise stable (see pack_slab).
-    return _sparse_block(vi, fi, vj, fj, max(span_i, span_j), b, m,
+    return _sparse_block(vi, fi, vj, fj, span, b, m,
                          h_i, h_j, base, ws, out, mixed)
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import platform
 import shutil
 import subprocess
 import tempfile
@@ -85,7 +86,9 @@ def joint_pad(bins: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def pack_slab(weights: np.ndarray, dtype=None) -> tuple[np.ndarray, np.ndarray, int]:
+def pack_slab(
+    weights: np.ndarray, dtype=None, *, span: "int | None" = None
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Pack an ``(n, m, b)`` weight slab into the padded sparse layout.
 
     Returns ``(values, first, span)`` where ``values`` is a C-contiguous
@@ -95,6 +98,15 @@ def pack_slab(weights: np.ndarray, dtype=None) -> tuple[np.ndarray, np.ndarray, 
     Inferring ``span`` from the data (instead of threading the basis order
     through every driver) is bitwise safe: packing with extra zero lanes
     only adds exact ``+0.0`` contributions.
+
+    ``span`` forces a wider window than the slab's own widest run (still
+    ``<= min(b, PACK_LANES)``).  A tile pairs two independently packed
+    slabs and the kernels iterate the *shared* (max) span from each row's
+    clamped ``first``, so the narrower slab must be packed — clamped and
+    re-extracted together — at that shared span, or its row indices could
+    run past ``b - 1``.  Clamping ``first`` alone is not enough: the lane
+    values are extracted at ``first``, so moving ``first`` without
+    re-extracting would scatter weights into the wrong bins.
     """
     weights = np.asarray(weights)
     if weights.ndim != 3:
@@ -106,12 +118,19 @@ def pack_slab(weights: np.ndarray, dtype=None) -> tuple[np.ndarray, np.ndarray, 
     any_nz = nz.any(axis=1)
     first = np.where(any_nz, nz.argmax(axis=1), 0)
     last = np.where(any_nz, b - 1 - nz[:, ::-1].argmax(axis=1), 0)
-    span = int((last - first + 1).max()) if flat.size else 1
-    span = max(span, 1)
-    if span > PACK_LANES:
+    observed = int((last - first + 1).max()) if flat.size else 1
+    observed = max(observed, 1)
+    if observed > PACK_LANES:
         raise ValueError(
-            f"weight rows span up to {span} non-zero bins; the sparse kernel "
+            f"weight rows span up to {observed} non-zero bins; the sparse kernel "
             f"packs at most {PACK_LANES} lanes (spline order <= {MAX_COMPILED_ORDER})"
+        )
+    if span is None:
+        span = observed
+    elif not observed <= span <= min(b, PACK_LANES):
+        raise ValueError(
+            f"requested span {span} outside [{observed}, {min(b, PACK_LANES)}] "
+            f"(observed span {observed}, {b} bins, {PACK_LANES} lanes)"
         )
     first = np.minimum(first, b - span)
     cols = first[:, None] + np.arange(span)[None, :]
@@ -236,6 +255,28 @@ def _cc_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _host_tag() -> str:
+    """CPU-capability discriminator for the compiled-kernel cache name.
+
+    The build uses ``-march=native``, so an ``.so`` compiled on one
+    machine can load fine yet SIGILL at call time on another — a shared
+    cache dir (NFS home, ``REPRO_CC_CACHE``) across heterogeneous hosts
+    must key on the CPU's ISA features, not just the source digest.
+    """
+    parts = [platform.machine()]
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                key = line.split(":", 1)[0].strip().lower()
+                if key in ("flags", "features"):  # x86 / arm
+                    parts.append(line.split(":", 1)[1].strip())
+                    break
+    except OSError:
+        # No /proc (e.g. macOS): fall back to one cache entry per host.
+        parts.append(platform.node())
+    return hashlib.sha256(" ".join(parts).encode()).hexdigest()[:8]
+
+
 _CC_LOCK = threading.Lock()
 _CC_LIB: "list | None" = None  # [lib_or_None] once resolution has run
 
@@ -246,10 +287,12 @@ def _build_cc_library() -> "ctypes.CDLL | None":
     Returns ``None`` when no C compiler is on PATH or compilation fails —
     callers fall through to the next backend.  The shared object is cached
     under ``~/.cache/repro`` (override: ``REPRO_CC_CACHE``) keyed by a
-    source hash, so rebuilds happen only when the kernel source changes.
+    source hash plus a host CPU tag (the build is ``-march=native``; see
+    :func:`_host_tag`), so rebuilds happen only when the kernel source
+    changes or the cache is shared with a different kind of host.
     """
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    so_path = _cc_cache_dir() / f"sparsekernel-{digest}.so"
+    so_path = _cc_cache_dir() / f"sparsekernel-{digest}-{_host_tag()}.so"
     if so_path.exists():
         try:
             return ctypes.CDLL(str(so_path))
@@ -479,6 +522,18 @@ def accumulate_tile(
         raise ValueError(f"out has shape {out.shape}, expected {expected}")
     if vi.shape[1] != vj.shape[1]:
         raise ValueError("packed operands must share the sample axis")
+    # Row lanes iterate `span` from fi and every backend writes PACK_LANES
+    # columns from fj; reject indices the (b, bp) cell block cannot hold
+    # before the compiled backends turn them into out-of-bounds writes.
+    # Operands packed at a narrower span than `span` trip this — repack
+    # them at the shared span (pack_slab's `span=` argument).
+    if fi.size and not 0 <= int(fi.min()) <= int(fi.max()) <= bins - span:
+        raise ValueError(
+            f"row first indices must lie in [0, {bins - span}] for span {span}; "
+            "pack both operands at the shared span (pack_slab(..., span=...))")
+    if fj.size and not 0 <= int(fj.min()) <= int(fj.max()) <= bins - 1:
+        raise ValueError(
+            f"column first indices must lie in [0, {bins - 1}]")
     backend = sparse_backend()
     if backend == "numpy" or out.dtype not in (np.float64, np.float32):
         if out.dtype == np.float64:

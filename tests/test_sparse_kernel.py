@@ -139,6 +139,15 @@ class TestBackendEquivalence:
                                   h_i=entropies[:8], h_j=entropies[8:20])
         assert np.array_equal(native, fallback)
 
+    def test_host_tag_stable_hex(self):
+        # The cc cache name carries a CPU tag (-march=native .so files are
+        # not portable across heterogeneous hosts sharing a cache dir).
+        from repro.core.sparsekernel import _host_tag
+
+        tag = _host_tag()
+        assert tag == _host_tag() and len(tag) == 8
+        int(tag, 16)  # hex digest
+
     def test_numpy_fallback_accumulator_bitwise_f64(self, weights, monkeypatch):
         values, first, span = pack_slab(weights)
         b = weights.shape[2]
@@ -151,6 +160,120 @@ class TestBackendEquivalence:
         accumulate_tile(values[:4], first[:4], values[4:8], first[4:8],
                         span, b, fallback)
         assert np.array_equal(native, fallback)
+
+
+# ---------------------------------------------------------------------------
+# Mixed-span tiles: independently packed slabs with different spans
+# ---------------------------------------------------------------------------
+
+def _single_bin_slab(n, m, b, rng):
+    """Span-1 slab with guaranteed support at the last bin (first = b-1)."""
+    w = np.zeros((n, m, b))
+    cols = rng.integers(0, b, size=(n, m))
+    cols[:, : max(1, m // 8)] = b - 1
+    w[np.arange(n)[:, None], np.arange(m)[None, :], cols] = 1.0
+    return w
+
+
+class TestMixedSpanTiles:
+    """Regression for the mixed-span out-of-bounds scatter.
+
+    ``pack_slab`` clamps ``first`` to ``b - span_own``, but the kernels
+    iterate the tile's *shared* (max) span of row lanes: a span-1 slab
+    with support at the last bin (binary / low-cardinality genes) paired
+    with a span-3 slab used to produce row indices up to ``b + 1`` — a
+    deterministic crash in the numpy backend and unchecked out-of-bounds
+    writes in the compiled ones.  ``mi_tile_sparse`` now repacks the
+    narrower slab at the shared span, and ``accumulate_tile`` rejects
+    under-clamped operands outright.
+    """
+
+    @pytest.fixture()
+    def slabs(self):
+        rng = np.random.default_rng(21)
+        m, b = 120, 10
+        narrow = _single_bin_slab(3, m, b, rng)
+        wide = weight_tensor(rng.normal(size=(4, m)), bins=b, order=3)
+        return narrow, wide
+
+    def test_pack_spans_differ(self, slabs):
+        narrow, wide = slabs
+        _, f1, s1 = pack_slab(narrow)
+        _, _, s3 = pack_slab(wide)
+        assert s1 == 1 and s3 == 3
+        assert int(f1.max()) == narrow.shape[2] - 1  # the hazardous clamp
+
+    def test_narrow_rows_match_dense(self, slabs):
+        narrow, wide = slabs
+        h_n = marginal_entropies(narrow)
+        h_w = marginal_entropies(wide)
+        ref = mi_tile(narrow, wide, h_i=h_n, h_j=h_w)
+        got = mi_tile_sparse(narrow, wide, h_i=h_n, h_j=h_w)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=SPARSE_VS_DENSE_ATOL)
+
+    def test_wide_rows_match_dense(self, slabs):
+        narrow, wide = slabs
+        h_n = marginal_entropies(narrow)
+        h_w = marginal_entropies(wide)
+        ref = mi_tile(wide, narrow, h_i=h_w, h_j=h_n)
+        got = mi_tile_sparse(wide, narrow, h_i=h_w, h_j=h_n)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=SPARSE_VS_DENSE_ATOL)
+
+    @pytest.mark.parametrize("backend", ["numpy", "cc", "numba"])
+    def test_each_backend_mixed_span(self, slabs, monkeypatch, backend):
+        import repro.core.sparsekernel as sk
+
+        if backend == "cc" and sk._cc_library() is None:
+            pytest.skip("no C compiler")
+        if backend == "numba" and sk._numba_tile_fn() is None:
+            pytest.skip("numba not installed")
+        _forced_backend(monkeypatch, backend)
+        narrow, wide = slabs
+        h_n = marginal_entropies(narrow)
+        h_w = marginal_entropies(wide)
+        ref = mi_tile(narrow, wide, h_i=h_n, h_j=h_w)
+        got = mi_tile_sparse(narrow, wide, h_i=h_n, h_j=h_w)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=SPARSE_VS_DENSE_ATOL)
+
+    def test_mixed_span_float32(self, slabs):
+        narrow, wide = slabs
+        h_n = marginal_entropies(narrow)
+        h_w = marginal_entropies(wide)
+        ref = mi_tile(narrow, wide, h_i=h_n, h_j=h_w)
+        got = mi_tile_sparse(narrow, wide, h_i=h_n, h_j=h_w, dtype="float32")
+        np.testing.assert_allclose(got, ref, rtol=0, atol=5e-6)
+
+    def test_accumulate_tile_rejects_underclamped_first(self, slabs):
+        narrow, wide = slabs
+        b = narrow.shape[2]
+        vn, fn, _ = pack_slab(narrow)
+        vw, fw, sw = pack_slab(wide)
+        out = np.empty((3, 4, b, joint_pad(b)))
+        with pytest.raises(ValueError, match="shared span"):
+            accumulate_tile(vn, fn, vw, fw, sw, b, out)
+
+    def test_pack_slab_span_override(self):
+        b = 10
+        w = np.zeros((1, 5, b))
+        w[0, :, b - 1] = 1.0
+        _v1, f1, s1 = pack_slab(w)
+        assert s1 == 1 and int(f1.max()) == b - 1
+        v3, f3, s3 = pack_slab(w, span=3)
+        assert s3 == 3 and int(f3.max()) == b - 3
+        # The unit weight still maps to bin b-1 via lane (b-1) - first.
+        assert (v3[0, :, 2] == 1.0).all()
+        assert (v3[0, :, :2] == 0.0).all()
+
+    def test_pack_slab_span_below_observed_raises(self, slabs):
+        _narrow, wide = slabs
+        with pytest.raises(ValueError, match="span"):
+            pack_slab(wide, span=2)
+
+    def test_pack_slab_span_above_bins_raises(self):
+        w = np.zeros((1, 3, 2))
+        w[:, :, 0] = 1.0
+        with pytest.raises(ValueError, match="span"):
+            pack_slab(w, span=3)  # 2 bins cannot hold a 3-lane window
 
 
 # ---------------------------------------------------------------------------
